@@ -1,0 +1,117 @@
+//! Criterion benchmarks of full solver iterations and mesh generation
+//! (the latter measures the cells-per-minute rate the paper quotes as
+//! 3-5M cells/minute on a 1.5 GHz Itanium2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
+use columbia_euler::{EulerLevel, EulerParams, EulerSolver};
+use columbia_mesh::{wing_mesh, Vec3, WingMeshSpec};
+use columbia_mg::CycleParams;
+use columbia_rans::{RansLevel, RansSolver, SolverParams};
+use columbia_sfc::CurveKind;
+
+fn rans_params() -> SolverParams {
+    SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    }
+}
+
+fn bench_rans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rans");
+    g.sample_size(10);
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(8_000)
+    });
+    g.throughput(Throughput::Elements(mesh.nvertices() as u64));
+    let mut lvl = RansLevel::new(mesh.clone(), rans_params());
+    lvl.apply_bcs();
+    g.bench_function("residual_8k", |bench| {
+        bench.iter(|| {
+            lvl.compute_residual();
+            black_box(lvl.res[0][0])
+        })
+    });
+    g.bench_function("smooth_sweep_8k", |bench| {
+        bench.iter(|| {
+            lvl.smooth_sweep();
+            black_box(lvl.u[0][0])
+        })
+    });
+    let mut solver = RansSolver::new(mesh, rans_params(), 4);
+    g.bench_function("w_cycle_4lvl_8k", |bench| {
+        bench.iter(|| {
+            solver.cycle(&CycleParams::default());
+            black_box(solver.levels[0].u[0][0])
+        })
+    });
+    g.finish();
+}
+
+fn sphere_geom() -> Geometry {
+    let prof: Vec<(f64, f64)> = (0..=14)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / 14.0;
+            (-0.3 * t.cos(), 0.3 * t.sin())
+        })
+        .collect();
+    Geometry::new(&[TriMesh::body_of_revolution(&prof, 16)])
+}
+
+fn bench_cartesian(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cartesian");
+    g.sample_size(10);
+    let geom = sphere_geom();
+    let config = CutCellConfig {
+        min_level: 4,
+        max_level: 6,
+        origin: Vec3::new(-1.0, -1.0, -1.0),
+        size: 2.0,
+    };
+    // Mesh generation rate: report cells/second via throughput.
+    let tree = build_octree(&geom, &config);
+    let ncells = tree.leaves.len() as u64;
+    g.throughput(Throughput::Elements(ncells));
+    g.bench_function("octree_plus_extract", |bench| {
+        bench.iter(|| {
+            let tree = build_octree(black_box(&geom), &config);
+            black_box(extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1).ncells())
+        })
+    });
+    g.finish();
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("euler");
+    g.sample_size(10);
+    let geom = sphere_geom();
+    let config = CutCellConfig {
+        min_level: 3,
+        max_level: 5,
+        origin: Vec3::new(-1.0, -1.0, -1.0),
+        size: 2.0,
+    };
+    let tree = build_octree(&geom, &config);
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    g.throughput(Throughput::Elements(mesh.ncells() as u64));
+    let fs = columbia_euler::freestream5(0.5, 0.0, 0.0);
+    let mut lvl = EulerLevel::new(mesh.clone(), fs, 1.5);
+    g.bench_function("rk5_step", |bench| {
+        bench.iter(|| {
+            lvl.rk_step();
+            black_box(lvl.u[0][0])
+        })
+    });
+    let mut solver = EulerSolver::new(mesh, EulerParams::default());
+    g.bench_function("w_cycle_4lvl", |bench| {
+        bench.iter(|| {
+            solver.cycle(&CycleParams::default());
+            black_box(solver.levels[0].u[0][0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rans, bench_cartesian, bench_euler);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: W-cycle vs V-cycle (paper §III: "the multigrid W-cycle has
+//! been found to produce superior convergence rates and to be more robust,
+//! and is thus used exclusively").
+
+use columbia_bench::header;
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_mg::{CycleParams, CycleType};
+use columbia_rans::{RansSolver, SolverParams};
+
+fn main() {
+    header("Ablation", "multigrid W-cycle vs V-cycle");
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(16_000)
+    });
+    let params = SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    };
+    for cycle in [CycleType::V, CycleType::W] {
+        let mut s = RansSolver::new(mesh.clone(), params, 5);
+        let cp = CycleParams {
+            cycle,
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let h = s.solve(&cp, 1e-12, 40);
+        println!(
+            "{cycle:?}-cycle: {:.2} orders in {} cycles ({:.2} s, mean reduction {:.3})",
+            h.orders_reduced(),
+            h.cycles(),
+            t0.elapsed().as_secs_f64(),
+            h.mean_reduction_factor()
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation: line-implicit vs point-implicit smoothing on stretched meshes
+//! (paper §III: line solvers remove the stiffness of high-aspect-ratio
+//! boundary-layer cells; convergence becomes insensitive to stretching).
+//!
+//! Runs the same wing case with implicit lines enabled (threshold 10) and
+//! disabled (threshold infinite => every vertex point-implicit) at two
+//! wall-normal stretching strengths.
+
+use columbia_bench::header;
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_mg::CycleParams;
+use columbia_rans::{RansSolver, SolverParams};
+
+fn main() {
+    header("Ablation", "line-implicit vs point-implicit smoothing");
+    for wall_spacing in [1e-3, 1e-5] {
+        let mesh = wing_mesh(&WingMeshSpec {
+            jitter: 0.0,
+            wall_spacing,
+            ..WingMeshSpec::with_target_points(8_000)
+        });
+        for (name, threshold) in [("line-implicit", 10.0), ("point-implicit", f64::INFINITY)] {
+            let params = SolverParams {
+                mach: 0.5,
+                line_threshold: threshold,
+                ..Default::default()
+            };
+            let mut s = RansSolver::new(mesh.clone(), params, 4);
+            let coverage = s.levels[0].line_coverage();
+            let h = s.solve(&CycleParams::default(), 1e-12, 40);
+            println!(
+                "wall spacing {wall_spacing:>8.0e}  {name:<16} line coverage {:>5.1}%  {:.2} orders in {} cycles",
+                coverage * 100.0,
+                h.orders_reduced(),
+                h.cycles()
+            );
+        }
+    }
+    println!("\nexpected: line-implicit converges at least as fast, with the gap\nwidening as the wall spacing (and hence cell anisotropy) shrinks.");
+}

@@ -1,0 +1,66 @@
+//! Ablation: independent per-level partitioning + greedy matching (the
+//! paper's choice) vs naive nested partitioning for the NSU3D multigrid
+//! hierarchy. The paper argues intra-level balance matters more than
+//! inter-level transfer locality.
+
+use columbia_bench::header;
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_partition::{match_levels, partition_graph, PartitionConfig, PartitionQuality};
+use columbia_rans::{RansSolver, SolverParams};
+
+fn main() {
+    header("Ablation", "independent vs nested multigrid level partitioning");
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(16_000)
+    });
+    let solver = RansSolver::new(
+        mesh,
+        SolverParams {
+            mach: 0.5,
+            ..Default::default()
+        },
+        3,
+    );
+    let k = 16;
+    let cfg = PartitionConfig::default();
+    let fine = &solver.levels[0];
+    let coarse = &solver.levels[1];
+    let map = fine.to_coarse.as_ref().unwrap();
+
+    let fine_part = partition_graph(&fine.mesh.dual_graph(), k, &cfg);
+
+    // Independent coarse partition + greedy matching.
+    let coarse_indep = partition_graph(&coarse.mesh.dual_graph(), k, &cfg);
+    let w = vec![1.0; fine.nvertices()];
+    let (matched, aligned) = match_levels(&fine_part, map, &coarse_indep, k, &w);
+    let qi = PartitionQuality::measure(&coarse.mesh.dual_graph(), &matched, k);
+
+    // Nested: coarse vertex inherits the majority partition of its children.
+    let mut votes = vec![std::collections::HashMap::<u32, f64>::new(); coarse.nvertices()];
+    for (v, &c) in map.iter().enumerate() {
+        *votes[c as usize].entry(fine_part[v]).or_insert(0.0) += fine.mesh.volumes[v];
+    }
+    let nested: Vec<u32> = votes
+        .iter()
+        .map(|m| m.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(&p, _)| p).unwrap_or(0))
+        .collect();
+    let qn = PartitionQuality::measure(&coarse.mesh.dual_graph(), &nested, k);
+    let aligned_nested: f64 = map
+        .iter()
+        .enumerate()
+        .filter(|(v, &c)| nested[c as usize] == fine_part[*v])
+        .count() as f64
+        / map.len() as f64;
+
+    println!("{:<14}{:>14}{:>12}{:>16}", "strategy", "coarse imbal.", "edge cut", "aligned transfer");
+    println!(
+        "{:<14}{:>14.3}{:>12.0}{:>15.1}%",
+        "independent", qi.imbalance, qi.edge_cut, aligned * 100.0
+    );
+    println!(
+        "{:<14}{:>14.3}{:>12.0}{:>15.1}%",
+        "nested", qn.imbalance, qn.edge_cut, aligned_nested * 100.0
+    );
+    println!("\nexpected: nested aligns transfers perfectly but pays in coarse-level\nbalance and cut; independent+matching balances the level (the paper's\nfinding that intra-level partitioning dominates).");
+}

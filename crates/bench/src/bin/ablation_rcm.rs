@@ -1,0 +1,73 @@
+//! Ablation: reverse Cuthill-McKee cache reordering (paper §III: "for
+//! cache-based scalar processors ... the grid data is reordered for cache
+//! locality using a reverse Cuthill-McKee type algorithm").
+//!
+//! Measures real smoothing-sweep wall time on the same wing mesh under a
+//! scrambled numbering vs the RCM numbering, plus the adjacency bandwidth
+//! that drives the difference.
+
+use columbia_bench::header;
+use columbia_mesh::rcm::{bandwidth, reverse_cuthill_mckee};
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_rans::{RansLevel, SolverParams};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn time_sweeps(mesh: columbia_mesh::UnstructuredMesh, sweeps: usize) -> f64 {
+    let mut lvl = RansLevel::new(
+        mesh,
+        SolverParams {
+            mach: 0.5,
+            ..Default::default()
+        },
+    );
+    lvl.apply_bcs();
+    lvl.smooth_sweep(); // warm up
+    let t0 = std::time::Instant::now();
+    for _ in 0..sweeps {
+        lvl.smooth_sweep();
+    }
+    t0.elapsed().as_secs_f64() / sweeps as f64
+}
+
+fn main() {
+    header("Ablation", "reverse Cuthill-McKee cache reordering");
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(60_000)
+    });
+    let n = mesh.nvertices();
+    let graph = mesh.dual_graph();
+
+    // Scrambled numbering (worst case for cache locality).
+    let mut scramble: Vec<u32> = (0..n as u32).collect();
+    scramble.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(7));
+    let scrambled = mesh.permute(&scramble);
+
+    // RCM numbering recovered from the scrambled mesh.
+    let rcm = reverse_cuthill_mckee(&scrambled.dual_graph());
+    let reordered = scrambled.permute(&rcm);
+
+    let ident: Vec<u32> = (0..n as u32).collect();
+    println!(
+        "mesh: {} points; bandwidth natural {} / scrambled {} / RCM {}",
+        n,
+        bandwidth(&graph, &ident),
+        bandwidth(&scrambled.dual_graph(), &ident),
+        bandwidth(&reordered.dual_graph(), &ident),
+    );
+    let t_scr = time_sweeps(scrambled, 5);
+    let t_rcm = time_sweeps(reordered, 5);
+    println!(
+        "smoothing sweep: scrambled {:.1} ms, RCM {:.1} ms  ({:.2}x speedup)",
+        t_scr * 1e3,
+        t_rcm * 1e3,
+        t_scr / t_rcm
+    );
+    println!(
+        "\nexpected: RCM restores near-natural adjacency bandwidth. The sweep\n\
+         speedup is modest on modern CPUs whose caches dwarf the Itanium2's\n\
+         (the paper's motivation); grow the mesh well past cache size to see\n\
+         the locality effect directly."
+    );
+}

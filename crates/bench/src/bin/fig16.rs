@@ -1,0 +1,22 @@
+//! Figure 16: NSU3D 72M-point speedup, NUMAlink vs InfiniBand, 1-2 OpenMP
+//! threads per MPI process — (a) single grid, (b) six-level multigrid.
+//!
+//! Paper shape: the single-grid case shows only slight degradation from
+//! NUMAlink to InfiniBand and from 1 to 2 threads, staying superlinear at
+//! 2008 CPUs; the six-level multigrid case degrades dramatically on
+//! InfiniBand at high CPU counts (the non-nested inter-grid transfers hit
+//! the fabric's random-ring weakness). Pure-MPI InfiniBand cannot run at
+//! 2008 CPUs (1524-rank limit) — marked "-".
+
+use columbia_bench::{fabric_comparison_table, header, nsu3d_profile, use_measured};
+use columbia_machine::NSU3D_CPU_COUNTS;
+
+fn main() {
+    let p = nsu3d_profile(use_measured());
+    header("Figure 16(a)", "single-grid scalability, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p.truncated(1, true), &NSU3D_CPU_COUNTS);
+    println!();
+    header("Figure 16(b)", "six-level multigrid scalability, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p, &NSU3D_CPU_COUNTS);
+    println!("\npaper shape: (a) all series within a few percent, superlinear;\n(b) InfiniBand collapses at >1000 CPUs while NUMAlink stays near-ideal.");
+}

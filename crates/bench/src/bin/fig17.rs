@@ -1,0 +1,19 @@
+//! Figure 17: NSU3D 72M-point speedup, NUMAlink vs InfiniBand —
+//! (a) two-level multigrid, (b) three-level multigrid.
+//!
+//! Paper shape: "a gradual degradation of performance is observed as the
+//! number of multigrid levels is increased. However, even the two level
+//! multigrid case shows substantial degradation between the NUMAlink and
+//! InfiniBand results."
+
+use columbia_bench::{fabric_comparison_table, header, nsu3d_profile, use_measured};
+use columbia_machine::NSU3D_CPU_COUNTS;
+
+fn main() {
+    let p = nsu3d_profile(use_measured());
+    header("Figure 17(a)", "two-level multigrid, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p.truncated(2, true), &NSU3D_CPU_COUNTS);
+    println!();
+    header("Figure 17(b)", "three-level multigrid, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p.truncated(3, true), &NSU3D_CPU_COUNTS);
+}

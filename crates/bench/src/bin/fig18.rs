@@ -1,0 +1,14 @@
+//! Figure 18: NSU3D 72M-point speedup, NUMAlink vs InfiniBand —
+//! (a) four-level multigrid, (b) five-level multigrid.
+
+use columbia_bench::{fabric_comparison_table, header, nsu3d_profile, use_measured};
+use columbia_machine::NSU3D_CPU_COUNTS;
+
+fn main() {
+    let p = nsu3d_profile(use_measured());
+    header("Figure 18(a)", "four-level multigrid, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p.truncated(4, true), &NSU3D_CPU_COUNTS);
+    println!();
+    header("Figure 18(b)", "five-level multigrid, NUMAlink vs InfiniBand");
+    fabric_comparison_table(&p.truncated(5, true), &NSU3D_CPU_COUNTS);
+}

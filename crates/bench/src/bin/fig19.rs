@@ -1,0 +1,20 @@
+//! Figure 19: coarse multigrid levels run ALONE — (a) the second grid
+//! (~9M points), (b) the third grid (~1M points) — NUMAlink vs InfiniBand.
+//!
+//! This is the paper's key diagnostic: the coarse levels *by themselves*
+//! scale worse than the fine grid (less work per partition) but degrade at
+//! SIMILAR rates on both fabrics — so intra-level traffic is NOT what
+//! kills InfiniBand multigrid; the non-nested inter-grid transfers are.
+
+use columbia_bench::{fabric_comparison_table, header, nsu3d_profile, use_measured};
+use columbia_machine::NSU3D_CPU_COUNTS;
+
+fn main() {
+    let p = nsu3d_profile(use_measured());
+    header("Figure 19(a)", "second grid level alone (~9M points)");
+    fabric_comparison_table(&p.single_level(1), &NSU3D_CPU_COUNTS);
+    println!();
+    header("Figure 19(b)", "third grid level alone (~1M points)");
+    fabric_comparison_table(&p.single_level(2), &NSU3D_CPU_COUNTS);
+    println!("\npaper shape: both fabrics degrade together on coarse levels;\nthe InfiniBand-specific collapse appears only with inter-grid transfers.");
+}

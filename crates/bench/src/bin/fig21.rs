@@ -1,0 +1,38 @@
+//! Figure 21: Cart3D parallel speedup across the full 4-node NUMAlink
+//! system, 32-2016 CPUs — 4-level multigrid vs single grid.
+//!
+//! Paper shape: single grid nearly ideal (~1900 at 2016 CPUs); multigrid
+//! rolls off above ~688 CPUs and more clearly above 1024 (25M cells give
+//! only ~12,000 cells/partition; the coarsest mesh has ~16 cells per
+//! partition at 2016 CPUs), posting ~1585 at 2016 CPUs and slightly over
+//! 2.4 TFLOP/s.
+
+use columbia_bench::{cart3d_profile, header, use_measured};
+use columbia_machine::{cart3d_node_span, simulate_cycle, Fabric, MachineConfig, RunConfig, CART3D_CPU_COUNTS};
+
+fn main() {
+    header("Figure 21", "Cart3D multigrid vs single grid, NUMAlink, 32-2016 CPUs");
+    let p = cart3d_profile(use_measured());
+    let single = p.truncated(1, true);
+    let machine = MachineConfig::columbia_vortex();
+    println!(
+        "{:<10}{:>16}{:>16}{:>14}",
+        "CPUs", "4-level MG", "single grid", "MG TFLOP/s"
+    );
+    let mut rmg = None;
+    let mut rsg = None;
+    for &n in &CART3D_CPU_COUNTS {
+        let mg = simulate_cycle(&p, &machine, &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n))).unwrap();
+        let sg = simulate_cycle(&single, &machine, &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n))).unwrap();
+        let m0 = *rmg.get_or_insert(mg.seconds);
+        let s0 = *rsg.get_or_insert(sg.seconds);
+        println!(
+            "{:<10}{:>16.0}{:>16.0}{:>14.2}",
+            n,
+            32.0 * m0 / mg.seconds,
+            32.0 * s0 / sg.seconds,
+            mg.flops_per_second() / 1e12
+        );
+    }
+    println!("\npaper: single grid ~1900 and multigrid ~1585 at 2016 CPUs; ~2.4 TFLOP/s.");
+}

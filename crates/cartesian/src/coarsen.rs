@@ -1,0 +1,363 @@
+//! Single-pass SFC coarsening and weighted SFC partitioning (paper §V,
+//! Figures 10-12 and reference \[18\]).
+//!
+//! "Tracing along the SFC, cells that collapse into the same coarse cell
+//! ('siblings') are collected whenever they are all the same size, and the
+//! corresponding coarse cell is inserted into a new mesh structure...
+//! the coarse mesh is automatically generated with its cells already
+//! ordered along the SFC" — this module implements exactly that scan, plus
+//! the on-the-fly partitioner that splits the weighted curve.
+
+use crate::mesh::{CartFace, CartMesh, CellKind, CUT_CELL_WEIGHT};
+use columbia_mesh::Vec3;
+use columbia_sfc::{split_weighted_curve, CurvePartition};
+use std::collections::HashMap;
+
+/// One coarsening step.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The coarse mesh (already SFC-ordered by construction).
+    pub coarse: CartMesh,
+    /// Fine-cell → coarse-cell map.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+impl Coarsening {
+    /// Fine/coarse cell ratio.
+    pub fn ratio(&self, fine_cells: usize) -> f64 {
+        fine_cells as f64 / self.coarse.ncells().max(1) as f64
+    }
+}
+
+/// Single-pass sibling-collection coarsening along the SFC.
+pub fn coarsen_mesh(fine: &CartMesh) -> Coarsening {
+    let n = fine.ncells();
+    let mut fine_to_coarse = vec![u32::MAX; n];
+
+    // Scan along the SFC. A parent's subtree occupies one *aligned* key
+    // block (both Morton and Hilbert visit each octant subtree
+    // contiguously), so the flow children of a parent form a consecutive
+    // run. A run merges when it covers the parent's entire flow subtree at
+    // a single level: all cells at level `l`, keys confined to the aligned
+    // block, at least two cells. This lets cut parents whose solid
+    // (removed) children are missing still coarsen — exactly the
+    // body-hugging coarse cut cells of the paper's Figure 11.
+    let mut groups: Vec<(Vec<u32>, bool)> = Vec::new(); // (members, merged)
+    let mut i = 0usize;
+    while i < n {
+        let l = fine.levels[i];
+        let mut merged_end = i + 1;
+        if l > 0 {
+            let shift = 3 * (fine.max_level - (l - 1));
+            let block = 1u64 << shift;
+            let base = fine.sfc_keys[i] & !(block - 1);
+            let starts_block = i == 0 || fine.sfc_keys[i - 1] < base;
+            if starts_block {
+                let mut j = i + 1;
+                let mut uniform = true;
+                while j < n && fine.sfc_keys[j] < base + block {
+                    if fine.levels[j] != l {
+                        uniform = false;
+                    }
+                    j += 1;
+                }
+                if uniform && j > i + 1 {
+                    merged_end = j;
+                }
+            }
+        }
+        if merged_end > i + 1 {
+            groups.push(((i as u32..merged_end as u32).collect(), true));
+            i = merged_end;
+        } else {
+            groups.push((vec![i as u32], false));
+            i += 1;
+        }
+    }
+
+    let nc = groups.len();
+    let mut centers = Vec::with_capacity(nc);
+    let mut volumes = Vec::with_capacity(nc);
+    let mut kinds = Vec::with_capacity(nc);
+    let mut weights = Vec::with_capacity(nc);
+    let mut wall_normal = Vec::with_capacity(nc);
+    let mut sfc_keys = Vec::with_capacity(nc);
+    let mut levels = Vec::with_capacity(nc);
+    let mut coords = Vec::with_capacity(nc);
+    for (ci, (members, merged)) in groups.iter().enumerate() {
+        for &m in members {
+            fine_to_coarse[m as usize] = ci as u32;
+        }
+        let f0 = members[0] as usize;
+        if *merged {
+            let mut vol = 0.0;
+            let mut c = Vec3::ZERO;
+            let mut w = Vec3::ZERO;
+            let mut cut = false;
+            for &m in members {
+                let m = m as usize;
+                vol += fine.volumes[m];
+                c += fine.centers[m];
+                w += fine.wall_normal[m];
+                cut |= fine.kinds[m] == CellKind::Cut;
+            }
+            centers.push(c / members.len() as f64);
+            volumes.push(vol);
+            kinds.push(if cut { CellKind::Cut } else { CellKind::Full });
+            weights.push(if cut { CUT_CELL_WEIGHT } else { 1.0 });
+            wall_normal.push(w);
+            sfc_keys.push(fine.sfc_keys[f0]);
+            levels.push(fine.levels[f0] - 1);
+            coords.push([
+                fine.coords[f0][0] >> 1,
+                fine.coords[f0][1] >> 1,
+                fine.coords[f0][2] >> 1,
+            ]);
+        } else {
+            centers.push(fine.centers[f0]);
+            volumes.push(fine.volumes[f0]);
+            kinds.push(fine.kinds[f0]);
+            weights.push(fine.weights[f0]);
+            wall_normal.push(fine.wall_normal[f0]);
+            sfc_keys.push(fine.sfc_keys[f0]);
+            levels.push(fine.levels[f0]);
+            coords.push(fine.coords[f0]);
+        }
+    }
+
+    // Aggregate faces between coarse groups; intra-group faces vanish.
+    // Boundary faces aggregate per (cell, direction) so that opposite
+    // domain faces never cancel.
+    let mut interior: HashMap<(u32, u32), Vec3> = HashMap::new();
+    let mut boundary: HashMap<(u32, i8), Vec3> = HashMap::new();
+    for f in &fine.faces {
+        let ca = fine_to_coarse[f.a as usize];
+        if f.is_boundary() {
+            let dir = dominant_direction(f.normal);
+            *boundary.entry((ca, dir)).or_insert(Vec3::ZERO) += f.normal;
+            continue;
+        }
+        let cb = fine_to_coarse[f.b as usize];
+        if ca == cb {
+            continue;
+        }
+        let (key, sign) = if ca < cb {
+            ((ca, cb), 1.0)
+        } else {
+            ((cb, ca), -1.0)
+        };
+        *interior.entry(key).or_insert(Vec3::ZERO) += f.normal * sign;
+    }
+    let mut faces: Vec<CartFace> = interior
+        .into_iter()
+        .map(|((a, b), normal)| CartFace { a, b, normal })
+        .collect();
+    faces.extend(boundary.into_iter().map(|((a, _), normal)| CartFace {
+        a,
+        b: u32::MAX,
+        normal,
+    }));
+    faces.sort_unstable_by_key(|f| (f.a, f.b));
+
+    let coarse = CartMesh {
+        centers,
+        volumes,
+        kinds,
+        weights,
+        wall_normal,
+        faces,
+        sfc_keys,
+        levels,
+        coords,
+        max_level: fine.max_level,
+    };
+    Coarsening {
+        coarse,
+        fine_to_coarse,
+    }
+}
+
+/// Signed dominant axis of an axis-aligned normal: +-1, +-2, +-3.
+fn dominant_direction(n: Vec3) -> i8 {
+    let ax = n.x.abs();
+    let ay = n.y.abs();
+    let az = n.z.abs();
+    if ax >= ay && ax >= az {
+        if n.x >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    } else if ay >= az {
+        if n.y >= 0.0 {
+            2
+        } else {
+            -2
+        }
+    } else if n.z >= 0.0 {
+        3
+    } else {
+        -3
+    }
+}
+
+/// Build a full coarsening hierarchy (finest first in the result's
+/// conceptual ordering; element `l` coarsens level `l` to `l + 1`).
+pub fn coarsen_hierarchy(fine: &CartMesh, max_levels: usize, min_cells: usize) -> Vec<Coarsening> {
+    let mut steps: Vec<Coarsening> = Vec::new();
+    let mut current = fine;
+    for _ in 1..max_levels {
+        if current.ncells() <= min_cells {
+            break;
+        }
+        let step = coarsen_mesh(current);
+        if step.coarse.ncells() >= current.ncells() {
+            break;
+        }
+        steps.push(step);
+        current = &steps.last().unwrap().coarse;
+    }
+    steps
+}
+
+/// Partition the (SFC-ordered) cells into `nparts` contiguous curve
+/// segments, cut cells weighted 2.1x (paper Figure 12).
+pub fn partition_cells(mesh: &CartMesh, nparts: usize) -> CurvePartition {
+    split_weighted_curve(&mesh.weights, nparts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::extract_mesh;
+    use crate::octree::{build_octree, CutCellConfig};
+    use crate::tri::{Geometry, TriMesh};
+    use columbia_mesh::Vec3 as V;
+    use columbia_sfc::CurveKind;
+
+    fn uniform_mesh(level: u32, curve: CurveKind) -> CartMesh {
+        let g = Geometry::new(&[]);
+        let config = CutCellConfig {
+            min_level: level,
+            max_level: level,
+            origin: V::ZERO,
+            size: 1.0,
+        };
+        let tree = build_octree(&g, &config);
+        extract_mesh(&tree, &g, curve, 0.05)
+    }
+
+    fn sphere_mesh(max_level: u32) -> CartMesh {
+        let prof: Vec<(f64, f64)> = (0..=12)
+            .map(|i| {
+                let t = std::f64::consts::PI * i as f64 / 12.0;
+                (-0.3 * t.cos(), 0.3 * t.sin())
+            })
+            .collect();
+        let geom = Geometry::new(&[TriMesh::body_of_revolution(&prof, 12)]);
+        let config = CutCellConfig {
+            min_level: 4,
+            max_level,
+            origin: V::new(-1.0, -1.0, -1.0),
+            size: 2.0,
+        };
+        let tree = build_octree(&geom, &config);
+        extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.05)
+    }
+
+    #[test]
+    fn uniform_grid_coarsens_by_exactly_8() {
+        for curve in [CurveKind::Morton, CurveKind::Hilbert] {
+            let m = uniform_mesh(3, curve);
+            assert_eq!(m.ncells(), 512);
+            let c = coarsen_mesh(&m);
+            assert_eq!(c.coarse.ncells(), 64, "{curve:?}");
+            assert!((c.ratio(m.ncells()) - 8.0).abs() < 1e-12);
+            c.coarse.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn adapted_mesh_coarsening_ratio_near_7_plus() {
+        // The paper: "coarsening ratios in excess of 7 on typical examples".
+        let m = sphere_mesh(6);
+        let c = coarsen_mesh(&m);
+        let r = c.ratio(m.ncells());
+        assert!(r > 4.0, "ratio {r}");
+        c.coarse.validate().unwrap();
+    }
+
+    #[test]
+    fn coarsening_conserves_volume_and_wall_area() {
+        let m = sphere_mesh(4);
+        let c = coarsen_mesh(&m);
+        assert!((c.coarse.total_volume() - m.total_volume()).abs() < 1e-12);
+        let fine_wall: Vec3 = m.wall_normal.iter().fold(V::ZERO, |a, &b| a + b);
+        let coarse_wall: Vec3 = c.coarse.wall_normal.iter().fold(V::ZERO, |a, &b| a + b);
+        assert!((fine_wall - coarse_wall).norm() < 1e-12);
+    }
+
+    #[test]
+    fn coarse_mesh_closure_holds() {
+        let m = sphere_mesh(4);
+        let c = coarsen_mesh(&m);
+        assert!(
+            c.coarse.max_closure_defect() < 1e-11,
+            "defect {}",
+            c.coarse.max_closure_defect()
+        );
+    }
+
+    #[test]
+    fn hierarchy_terminates_and_shrinks() {
+        let m = sphere_mesh(4);
+        let steps = coarsen_hierarchy(&m, 4, 10);
+        assert!(steps.len() >= 2);
+        let mut prev = m.ncells();
+        for s in &steps {
+            assert!(s.coarse.ncells() < prev);
+            prev = s.coarse.ncells();
+        }
+    }
+
+    #[test]
+    fn coarse_mesh_is_immediately_coarsenable_again() {
+        // The paper stresses the coarse mesh comes out SFC-ordered, ready
+        // for another pass.
+        let m = uniform_mesh(3, CurveKind::Hilbert);
+        let c1 = coarsen_mesh(&m);
+        let c2 = coarsen_mesh(&c1.coarse);
+        assert_eq!(c2.coarse.ncells(), 8);
+        let c3 = coarsen_mesh(&c2.coarse);
+        assert_eq!(c3.coarse.ncells(), 1);
+    }
+
+    #[test]
+    fn partition_balances_weighted_cells() {
+        let m = sphere_mesh(5);
+        let p = partition_cells(&m, 16);
+        assert_eq!(p.nparts(), 16);
+        let imb = p.imbalance(&m.weights);
+        assert!(imb < 1.05, "imbalance {imb}");
+    }
+
+    #[test]
+    fn sfc_partitions_are_spatially_compact() {
+        // Surface-to-volume of SFC partitions should beat random
+        // partitions by a wide margin: measure cut faces.
+        let m = uniform_mesh(4, CurveKind::Hilbert); // 4096 cells
+        let p = partition_cells(&m, 8);
+        let owner: Vec<usize> = (0..m.ncells()).map(|i| p.owner(i)).collect();
+        let cut_sfc = m
+            .faces
+            .iter()
+            .filter(|f| !f.is_boundary() && owner[f.a as usize] != owner[f.b as usize])
+            .count();
+        // Random assignment cuts ~ (1 - 1/8) of interior faces.
+        let interior = m.faces.iter().filter(|f| !f.is_boundary()).count();
+        assert!(
+            (cut_sfc as f64) < 0.25 * interior as f64,
+            "SFC cut {cut_sfc} of {interior}"
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! Adaptive octree refinement around embedded geometry.
+//!
+//! A cubic root domain is refined wherever a cell intersects the surface
+//! triangulation, down to `max_level`, then 2:1 face balance is enforced
+//! and each leaf is classified cut / inside / outside. Cell addresses are
+//! `(level, ix, iy, iz)` integer coordinates, which later quantise directly
+//! onto the space-filling curve.
+
+use crate::tri::Geometry;
+use columbia_mesh::Vec3;
+use std::collections::HashMap;
+
+/// Octree build parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CutCellConfig {
+    /// Uniform background refinement level (every cell at least this deep).
+    pub min_level: u32,
+    /// Maximum refinement level at the surface (paper's SSLV mesh: 14).
+    pub max_level: u32,
+    /// Root cube lower corner.
+    pub origin: Vec3,
+    /// Root cube edge length.
+    pub size: f64,
+}
+
+impl CutCellConfig {
+    /// A root cube comfortably containing `geom` with padding factor
+    /// `pad >= 1` (relative to the largest geometry extent).
+    pub fn around(geom: &Geometry, pad: f64, min_level: u32, max_level: u32) -> CutCellConfig {
+        let bb = geom.aabb();
+        let ext = bb.hi - bb.lo;
+        let size = ext.x.max(ext.y).max(ext.z) * pad;
+        let center = bb.center();
+        CutCellConfig {
+            min_level,
+            max_level,
+            origin: center - Vec3::new(0.5 * size, 0.5 * size, 0.5 * size),
+            size,
+        }
+    }
+}
+
+/// Leaf classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafKind {
+    /// Intersects the surface.
+    Cut,
+    /// Fully inside the solid (removed from the flow mesh).
+    Inside,
+    /// Fully in the flow.
+    Outside,
+}
+
+/// Integer cell address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellAddr {
+    /// Refinement level (0 = root).
+    pub level: u32,
+    /// Integer coordinates in `0..2^level`.
+    pub ix: u32,
+    /// y coordinate.
+    pub iy: u32,
+    /// z coordinate.
+    pub iz: u32,
+}
+
+impl CellAddr {
+    /// Children addresses.
+    pub fn children(&self) -> [CellAddr; 8] {
+        let mut out = [*self; 8];
+        for (c, o) in out.iter_mut().enumerate() {
+            o.level = self.level + 1;
+            o.ix = self.ix * 2 + (c as u32 & 1);
+            o.iy = self.iy * 2 + ((c as u32 >> 1) & 1);
+            o.iz = self.iz * 2 + ((c as u32 >> 2) & 1);
+        }
+        out
+    }
+
+    /// Parent address (root returns itself).
+    pub fn parent(&self) -> CellAddr {
+        if self.level == 0 {
+            *self
+        } else {
+            CellAddr {
+                level: self.level - 1,
+                ix: self.ix / 2,
+                iy: self.iy / 2,
+                iz: self.iz / 2,
+            }
+        }
+    }
+
+    /// Same-level neighbour in direction `axis` (0..3), `dir` (+1/-1);
+    /// None outside the root domain.
+    pub fn neighbor(&self, axis: usize, dir: i32) -> Option<CellAddr> {
+        let n = 1u32 << self.level;
+        let mut c = [self.ix, self.iy, self.iz];
+        let v = c[axis] as i64 + dir as i64;
+        if v < 0 || v >= n as i64 {
+            return None;
+        }
+        c[axis] = v as u32;
+        Some(CellAddr {
+            level: self.level,
+            ix: c[0],
+            iy: c[1],
+            iz: c[2],
+        })
+    }
+}
+
+/// The built octree: a set of classified leaves.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// Build configuration.
+    pub config: CutCellConfig,
+    /// Leaves with classification.
+    pub leaves: Vec<(CellAddr, LeafKind)>,
+    /// Leaf lookup (address → index into `leaves`).
+    pub index: HashMap<CellAddr, u32>,
+}
+
+impl Octree {
+    /// Physical cell size at `level`.
+    pub fn cell_size(&self, level: u32) -> f64 {
+        self.config.size / (1u64 << level) as f64
+    }
+
+    /// Physical center of a cell.
+    pub fn center(&self, a: &CellAddr) -> Vec3 {
+        let h = self.cell_size(a.level);
+        self.config.origin
+            + Vec3::new(
+                (a.ix as f64 + 0.5) * h,
+                (a.iy as f64 + 0.5) * h,
+                (a.iz as f64 + 0.5) * h,
+            )
+    }
+
+    /// Number of leaves of each kind: (cut, inside, outside).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for (_, k) in &self.leaves {
+            match k {
+                LeafKind::Cut => c.0 += 1,
+                LeafKind::Inside => c.1 += 1,
+                LeafKind::Outside => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Is the leaf set 2:1 balanced across faces?
+    pub fn is_balanced(&self) -> bool {
+        for (a, _) in &self.leaves {
+            for axis in 0..3 {
+                for dir in [-1, 1] {
+                    if let Some(n) = find_face_neighbor(&self.index, a, axis, dir) {
+                        let nl = self.leaves[n as usize].0.level;
+                        if nl + 1 < a.level || a.level + 1 < nl {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Find the leaf covering the same-or-coarser neighbour of `a` in the given
+/// direction (used for balance checks; fine neighbours are found from the
+/// other side).
+pub fn find_face_neighbor(
+    index: &HashMap<CellAddr, u32>,
+    a: &CellAddr,
+    axis: usize,
+    dir: i32,
+) -> Option<u32> {
+    let mut n = a.neighbor(axis, dir)?;
+    loop {
+        if let Some(&i) = index.get(&n) {
+            return Some(i);
+        }
+        if n.level == 0 {
+            return None;
+        }
+        n = n.parent();
+    }
+}
+
+/// Build the octree around `geom`.
+pub fn build_octree(geom: &Geometry, config: &CutCellConfig) -> Octree {
+    assert!(config.max_level >= config.min_level);
+    assert!(config.max_level <= 20, "address space is 21 bits/axis");
+    // Recursive refinement from the root.
+    let mut intersecting: Vec<CellAddr> = vec![CellAddr {
+        level: 0,
+        ix: 0,
+        iy: 0,
+        iz: 0,
+    }];
+    let mut leaves: Vec<CellAddr> = Vec::new();
+    let half_of = |a: &CellAddr| {
+        let h = config.size / (1u64 << a.level) as f64 * 0.5;
+        Vec3::new(h, h, h)
+    };
+    let center_of = |a: &CellAddr| {
+        let h = config.size / (1u64 << a.level) as f64;
+        config.origin
+            + Vec3::new(
+                (a.ix as f64 + 0.5) * h,
+                (a.iy as f64 + 0.5) * h,
+                (a.iz as f64 + 0.5) * h,
+            )
+    };
+    while let Some(a) = intersecting.pop() {
+        let cut = geom.intersects_box(center_of(&a), half_of(&a));
+        let must_refine = a.level < config.min_level || (cut && a.level < config.max_level);
+        if must_refine {
+            for ch in a.children() {
+                if a.level + 1 < config.min_level
+                    || geom.intersects_box(center_of(&ch), half_of(&ch))
+                {
+                    intersecting.push(ch);
+                } else {
+                    leaves.push(ch);
+                }
+            }
+        } else {
+            leaves.push(a);
+        }
+    }
+
+    // 2:1 balance: split any leaf whose face neighbour is 2+ levels finer.
+    let mut index: HashMap<CellAddr, u32> = HashMap::new();
+    for (i, a) in leaves.iter().enumerate() {
+        index.insert(*a, i as u32);
+    }
+    loop {
+        let mut to_split: Vec<CellAddr> = Vec::new();
+        for a in leaves.iter() {
+            // A coarse neighbour more than one level up must split.
+            for axis in 0..3 {
+                for dir in [-1, 1] {
+                    let mut n = match a.neighbor(axis, dir) {
+                        Some(n) => n,
+                        None => continue,
+                    };
+                    loop {
+                        if index.contains_key(&n) {
+                            if a.level > n.level + 1 {
+                                to_split.push(n);
+                            }
+                            break;
+                        }
+                        if n.level == 0 {
+                            break;
+                        }
+                        n = n.parent();
+                    }
+                }
+            }
+        }
+        to_split.sort_unstable_by_key(|a| (a.level, a.ix, a.iy, a.iz));
+        to_split.dedup();
+        if to_split.is_empty() {
+            break;
+        }
+        for a in to_split {
+            if let Some(i) = index.remove(&a) {
+                // Replace leaf i by its 8 children.
+                let last = leaves.len() - 1;
+                leaves.swap(i as usize, last);
+                if (i as usize) < last {
+                    index.insert(leaves[i as usize], i);
+                }
+                leaves.pop();
+                for ch in a.children() {
+                    index.insert(ch, leaves.len() as u32);
+                    leaves.push(ch);
+                }
+            }
+        }
+    }
+
+    // Classification.
+    let classified: Vec<(CellAddr, LeafKind)> = leaves
+        .iter()
+        .map(|a| {
+            let kind = if geom.intersects_box(center_of(a), half_of(a)) {
+                LeafKind::Cut
+            } else if geom.contains(center_of(a)) {
+                LeafKind::Inside
+            } else {
+                LeafKind::Outside
+            };
+            (*a, kind)
+        })
+        .collect();
+    let mut index = HashMap::new();
+    for (i, (a, _)) in classified.iter().enumerate() {
+        index.insert(*a, i as u32);
+    }
+    Octree {
+        config: *config,
+        leaves: classified,
+        index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tri::TriMesh;
+
+    fn sphere_geom() -> Geometry {
+        // Body of revolution approximating a sphere of radius 0.3 at origin.
+        let prof: Vec<(f64, f64)> = (0..=16)
+            .map(|i| {
+                let t = std::f64::consts::PI * i as f64 / 16.0;
+                (-0.3 * t.cos(), 0.3 * t.sin())
+            })
+            .collect();
+        Geometry::new(&[TriMesh::body_of_revolution(&prof, 16)])
+    }
+
+    fn config() -> CutCellConfig {
+        CutCellConfig {
+            min_level: 2,
+            max_level: 5,
+            origin: Vec3::new(-1.0, -1.0, -1.0),
+            size: 2.0,
+        }
+    }
+
+    #[test]
+    fn octree_refines_at_surface_and_is_balanced() {
+        let tree = build_octree(&sphere_geom(), &config());
+        let (cut, inside, outside) = tree.counts();
+        assert!(cut > 100, "cut {cut}");
+        assert!(inside > 0, "inside {inside}");
+        assert!(outside > cut, "outside {outside}");
+        assert!(tree.is_balanced());
+        // All cut cells at max level.
+        for (a, k) in &tree.leaves {
+            if *k == LeafKind::Cut {
+                assert_eq!(a.level, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_root_volume() {
+        let tree = build_octree(&sphere_geom(), &config());
+        let total: f64 = tree
+            .leaves
+            .iter()
+            .map(|(a, _)| tree.cell_size(a.level).powi(3))
+            .sum();
+        let root = config().size.powi(3);
+        assert!((total - root).abs() < 1e-9 * root, "{total} vs {root}");
+    }
+
+    #[test]
+    fn inside_cells_are_inside_the_sphere() {
+        let g = sphere_geom();
+        let tree = build_octree(&g, &config());
+        for (a, k) in &tree.leaves {
+            if *k == LeafKind::Inside {
+                let c = tree.center(a);
+                assert!(c.norm() < 0.3 + 1e-9, "inside cell at {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_level_gives_uniform_background() {
+        let tree = build_octree(&sphere_geom(), &config());
+        for (a, _) in &tree.leaves {
+            assert!(a.level >= 2, "leaf above min level");
+        }
+    }
+
+    #[test]
+    fn addr_children_partition_parent() {
+        let a = CellAddr {
+            level: 3,
+            ix: 2,
+            iy: 5,
+            iz: 7,
+        };
+        for ch in a.children() {
+            assert_eq!(ch.parent(), a);
+        }
+        assert_eq!(a.neighbor(0, 1).unwrap().ix, 3);
+        assert_eq!(a.neighbor(0, -1).unwrap().ix, 1);
+        let edge = CellAddr {
+            level: 1,
+            ix: 0,
+            iy: 0,
+            iz: 0,
+        };
+        assert!(edge.neighbor(0, -1).is_none());
+    }
+}

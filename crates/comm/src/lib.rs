@@ -1,0 +1,30 @@
+//! Virtual message-passing runtime — the MPI substitute.
+//!
+//! The Rust ecosystem has no production MPI, and the reproduction does not
+//! need a network: it needs the *communication pattern*. This crate runs
+//! each "MPI rank" as an OS thread exchanging typed, packed messages over
+//! crossbeam channels, exactly mirroring NSU3D's strategy (paper §III):
+//!
+//! * ghost values for a given peer are packed into **one buffer per peer**
+//!   ("fewer larger messages ... reducing latency overheads");
+//! * residual contributions accumulated at ghost vertices are sent back and
+//!   **added** at their owners; updated state is then **copied** out to the
+//!   ghosts;
+//! * every send is instrumented (message count, bytes, peer), producing the
+//!   per-level communication profiles the Columbia machine model replays at
+//!   paper scale.
+//!
+//! [`hybrid`] describes MPI x OpenMP layouts: several partitions share one
+//! rank, intra-rank exchanges become shared-memory copies, and inter-rank
+//! messages from all threads of a rank pair are aggregated into a single
+//! master-thread message.
+
+pub mod exchange;
+pub mod hybrid;
+pub mod runtime;
+pub mod stats;
+
+pub use exchange::{decompose, Decomposition, ExchangePlan};
+pub use hybrid::HybridLayout;
+pub use runtime::{run_ranks, Rank};
+pub use stats::CommStats;

@@ -1,0 +1,264 @@
+//! Ranks-as-threads message passing.
+
+use crate::stats::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
+
+/// A message in flight: `(from, tag, payload)`.
+type Message = (usize, u64, Vec<f64>);
+
+/// Reserved tag space for collectives.
+const TAG_COLLECTIVE: u64 = u64::MAX - 1024;
+
+/// Per-rank communication context handed to the rank body.
+pub struct Rank {
+    rank: usize,
+    nranks: usize,
+    tx: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    /// Out-of-order buffer keyed by `(from, tag)`.
+    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    barrier: Arc<Barrier>,
+    stats: CommStats,
+}
+
+impl Rank {
+    /// This rank's id in `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Non-blocking send of a packed buffer to `to` with a user `tag`.
+    ///
+    /// # Panics
+    /// If `to` is out of range or `tag` falls in the reserved collective
+    /// space.
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(tag < TAG_COLLECTIVE, "tag collides with collective space");
+        self.send_raw(to, tag, data);
+    }
+
+    fn send_raw(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.nranks, "rank {to} out of range");
+        self.stats.record_send(to, data.len() * 8);
+        self.tx[to]
+            .send((self.rank, tag, data))
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of one message from `from` with `tag`. Messages from
+    /// other peers/tags arriving in between are buffered.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(q) = self.pending.get_mut(&(from, tag)) {
+            if let Some(data) = q.pop_front() {
+                return data;
+            }
+        }
+        loop {
+            let (f, t, data) = self.rx.recv().expect("world shut down mid-recv");
+            if f == from && t == tag {
+                return data;
+            }
+            self.pending.entry((f, t)).or_default().push_back(data);
+        }
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Sum `value` across all ranks (everyone receives the total).
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Max of `value` across all ranks.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allreduce(value, f64::max)
+    }
+
+    fn allreduce(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        // Gather to rank 0, reduce, broadcast. O(P) but P is small here;
+        // the machine model charges log(P) as real MPI would.
+        let tag = TAG_COLLECTIVE;
+        if self.rank == 0 {
+            let mut acc = value;
+            for from in 1..self.nranks {
+                let v = self.recv(from, tag);
+                acc = op(acc, v[0]);
+            }
+            for to in 1..self.nranks {
+                self.send_raw(to, tag + 1, vec![acc]);
+            }
+            acc
+        } else {
+            self.send_raw(0, tag, vec![value]);
+            self.recv(0, tag + 1)[0]
+        }
+    }
+
+    /// Snapshot of this rank's send statistics.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Take and reset the statistics (e.g. per multigrid cycle).
+    pub fn take_stats(&mut self) -> CommStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Run `nranks` rank bodies on OS threads; returns each body's result in
+/// rank order.
+///
+/// The body receives a mutable [`Rank`] context. Panics in any rank
+/// propagate after all threads complete or abort.
+pub fn run_ranks<T, F>(nranks: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    assert!(nranks > 0);
+    let mut senders: Vec<Sender<Message>> = Vec::with_capacity(nranks);
+    let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(nranks));
+    let body = &body;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (r, rx) in receivers.into_iter().enumerate() {
+            let tx = senders.clone();
+            let barrier = barrier.clone();
+            handles.push(scope.spawn(move || {
+                let mut ctx = Rank {
+                    rank: r,
+                    nranks,
+                    tx,
+                    rx,
+                    pending: HashMap::new(),
+                    barrier,
+                    stats: CommStats::default(),
+                };
+                body(&mut ctx)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates() {
+        let results = run_ranks(4, |rank| {
+            let r = rank.rank();
+            let next = (r + 1) % 4;
+            let prev = (r + 3) % 4;
+            rank.send(next, 7, vec![r as f64]);
+            let got = rank.recv(prev, 7);
+            got[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run_ranks(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, vec![1.0]);
+                rank.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = rank.recv(0, 2);
+                let a = rank.recv(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let results = run_ranks(5, |rank| {
+            let s = rank.allreduce_sum(rank.rank() as f64);
+            let m = rank.allreduce_max(rank.rank() as f64);
+            (s, m)
+        });
+        for (s, m) in results {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let results = run_ranks(1, |rank| rank.allreduce_sum(5.0));
+        assert_eq!(results, vec![5.0]);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let results = run_ranks(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, vec![0.0; 10]);
+                rank.send(1, 4, vec![0.0; 5]);
+            } else {
+                rank.recv(0, 3);
+                rank.recv(0, 4);
+            }
+            rank.barrier();
+            rank.take_stats()
+        });
+        assert_eq!(results[0].total_msgs(), 2);
+        assert_eq!(results[0].total_bytes(), 15 * 8);
+        assert_eq!(results[1].total_msgs(), 0);
+    }
+
+    #[test]
+    fn send_to_self_is_delivered() {
+        let results = run_ranks(2, |rank| {
+            let me = rank.rank();
+            rank.send(me, 42, vec![me as f64 + 1.0]);
+            rank.recv(me, 42)[0]
+        });
+        assert_eq!(results, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn send_out_of_range_panics() {
+        // The offending rank panics with "rank 5 out of range"; the world
+        // surfaces it as a rank failure when joining.
+        run_ranks(1, |rank| rank.send(5, 1, vec![]));
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |rank| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            rank.barrier();
+            // After the barrier everyone must see all 4 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

@@ -1,0 +1,208 @@
+//! Automated aero-performance database fills (paper §IV).
+//!
+//! "A typical analysis may consider three Configuration-Space parameters
+//! (e.g. aileron, elevator and rudder deflections) and examine three
+//! Wind-Space parameters (Mach number, angle-of-attack, and sideslip)."
+//! Jobs are arranged hierarchically: geometry instances at the top level,
+//! wind cases below, so the cost of meshing each configuration is
+//! amortised over all its wind-space runs; independent cases run on
+//! separate threads ("computational efficiency dictates running as many
+//! cases simultaneously as memory permits").
+
+use crate::cart_analysis::CartAnalysis;
+use columbia_cartesian::Geometry;
+use columbia_euler::Forces;
+
+/// Parameter grid of a database fill.
+#[derive(Clone, Debug)]
+pub struct DatabaseSpec {
+    /// Configuration-space: control-surface deflections (radians); one
+    /// geometry instance (and one mesh) is built per entry.
+    pub deflections: Vec<f64>,
+    /// Wind-space Mach numbers.
+    pub machs: Vec<f64>,
+    /// Wind-space angles of attack (radians).
+    pub alphas: Vec<f64>,
+    /// Wind-space sideslip angles (radians).
+    pub betas: Vec<f64>,
+    /// Multigrid cycles per case.
+    pub cycles: usize,
+}
+
+impl DatabaseSpec {
+    /// Total number of CFD cases in the fill.
+    pub fn ncases(&self) -> usize {
+        self.deflections.len() * self.machs.len() * self.alphas.len() * self.betas.len()
+    }
+}
+
+/// One database entry: the case parameters and its results.
+#[derive(Clone, Debug)]
+pub struct DatabaseEntry {
+    /// Control-surface deflection of the geometry instance.
+    pub deflection: f64,
+    /// Mach number.
+    pub mach: f64,
+    /// Angle of attack.
+    pub alpha: f64,
+    /// Sideslip.
+    pub beta: f64,
+    /// Integrated loads.
+    pub forces: Forces,
+    /// Orders of residual reduction achieved.
+    pub orders: f64,
+}
+
+/// The database-fill driver.
+pub struct DatabaseFill {
+    /// Analysis template (resolution, cycle settings).
+    pub analysis: CartAnalysis,
+    /// Geometry factory: deflection -> geometry instance. Mirrors the
+    /// paper's automated triangulation + control-surface positioning.
+    pub geometry: Box<dyn Fn(f64) -> Geometry + Sync>,
+}
+
+impl DatabaseFill {
+    /// New fill with the given geometry factory.
+    pub fn new(
+        analysis: CartAnalysis,
+        geometry: impl Fn(f64) -> Geometry + Sync + 'static,
+    ) -> Self {
+        DatabaseFill {
+            analysis,
+            geometry: Box::new(geometry),
+        }
+    }
+
+    /// Run the fill; wind cases of each geometry instance run concurrently
+    /// on `threads_per_config` OS threads.
+    pub fn run(&self, spec: &DatabaseSpec, threads_per_config: usize) -> Vec<DatabaseEntry> {
+        let mut out = Vec::with_capacity(spec.ncases());
+        for &defl in &spec.deflections {
+            // One geometry + one mesh per configuration instance.
+            let geom = (self.geometry)(defl);
+            let mesh = self.analysis.mesh(&geom);
+            // Wind-space case list.
+            let mut cases = Vec::new();
+            for &m in &spec.machs {
+                for &a in &spec.alphas {
+                    for &b in &spec.betas {
+                        cases.push((m, a, b));
+                    }
+                }
+            }
+            // Fan out across threads, chunked.
+            let chunk = cases.len().div_ceil(threads_per_config.max(1));
+            let entries = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for batch in cases.chunks(chunk.max(1)) {
+                    let mesh = mesh.clone();
+                    let analysis = self.analysis.clone();
+                    handles.push(scope.spawn(move || {
+                        batch
+                            .iter()
+                            .map(|&(m, a, b)| {
+                                let report = analysis
+                                    .clone()
+                                    .wind(m, a, b)
+                                    .run_on_mesh(mesh.clone(), spec.cycles);
+                                DatabaseEntry {
+                                    deflection: defl,
+                                    mach: m,
+                                    alpha: a,
+                                    beta: b,
+                                    forces: report.forces,
+                                    orders: report.history.orders_reduced(),
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("database worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            out.extend(entries);
+        }
+        out
+    }
+
+    /// Re-run a single case on demand ("virtual database": it is often
+    /// faster to re-run a case than to retrieve it from mass storage").
+    pub fn rerun(&self, defl: f64, mach: f64, alpha: f64, beta: f64, cycles: usize) -> DatabaseEntry {
+        let geom = (self.geometry)(defl);
+        let mesh = self.analysis.mesh(&geom);
+        let report = self
+            .analysis
+            .clone()
+            .wind(mach, alpha, beta)
+            .run_on_mesh(mesh, cycles);
+        DatabaseEntry {
+            deflection: defl,
+            mach,
+            alpha,
+            beta,
+            forces: report.forces,
+            orders: report.history.orders_reduced(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_cartesian::TriMesh;
+
+    fn tiny_fill() -> (DatabaseFill, DatabaseSpec) {
+        let analysis = CartAnalysis::default().resolution(3, 4);
+        let fill = DatabaseFill::new(analysis, |defl| {
+            // A chunky finned body the coarse test octree can resolve.
+            let mut fin = TriMesh::cuboid(
+                columbia_mesh::Vec3::new(0.1, -0.1, -0.4),
+                columbia_mesh::Vec3::new(0.5, 0.1, 0.4),
+            );
+            fin.rotate(2, columbia_mesh::Vec3::ZERO, defl);
+            Geometry::new(&[fin])
+        });
+        let spec = DatabaseSpec {
+            deflections: vec![0.0, 0.2],
+            machs: vec![0.5, 2.0],
+            alphas: vec![0.0],
+            betas: vec![0.0],
+            cycles: 15,
+        };
+        (fill, spec)
+    }
+
+    #[test]
+    fn fill_produces_all_cases() {
+        let (fill, spec) = tiny_fill();
+        assert_eq!(spec.ncases(), 4);
+        let db = fill.run(&spec, 2);
+        assert_eq!(db.len(), 4);
+        // Supersonic cases must show more drag than subsonic on the same
+        // geometry.
+        let sub = db
+            .iter()
+            .find(|e| e.mach == 0.5 && e.deflection == 0.0)
+            .unwrap();
+        let sup = db
+            .iter()
+            .find(|e| e.mach == 2.0 && e.deflection == 0.0)
+            .unwrap();
+        assert!(sup.forces.force.x > sub.forces.force.x);
+    }
+
+    #[test]
+    fn rerun_matches_database_entry() {
+        let (fill, spec) = tiny_fill();
+        let db = fill.run(&spec, 1);
+        let again = fill.rerun(0.2, 2.0, 0.0, 0.0, spec.cycles);
+        let orig = db
+            .iter()
+            .find(|e| e.deflection == 0.2 && e.mach == 2.0)
+            .unwrap();
+        assert!((again.forces.force.x - orig.forces.force.x).abs() < 1e-12);
+    }
+}

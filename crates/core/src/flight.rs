@@ -1,0 +1,431 @@
+//! Virtual flight: a six-degree-of-freedom rigid-body integrator flying a
+//! vehicle through the aero-performance database (paper §I and §IV).
+//!
+//! "When coupled with a six-degree-of-freedom (6-DOF) integrator, the
+//! vehicle can be 'flown' through the database by guidance and control
+//! system designers to explore issues of stability and control." The
+//! database produced by [`crate::DatabaseFill`] is interpolated
+//! multilinearly in (deflection, Mach, alpha); the integrator advances a
+//! quaternion rigid-body state with RK4.
+//!
+//! Units follow the solvers' non-dimensionalisation: unit free-stream
+//! density and sound speed, so speed == Mach number and forces come out of
+//! the database unscaled.
+
+use crate::database::DatabaseEntry;
+use columbia_mesh::Vec3;
+
+/// Structured (deflection x Mach x alpha) force/moment tables.
+#[derive(Clone, Debug)]
+pub struct AeroDatabase {
+    deflections: Vec<f64>,
+    machs: Vec<f64>,
+    alphas: Vec<f64>,
+    /// `force[(d, m, a)]` in solver axes (x downstream, z up).
+    force: Vec<Vec3>,
+    moment: Vec<Vec3>,
+}
+
+impl AeroDatabase {
+    /// Assemble from database entries; the entries must cover the full
+    /// (deflection, Mach, alpha) tensor grid (beta is ignored: longitudinal
+    /// database).
+    ///
+    /// # Panics
+    /// If any grid node is missing.
+    pub fn from_entries(entries: &[DatabaseEntry]) -> AeroDatabase {
+        let mut deflections: Vec<f64> = entries.iter().map(|e| e.deflection).collect();
+        let mut machs: Vec<f64> = entries.iter().map(|e| e.mach).collect();
+        let mut alphas: Vec<f64> = entries.iter().map(|e| e.alpha).collect();
+        for v in [&mut deflections, &mut machs, &mut alphas] {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        }
+        let nd = deflections.len();
+        let nm = machs.len();
+        let na = alphas.len();
+        let mut force = vec![Vec3::ZERO; nd * nm * na];
+        let mut moment = vec![Vec3::ZERO; nd * nm * na];
+        let mut filled = vec![false; nd * nm * na];
+        let find = |v: &[f64], x: f64| {
+            v.iter()
+                .position(|&y| (y - x).abs() < 1e-12)
+                .expect("entry off the tensor grid")
+        };
+        for e in entries {
+            let idx = find(&deflections, e.deflection) * nm * na
+                + find(&machs, e.mach) * na
+                + find(&alphas, e.alpha);
+            force[idx] = e.forces.force;
+            moment[idx] = e.forces.moment;
+            filled[idx] = true;
+        }
+        assert!(
+            filled.iter().all(|&f| f),
+            "database does not cover the full tensor grid"
+        );
+        AeroDatabase {
+            deflections,
+            machs,
+            alphas,
+            force,
+            moment,
+        }
+    }
+
+    fn bracket(v: &[f64], x: f64) -> (usize, f64) {
+        if v.len() == 1 {
+            return (0, 0.0);
+        }
+        let x = x.clamp(v[0], v[v.len() - 1]);
+        let mut i = v.len() - 2;
+        for k in 0..v.len() - 1 {
+            if x <= v[k + 1] {
+                i = k;
+                break;
+            }
+        }
+        let t = (x - v[i]) / (v[i + 1] - v[i]).max(1e-300);
+        (i, t.clamp(0.0, 1.0))
+    }
+
+    /// Trilinear interpolation of (force, moment) at a flight condition;
+    /// inputs outside the tables are clamped to the edges.
+    pub fn lookup(&self, deflection: f64, mach: f64, alpha: f64) -> (Vec3, Vec3) {
+        let (id, td) = Self::bracket(&self.deflections, deflection);
+        let (im, tm) = Self::bracket(&self.machs, mach);
+        let (ia, ta) = Self::bracket(&self.alphas, alpha);
+        let nm = self.machs.len();
+        let na = self.alphas.len();
+        let idx = |d: usize, m: usize, a: usize| d * nm * na + m * na + a;
+        let mut f = Vec3::ZERO;
+        let mut mo = Vec3::ZERO;
+        for (dd, wd) in [(0usize, 1.0 - td), (1, td)] {
+            if wd == 0.0 && dd == 1 {
+                continue;
+            }
+            let d = (id + dd).min(self.deflections.len() - 1);
+            for (dm, wm) in [(0usize, 1.0 - tm), (1, tm)] {
+                if wm == 0.0 && dm == 1 {
+                    continue;
+                }
+                let m = (im + dm).min(nm - 1);
+                for (da, wa) in [(0usize, 1.0 - ta), (1, ta)] {
+                    if wa == 0.0 && da == 1 {
+                        continue;
+                    }
+                    let a = (ia + da).min(na - 1);
+                    let w = wd * wm * wa;
+                    f += self.force[idx(d, m, a)] * w;
+                    mo += self.moment[idx(d, m, a)] * w;
+                }
+            }
+        }
+        (f, mo)
+    }
+
+    /// Grid extents (useful for choosing initial conditions).
+    pub fn mach_range(&self) -> (f64, f64) {
+        (self.machs[0], *self.machs.last().unwrap())
+    }
+}
+
+/// Rigid-body state: position, velocity (world frame), attitude quaternion
+/// (body -> world), angular rate (body frame).
+#[derive(Clone, Copy, Debug)]
+pub struct RigidState {
+    /// Position (world).
+    pub pos: Vec3,
+    /// Velocity (world).
+    pub vel: Vec3,
+    /// Attitude quaternion `(w, x, y, z)`, body -> world.
+    pub quat: [f64; 4],
+    /// Angular velocity (body frame).
+    pub omega: Vec3,
+}
+
+impl RigidState {
+    /// Level flight at speed (= Mach) `m` along +x.
+    pub fn level(m: f64) -> RigidState {
+        RigidState {
+            pos: Vec3::ZERO,
+            vel: Vec3::new(m, 0.0, 0.0),
+            quat: [1.0, 0.0, 0.0, 0.0],
+            omega: Vec3::ZERO,
+        }
+    }
+
+    /// Rotate a world vector into the body frame.
+    pub fn world_to_body(&self, v: Vec3) -> Vec3 {
+        quat_rotate(quat_conj(self.quat), v)
+    }
+
+    /// Rotate a body vector into the world frame.
+    pub fn body_to_world(&self, v: Vec3) -> Vec3 {
+        quat_rotate(self.quat, v)
+    }
+
+    /// Angle of attack: angle between the body x-axis and the body-frame
+    /// velocity, in the x-z plane.
+    pub fn alpha(&self) -> f64 {
+        let vb = self.world_to_body(self.vel);
+        vb.z.atan2(vb.x)
+    }
+
+    /// Flight Mach number (unit sound speed).
+    pub fn mach(&self) -> f64 {
+        self.vel.norm()
+    }
+}
+
+fn quat_conj(q: [f64; 4]) -> [f64; 4] {
+    [q[0], -q[1], -q[2], -q[3]]
+}
+
+fn quat_mul(a: [f64; 4], b: [f64; 4]) -> [f64; 4] {
+    [
+        a[0] * b[0] - a[1] * b[1] - a[2] * b[2] - a[3] * b[3],
+        a[0] * b[1] + a[1] * b[0] + a[2] * b[3] - a[3] * b[2],
+        a[0] * b[2] - a[1] * b[3] + a[2] * b[0] + a[3] * b[1],
+        a[0] * b[3] + a[1] * b[2] - a[2] * b[1] + a[3] * b[0],
+    ]
+}
+
+fn quat_rotate(q: [f64; 4], v: Vec3) -> Vec3 {
+    let p = [0.0, v.x, v.y, v.z];
+    let r = quat_mul(quat_mul(q, p), quat_conj(q));
+    Vec3::new(r[1], r[2], r[3])
+}
+
+fn quat_normalize(q: &mut [f64; 4]) {
+    let n = (q[0] * q[0] + q[1] * q[1] + q[2] * q[2] + q[3] * q[3]).sqrt();
+    for c in q.iter_mut() {
+        *c /= n;
+    }
+}
+
+/// Vehicle mass properties and the 6-DOF integrator.
+#[derive(Clone, Debug)]
+pub struct SixDof {
+    /// Aero tables.
+    pub db: AeroDatabase,
+    /// Vehicle mass (solver units).
+    pub mass: f64,
+    /// Diagonal body inertia.
+    pub inertia: Vec3,
+    /// Gravity acceleration (world frame; zero for pure aero studies).
+    pub gravity: Vec3,
+    /// Aerodynamic rate-damping derivatives (Clp, Cmq, Cnr analogues):
+    /// moment -= damping .* omega. Static databases carry no dynamic
+    /// derivatives, so damping is supplied as a vehicle property.
+    pub rate_damping: Vec3,
+    /// Control schedule: time -> elevon deflection.
+    pub control: fn(f64) -> f64,
+}
+
+impl SixDof {
+    /// Time derivative of the state.
+    fn deriv(&self, t: f64, s: &RigidState) -> (Vec3, Vec3, [f64; 4], Vec3) {
+        let defl = (self.control)(t);
+        let mach = s.mach();
+        let alpha = s.alpha();
+        let (f_body, m_body) = self.db.lookup(defl, mach, alpha);
+        // Database force convention: x = downstream (drag), z = lift. In
+        // body axes drag opposes the body-frame velocity direction.
+        let vb = s.world_to_body(s.vel).normalized();
+        let drag_dir = -vb;
+        let f_aero_body = drag_dir * f_body.x + Vec3::new(0.0, f_body.y, f_body.z);
+        let f_world = s.body_to_world(f_aero_body) + self.gravity * self.mass;
+        let acc = f_world / self.mass;
+        // Euler's equations with diagonal inertia + rate damping.
+        let w = s.omega;
+        let i = self.inertia;
+        let d = self.rate_damping;
+        let dw = Vec3::new(
+            (m_body.x - d.x * w.x - (i.z - i.y) * w.y * w.z) / i.x,
+            (m_body.y - d.y * w.y - (i.x - i.z) * w.z * w.x) / i.y,
+            (m_body.z - d.z * w.z - (i.y - i.x) * w.x * w.y) / i.z,
+        );
+        // Quaternion kinematics: qdot = 0.5 q * (0, w).
+        let qd = quat_mul(s.quat, [0.0, 0.5 * w.x, 0.5 * w.y, 0.5 * w.z]);
+        (s.vel, acc, qd, dw)
+    }
+
+    /// One RK4 step of size `dt` at time `t`.
+    pub fn step(&self, t: f64, s: &RigidState, dt: f64) -> RigidState {
+        let add = |s: &RigidState, k: &(Vec3, Vec3, [f64; 4], Vec3), h: f64| RigidState {
+            pos: s.pos + k.0 * h,
+            vel: s.vel + k.1 * h,
+            quat: [
+                s.quat[0] + k.2[0] * h,
+                s.quat[1] + k.2[1] * h,
+                s.quat[2] + k.2[2] * h,
+                s.quat[3] + k.2[3] * h,
+            ],
+            omega: s.omega + k.3 * h,
+        };
+        let k1 = self.deriv(t, s);
+        let k2 = self.deriv(t + 0.5 * dt, &add(s, &k1, 0.5 * dt));
+        let k3 = self.deriv(t + 0.5 * dt, &add(s, &k2, 0.5 * dt));
+        let k4 = self.deriv(t + dt, &add(s, &k3, dt));
+        let mut out = RigidState {
+            pos: s.pos + (k1.0 + k2.0 * 2.0 + k3.0 * 2.0 + k4.0) * (dt / 6.0),
+            vel: s.vel + (k1.1 + k2.1 * 2.0 + k3.1 * 2.0 + k4.1) * (dt / 6.0),
+            quat: [0.0; 4],
+            omega: s.omega + (k1.3 + k2.3 * 2.0 + k3.3 * 2.0 + k4.3) * (dt / 6.0),
+        };
+        for c in 0..4 {
+            out.quat[c] =
+                s.quat[c] + (k1.2[c] + 2.0 * k2.2[c] + 2.0 * k3.2[c] + k4.2[c]) * (dt / 6.0);
+        }
+        quat_normalize(&mut out.quat);
+        out
+    }
+
+    /// Fly a trajectory: `n` steps of `dt`, sampling the state each step.
+    pub fn fly(&self, start: RigidState, dt: f64, n: usize) -> Vec<(f64, RigidState)> {
+        let mut out = Vec::with_capacity(n + 1);
+        let mut s = start;
+        let mut t = 0.0;
+        out.push((t, s));
+        for _ in 0..n {
+            s = self.step(t, &s, dt);
+            t += dt;
+            out.push((t, s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseEntry;
+    use columbia_euler::Forces;
+
+    /// Synthetic linear-aero database: drag = 0.1 + M^2/10, lift = 2 alpha,
+    /// pitching moment = -1.0 * alpha (statically stable) + 0.5 defl.
+    fn synthetic_db() -> AeroDatabase {
+        let mut entries = Vec::new();
+        for &d in &[0.0, 0.2] {
+            for &m in &[0.5, 1.0, 2.0] {
+                for &a in &[-0.1, 0.0, 0.1] {
+                    entries.push(DatabaseEntry {
+                        deflection: d,
+                        mach: m,
+                        alpha: a,
+                        beta: 0.0,
+                        forces: Forces {
+                            force: Vec3::new(0.1 + m * m / 10.0, 0.0, 2.0 * a),
+                            moment: Vec3::new(0.0, -1.0 * a + 0.5 * d, 0.0),
+                        },
+                        orders: 5.0,
+                    });
+                }
+            }
+        }
+        AeroDatabase::from_entries(&entries)
+    }
+
+    fn vehicle(db: AeroDatabase) -> SixDof {
+        SixDof {
+            db,
+            mass: 100.0,
+            inertia: Vec3::new(5.0, 5.0, 5.0),
+            gravity: Vec3::ZERO,
+            rate_damping: Vec3::new(5.0, 5.0, 5.0),
+            control: |_| 0.0,
+        }
+    }
+
+    #[test]
+    fn lookup_reproduces_grid_nodes_and_interpolates() {
+        let db = synthetic_db();
+        let (f, m) = db.lookup(0.0, 1.0, 0.1);
+        assert!((f.x - 0.2).abs() < 1e-12);
+        assert!((f.z - 0.2).abs() < 1e-12);
+        assert!((m.y + 0.1).abs() < 1e-12);
+        // Midpoint in Mach: drag averages the two nodes.
+        let (f2, _) = db.lookup(0.0, 0.75, 0.0);
+        let expect = 0.5 * (0.1 + 0.025) + 0.5 * (0.1 + 0.1);
+        assert!((f2.x - expect).abs() < 1e-12, "{} vs {expect}", f2.x);
+        // Clamping outside the table.
+        let (f3, _) = db.lookup(0.0, 5.0, 0.0);
+        assert!((f3.x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drag_decelerates_the_vehicle() {
+        let v = vehicle(synthetic_db());
+        let traj = v.fly(RigidState::level(2.0), 0.05, 200);
+        let m0 = traj.first().unwrap().1.mach();
+        let m1 = traj.last().unwrap().1.mach();
+        assert!(m1 < m0 - 0.02, "no deceleration: {m0} -> {m1}");
+        // Quaternion stays normalised.
+        for (_, s) in &traj {
+            let n: f64 = s.quat.iter().map(|q| q * q).sum();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn statically_stable_pitch_oscillation_stays_bounded() {
+        let v = vehicle(synthetic_db());
+        // Start with a pitch disturbance via angular rate.
+        let mut s = RigidState::level(1.0);
+        s.omega = Vec3::new(0.0, 0.05, 0.0);
+        let traj = v.fly(s, 0.02, 800);
+        let max_alpha = traj
+            .iter()
+            .map(|(_, s)| s.alpha().abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_alpha < 0.5,
+            "stable vehicle pitched out of bounds: {max_alpha}"
+        );
+    }
+
+    #[test]
+    fn elevon_deflection_trims_to_nonzero_alpha() {
+        // With moment = -alpha + 0.5 defl, a constant deflection of 0.2
+        // trims at alpha = 0.1; the vehicle should settle near it.
+        let mut v = vehicle(synthetic_db());
+        v.control = |_| 0.2;
+        let traj = v.fly(RigidState::level(1.0), 0.02, 2500);
+        let tail: Vec<f64> = traj[1500..].iter().map(|(_, s)| s.alpha()).collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let spread = tail.iter().fold(0.0f64, |m, a| m.max((a - mean).abs()));
+        // Static trim is alpha = 0.1; the steady turning flight (lift keeps
+        // curving the path) plus rate damping bias it upward a little.
+        assert!(
+            mean > 0.05 && mean < 0.25,
+            "trim alpha {mean} should settle near 0.1"
+        );
+        assert!(spread < 0.05, "oscillation should be damped out: {spread}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor grid")]
+    fn incomplete_database_panics() {
+        let mut entries = Vec::new();
+        for &m in &[0.5, 1.0] {
+            entries.push(DatabaseEntry {
+                deflection: 0.0,
+                mach: m,
+                alpha: 0.0,
+                beta: 0.0,
+                forces: Forces::default(),
+                orders: 1.0,
+            });
+        }
+        entries.push(DatabaseEntry {
+            deflection: 0.0,
+            mach: 0.5,
+            alpha: 0.1,
+            beta: 0.0,
+            forces: Forces::default(),
+            orders: 1.0,
+        });
+        AeroDatabase::from_entries(&entries);
+    }
+}

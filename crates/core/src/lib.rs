@@ -1,0 +1,28 @@
+//! Public umbrella API for the Columbia reproduction.
+//!
+//! The paper's workflow (§I, §IV) combines two simulation packages:
+//!
+//! * [`FlowAnalysis`] — the high-fidelity NSU3D-style RANS analysis used at
+//!   the most important flight conditions and for design optimisation;
+//! * [`CartAnalysis`] — the fully automated Cart3D-style inviscid analysis
+//!   used to sweep the entire flight envelope;
+//! * [`DatabaseFill`] — the automated parameter-study driver that fills
+//!   aero-performance databases over configuration-space (control-surface
+//!   deflections) x wind-space (Mach, alpha, sideslip) grids;
+//! * [`PerformanceStudy`] — the Columbia scaling-study driver that replays
+//!   measured cycle workloads through the machine model to regenerate the
+//!   paper's scalability figures.
+
+pub mod analysis;
+pub mod cart_analysis;
+pub mod database;
+pub mod flight;
+pub mod optimize;
+pub mod performance;
+
+pub use analysis::{FlowAnalysis, FlowReport};
+pub use cart_analysis::{CartAnalysis, CartReport};
+pub use database::{DatabaseEntry, DatabaseFill, DatabaseSpec};
+pub use flight::{AeroDatabase, RigidState, SixDof};
+pub use optimize::{golden_section, trim_bisection, Optimum};
+pub use performance::{PerformanceStudy, StudyRow};

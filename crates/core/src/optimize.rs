@@ -1,0 +1,148 @@
+//! Design optimisation driver (paper §IV).
+//!
+//! "The outcome of design optimization is a modified vehicle whose
+//! performance is known only at the design points... as many as 20 to 50
+//! analysis cycles may be required to reach a local optimum." This module
+//! provides the optimisation loop around an arbitrary analysis oracle
+//! (usually a [`crate::CartAnalysis`] or [`crate::FlowAnalysis`] closure),
+//! counting analysis cycles the way the paper's cost estimates do.
+//!
+//! The algorithm is derivative-free golden-section search over one design
+//! variable — the appropriate tool when each objective evaluation is a CFD
+//! solve and adjoint gradients are out of scope (the paper's own
+//! optimisation uses the adjoint machinery of its references 23-26).
+
+/// Result of a 1-D design optimisation.
+#[derive(Clone, Copy, Debug)]
+pub struct Optimum {
+    /// Optimal design variable.
+    pub x: f64,
+    /// Objective at the optimum.
+    pub value: f64,
+    /// Number of analysis cycles spent (the paper's cost currency).
+    pub analysis_cycles: usize,
+}
+
+/// Minimise `objective` over `[lo, hi]` by golden-section search until the
+/// bracket is below `tol` or `max_evals` analyses have run.
+///
+/// # Panics
+/// If `lo >= hi` or `max_evals < 2`.
+pub fn golden_section(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_evals: usize,
+    mut objective: impl FnMut(f64) -> f64,
+) -> Optimum {
+    assert!(lo < hi, "invalid bracket");
+    assert!(max_evals >= 2);
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    let mut a = lo;
+    let mut b = hi;
+    let mut x1 = b - PHI * (b - a);
+    let mut x2 = a + PHI * (b - a);
+    let mut f1 = objective(x1);
+    let mut f2 = objective(x2);
+    let mut evals = 2;
+    while (b - a) > tol && evals < max_evals {
+        if f1 <= f2 {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - PHI * (b - a);
+            f1 = objective(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + PHI * (b - a);
+            f2 = objective(x2);
+        }
+        evals += 1;
+    }
+    let (x, value) = if f1 <= f2 { (x1, f1) } else { (x2, f2) };
+    Optimum {
+        x,
+        value,
+        analysis_cycles: evals,
+    }
+}
+
+/// Trim search: find the control deflection where `moment(x)` crosses zero
+/// by bisection (the classic G&C use of an aero database).
+pub fn trim_bisection(
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_evals: usize,
+    mut moment: impl FnMut(f64) -> f64,
+) -> Optimum {
+    let mut m_lo = moment(lo);
+    let m_hi = moment(hi);
+    let mut evals = 2;
+    assert!(
+        m_lo * m_hi <= 0.0,
+        "trim bracket must straddle zero: M({lo}) = {m_lo}, M({hi}) = {m_hi}"
+    );
+    while (hi - lo) > tol && evals < max_evals {
+        let mid = 0.5 * (lo + hi);
+        let m_mid = moment(mid);
+        evals += 1;
+        if m_lo * m_mid <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            m_lo = m_mid;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Optimum {
+        x,
+        value: 0.0,
+        analysis_cycles: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum() {
+        let mut count = 0;
+        let opt = golden_section(-2.0, 3.0, 1e-6, 100, |x| {
+            count += 1;
+            (x - 0.7) * (x - 0.7) + 1.5
+        });
+        assert!((opt.x - 0.7).abs() < 1e-5, "x = {}", opt.x);
+        assert!((opt.value - 1.5).abs() < 1e-9);
+        assert_eq!(opt.analysis_cycles, count);
+        // The paper's band: a local optimum within 20-50 analyses.
+        assert!(
+            opt.analysis_cycles >= 20 && opt.analysis_cycles <= 50,
+            "{} analyses",
+            opt.analysis_cycles
+        );
+    }
+
+    #[test]
+    fn golden_section_respects_budget() {
+        let opt = golden_section(0.0, 1.0, 0.0, 10, |x| x * x);
+        assert_eq!(opt.analysis_cycles, 10);
+        assert!(opt.x < 0.3);
+    }
+
+    #[test]
+    fn trim_bisection_finds_zero_crossing() {
+        let opt = trim_bisection(-1.0, 1.0, 1e-8, 100, |x| 2.0 * (x - 0.31));
+        assert!((opt.x - 0.31).abs() < 1e-7);
+        assert!(opt.analysis_cycles < 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle zero")]
+    fn trim_requires_a_bracket() {
+        trim_bisection(0.0, 1.0, 1e-6, 50, |x| x + 1.0);
+    }
+}

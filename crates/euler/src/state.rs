@@ -1,0 +1,128 @@
+//! Five-variable Euler state and fluxes.
+
+use columbia_mesh::Vec3;
+
+/// Unknowns per cell: density, momentum vector, total energy.
+pub const NVARS5: usize = 5;
+
+/// Conservative state.
+pub type State5 = [f64; NVARS5];
+
+/// Ratio of specific heats.
+pub const GAMMA: f64 = 1.4;
+
+/// Static pressure.
+#[inline]
+pub fn pressure(u: &State5) -> f64 {
+    let q2 = (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / u[0];
+    (GAMMA - 1.0) * (u[4] - 0.5 * q2)
+}
+
+/// Velocity vector.
+#[inline]
+pub fn velocity(u: &State5) -> Vec3 {
+    Vec3::new(u[1] / u[0], u[2] / u[0], u[3] / u[0])
+}
+
+/// Speed of sound.
+#[inline]
+pub fn sound_speed(u: &State5) -> f64 {
+    (GAMMA * pressure(u) / u[0]).max(1e-300).sqrt()
+}
+
+/// Convective flux through area vector `s`.
+#[inline]
+pub fn flux(u: &State5, s: Vec3) -> State5 {
+    let v = velocity(u);
+    let un = v.dot(s);
+    let p = pressure(u);
+    [
+        u[0] * un,
+        u[1] * un + p * s.x,
+        u[2] * un + p * s.y,
+        u[3] * un + p * s.z,
+        (u[4] + p) * un,
+    ]
+}
+
+/// Convective spectral radius `|V.S| + c |S|`.
+#[inline]
+pub fn spectral_radius(u: &State5, s: Vec3) -> f64 {
+    velocity(u).dot(s).abs() + sound_speed(u) * s.norm()
+}
+
+/// Rusanov (local Lax-Friedrichs) numerical flux, oriented l -> r.
+#[inline]
+pub fn rusanov(ul: &State5, ur: &State5, s: Vec3) -> State5 {
+    let fl = flux(ul, s);
+    let fr = flux(ur, s);
+    let lam = spectral_radius(ul, s).max(spectral_radius(ur, s));
+    let mut out = [0.0; NVARS5];
+    for k in 0..NVARS5 {
+        out[k] = 0.5 * (fl[k] + fr[k]) - 0.5 * lam * (ur[k] - ul[k]);
+    }
+    out
+}
+
+/// Wall flux through the embedded-boundary closure vector: pressure only
+/// (no mass or energy crosses a solid wall).
+#[inline]
+pub fn wall_flux(u: &State5, wall: Vec3) -> State5 {
+    let p = pressure(u);
+    [0.0, p * wall.x, p * wall.y, p * wall.z, 0.0]
+}
+
+/// Free-stream state at Mach `mach`, angle of attack `alpha` and sideslip
+/// `beta` (radians), unit density and sound speed.
+pub fn freestream5(mach: f64, alpha: f64, beta: f64) -> State5 {
+    let rho = 1.0;
+    let p = 1.0 / GAMMA;
+    let q = mach;
+    // Wind axes: alpha pitches in the x-z' plane... use the aerospace
+    // convention u = q cos(a) cos(b), v = q sin(b), w = q sin(a) cos(b).
+    let vx = q * alpha.cos() * beta.cos();
+    let vy = q * beta.sin();
+    let vz = q * alpha.sin() * beta.cos();
+    let e = p / (GAMMA - 1.0) + 0.5 * rho * q * q;
+    [rho, rho * vx, rho * vy, rho * vz, e]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freestream_invariants() {
+        let u = freestream5(2.6, 0.0365, 0.014); // paper's SSLV condition
+        assert!((sound_speed(&u) - 1.0).abs() < 1e-12);
+        assert!((velocity(&u).norm() - 2.6).abs() < 1e-12);
+        assert!(pressure(&u) > 0.0);
+    }
+
+    #[test]
+    fn rusanov_consistency_and_antisymmetry() {
+        let ul = freestream5(0.8, 0.05, 0.0);
+        let mut ur = ul;
+        ur[0] = 1.2;
+        let s = Vec3::new(0.2, -0.7, 0.4);
+        let f = rusanov(&ul, &ul, s);
+        let exact = flux(&ul, s);
+        for k in 0..NVARS5 {
+            assert!((f[k] - exact[k]).abs() < 1e-13);
+        }
+        let f1 = rusanov(&ul, &ur, s);
+        let f2 = rusanov(&ur, &ul, -s);
+        for k in 0..NVARS5 {
+            assert!((f1[k] + f2[k]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn wall_flux_carries_only_pressure_momentum() {
+        let u = freestream5(0.5, 0.0, 0.0);
+        let w = wall_flux(&u, Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(w[0], 0.0);
+        assert_eq!(w[4], 0.0);
+        assert!((w[2] - 2.0 * pressure(&u)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,203 @@
+//! Columbia hardware description (paper §II).
+//!
+//! 20 SGI Altix 3700 nodes of 512 Itanium2 CPUs; the benchmark runs used
+//! the four BX2 nodes c17-c20: 1.6 GHz, 4 FLOP/cycle peak (6.4 GFLOP/s),
+//! 9 MB L3 per CPU, 2 GB memory per CPU, cache-coherent shared memory
+//! *within* a node only.
+
+/// Static machine description plus the calibrated efficiency constants of
+/// the compute model.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// CPUs per Altix node (512).
+    pub cpus_per_node: usize,
+    /// Number of nodes available to a job (the paper's "vortex" subsystem
+    /// c17-c20 = 4; the full machine has 20).
+    pub nodes: usize,
+    /// Clock rate (Hz).
+    pub clock_hz: f64,
+    /// Peak FLOPs per cycle per CPU (Itanium2: 4 with MADD).
+    pub flops_per_cycle: f64,
+    /// L3 cache per CPU (bytes).
+    pub l3_bytes: f64,
+    /// Sustained fraction of peak for memory-resident working sets.
+    /// Calibrated so the 72M-point NSU3D profile reproduces the paper's
+    /// ~1.36 GFLOP/s per CPU at 128 CPUs (31.3 s per 6-level cycle).
+    pub base_efficiency: f64,
+    /// Sustained fraction of peak when the working set fits in L3; the
+    /// base → cache transition produces the paper's superlinear speedups
+    /// (2250 on 2008 CPUs for 4-level multigrid, 2395 single-grid).
+    pub cache_efficiency: f64,
+    /// Width (in decades of working-set size) of the cache transition.
+    pub cache_transition_decades: f64,
+    /// Per-CPU rate derate applied to pure-OpenMP runs on more than 128
+    /// CPUs: Altix "coarse mode" address swizzling beyond a 128-CPU double
+    /// cabinet (paper §VII, Cart3D OpenMP slope break at 128 CPUs).
+    pub coarse_mode_derate: f64,
+    /// OpenMP hybrid efficiency constants: eff = 1 - c * (threads-1)^p,
+    /// fit to the paper's Figure 15 (98.4% at 2 threads, 87.2% at 4).
+    pub omp_penalty_coeff: f64,
+    /// Exponent of the hybrid penalty law.
+    pub omp_penalty_exp: f64,
+    /// CPU-side cost per MPI message (pack/unpack + MPI stack), seconds.
+    /// Dominates on coarse multigrid levels with 18 neighbours and almost
+    /// no compute.
+    pub mpi_msg_overhead: f64,
+    /// Load-imbalance law: max/mean partition work ~ 1 + coeff / sqrt(q)
+    /// for q points per partition — tiny coarse-level partitions (the paper
+    /// observes *empty* ones at 2008 CPUs) straggle.
+    pub imbalance_coeff: f64,
+    /// Cap on the imbalance factor.
+    pub imbalance_cap: f64,
+    /// Small-partition efficiency: per-CPU rate is derated by
+    /// `q / (q + small_partition_q0)` for q points per partition — short
+    /// loops, boundary-dominated work and per-level fixed costs erode
+    /// efficiency as partitions shrink (why coarse levels *alone* scale
+    /// worse than the fine grid, paper Figure 19).
+    pub small_partition_q0: f64,
+    /// Per-exchange synchronisation jitter: every collective ghost
+    /// exchange pays `sync_jitter * ln(ranks)` seconds — OS noise and
+    /// stragglers amplify with rank count, and multigrid's many coarse
+    /// visits multiply the cost (this is what rolls multigrid off at 2016
+    /// CPUs even on NUMAlink, paper Figure 21).
+    pub sync_jitter: f64,
+}
+
+impl MachineConfig {
+    /// The four-node BX2 "vortex" subsystem (c17-c20) used for every
+    /// benchmark in the paper.
+    pub fn columbia_vortex() -> Self {
+        MachineConfig {
+            cpus_per_node: 512,
+            nodes: 4,
+            clock_hz: 1.6e9,
+            flops_per_cycle: 4.0,
+            l3_bytes: 9.0e6,
+            base_efficiency: 0.2032, // ~1.30 GFLOP/s memory-resident
+            cache_efficiency: 0.335, // ~2.1 GFLOP/s in-cache
+            cache_transition_decades: 0.6,
+            coarse_mode_derate: 0.97,
+            omp_penalty_coeff: 0.016,
+            omp_penalty_exp: 1.893,
+            mpi_msg_overhead: 5.0e-6,
+            imbalance_coeff: 2.0,
+            imbalance_cap: 3.0,
+            small_partition_q0: 500.0,
+            sync_jitter: 2.0e-5,
+        }
+    }
+
+    /// The full 20-node Columbia system.
+    pub fn columbia_full() -> Self {
+        MachineConfig {
+            nodes: 20,
+            ..Self::columbia_vortex()
+        }
+    }
+
+    /// Peak FLOP rate of one CPU.
+    pub fn peak_flops(&self) -> f64 {
+        self.clock_hz * self.flops_per_cycle
+    }
+
+    /// Total CPUs available.
+    pub fn total_cpus(&self) -> usize {
+        self.cpus_per_node * self.nodes
+    }
+
+    /// Effective sustained FLOP rate of one CPU given its working-set size
+    /// in bytes. Smooth logistic transition from `base_efficiency` (working
+    /// set >> L3) to `cache_efficiency` (working set << L3).
+    pub fn effective_rate(&self, working_set_bytes: f64) -> f64 {
+        let ws = working_set_bytes.max(1.0);
+        // x > 0 when the working set fits in cache.
+        let x = (self.l3_bytes / ws).log10() / self.cache_transition_decades;
+        let s = 1.0 / (1.0 + (-x).exp());
+        let eff = self.base_efficiency + (self.cache_efficiency - self.base_efficiency) * s;
+        eff * self.peak_flops()
+    }
+
+    /// Number of nodes spanned by `ncpus` CPUs (filled in order).
+    pub fn nodes_spanned(&self, ncpus: usize) -> usize {
+        ncpus.div_ceil(self.cpus_per_node).max(1)
+    }
+
+    /// Small-partition efficiency factor (floored at 1/2: per-visit fixed
+    /// costs saturate once a partition is latency- rather than
+    /// loop-dominated).
+    pub fn small_partition_factor(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            return 0.5;
+        }
+        (q / (q + self.small_partition_q0)).max(0.5)
+    }
+
+    /// Load-imbalance factor for partitions of `q` points.
+    pub fn imbalance_factor(&self, q: f64) -> f64 {
+        if q <= 0.0 {
+            return self.imbalance_cap;
+        }
+        (1.0 + self.imbalance_coeff / q.sqrt()).min(self.imbalance_cap)
+    }
+
+    /// Hybrid OpenMP efficiency for `threads` OpenMP threads per MPI rank.
+    pub fn omp_efficiency(&self, threads: usize) -> f64 {
+        if threads <= 1 {
+            1.0
+        } else {
+            (1.0 - self.omp_penalty_coeff * ((threads - 1) as f64).powf(self.omp_penalty_exp))
+                .max(0.05)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rate_is_6_4_gflops() {
+        let m = MachineConfig::columbia_vortex();
+        assert!((m.peak_flops() - 6.4e9).abs() < 1.0);
+        assert_eq!(m.total_cpus(), 2048);
+    }
+
+    #[test]
+    fn effective_rate_transitions_around_l3() {
+        let m = MachineConfig::columbia_vortex();
+        let big = m.effective_rate(1e9); // 1 GB working set
+        let small = m.effective_rate(1e5); // 100 KB
+        assert!(big < small, "cache model inverted");
+        assert!((big - m.base_efficiency * m.peak_flops()).abs() / big < 0.05);
+        assert!((small - m.cache_efficiency * m.peak_flops()).abs() / small < 0.05);
+        // Monotone in between.
+        let mid1 = m.effective_rate(3e7);
+        let mid2 = m.effective_rate(9e6);
+        assert!(big <= mid1 && mid1 <= mid2 && mid2 <= small);
+    }
+
+    #[test]
+    fn calibrated_sustained_rate_matches_paper() {
+        // Paper: ~1.36-1.4 GFLOP/s per CPU sustained on the 72M-point case.
+        let m = MachineConfig::columbia_vortex();
+        let r = m.effective_rate(300e6); // 72M pts / 128 CPUs * ~500 B/pt
+        assert!(r > 1.2e9 && r < 1.5e9, "sustained rate {r}");
+    }
+
+    #[test]
+    fn omp_efficiency_matches_figure15() {
+        let m = MachineConfig::columbia_vortex();
+        assert!((m.omp_efficiency(2) - 0.984).abs() < 0.002);
+        assert!((m.omp_efficiency(4) - 0.872).abs() < 0.01);
+        assert_eq!(m.omp_efficiency(1), 1.0);
+    }
+
+    #[test]
+    fn nodes_spanned_boundaries() {
+        let m = MachineConfig::columbia_vortex();
+        assert_eq!(m.nodes_spanned(1), 1);
+        assert_eq!(m.nodes_spanned(512), 1);
+        assert_eq!(m.nodes_spanned(513), 2);
+        assert_eq!(m.nodes_spanned(2016), 4);
+    }
+}

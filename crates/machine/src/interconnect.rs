@@ -1,0 +1,169 @@
+//! Interconnect models: NUMAlink4, InfiniBand, 10GigE (paper §II and §VI).
+//!
+//! Parameters follow the paper and its reference \[4\] (Biswas et al.,
+//! "An Application-Based Performance Characterization of the Columbia
+//! Supercluster"): NUMAlink4 delivers ~6.4 GB/s peak with ~1 µs MPI
+//! latency; InfiniBand delivers less bandwidth at several times the
+//! latency, degrades when spanning 2 and again 4 nodes, and suffers a
+//! severe "random-ring" collapse for irregular many-pair patterns — which
+//! is precisely the signature of the non-nested *inter-grid* multigrid
+//! transfers (the paper's §VI speculation, which our model adopts).
+
+/// Communication fabric connecting Columbia nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fabric {
+    /// SGI NUMAlink4 (spans at most 4 nodes / 2048 CPUs).
+    NumaLink4,
+    /// InfiniBand (spans the whole machine, rank-limited by eq. 1).
+    InfiniBand,
+    /// 10 Gigabit Ethernet fallback (user access / I/O network).
+    TenGigE,
+}
+
+impl Fabric {
+    /// Point-to-point message latency in seconds for a job spanning
+    /// `span_nodes` nodes (worst-case pair).
+    pub fn latency(self, span_nodes: usize) -> f64 {
+        match self {
+            Fabric::NumaLink4 => {
+                if span_nodes <= 1 {
+                    1.1e-6
+                } else {
+                    2.0e-6
+                }
+            }
+            Fabric::InfiniBand => {
+                if span_nodes <= 1 {
+                    // Within one node MPI still goes through shared memory.
+                    1.1e-6
+                } else {
+                    6.0e-6
+                }
+            }
+            Fabric::TenGigE => 30.0e-6,
+        }
+    }
+
+    /// Effective per-rank bandwidth (bytes/s) for `span_nodes` nodes.
+    pub fn bandwidth(self, span_nodes: usize) -> f64 {
+        match self {
+            Fabric::NumaLink4 => {
+                if span_nodes <= 1 {
+                    3.2e9
+                } else {
+                    // Slight reduction through inter-node routers.
+                    2.8e9
+                }
+            }
+            Fabric::InfiniBand => match span_nodes {
+                0 | 1 => 3.2e9, // intra-node = shared memory
+                2 => 0.75e9,    // reference \[4\]: large drop across 2 nodes
+                _ => 0.55e9,    // further penalty across 4 nodes
+            },
+            Fabric::TenGigE => 0.4e9,
+        }
+    }
+
+    /// Extra multiplicative bandwidth derate applied to *inter-grid*
+    /// (restriction/prolongation) traffic: non-nested coarse/fine partition
+    /// overlap produces an irregular, random-ring-like pattern. NUMAlink
+    /// barely notices; InfiniBand collapses (reference \[4\] random-ring
+    /// measurements).
+    pub fn random_ring_derate(self, span_nodes: usize) -> f64 {
+        match self {
+            Fabric::NumaLink4 => 0.9,
+            Fabric::InfiniBand => {
+                if span_nodes <= 1 {
+                    0.9
+                } else {
+                    0.12
+                }
+            }
+            Fabric::TenGigE => 0.2,
+        }
+    }
+
+    /// Maximum number of nodes the fabric can span.
+    pub fn max_nodes(self) -> usize {
+        match self {
+            Fabric::NumaLink4 => 4,
+            Fabric::InfiniBand | Fabric::TenGigE => 20,
+        }
+    }
+}
+
+/// InfiniBand MPI connection cards per node.
+pub const IB_CARDS_PER_NODE: f64 = 8.0;
+/// MPI connections supported per card.
+pub const IB_CONNECTIONS_PER_CARD: f64 = 65536.0;
+/// Ratio of the practically observed 4-node limit (1524 ranks, paper §II)
+/// to the theoretical connection-counting bound (~1671).
+const IB_PRACTICAL_FACTOR: f64 = 0.9115;
+
+/// Maximum MPI ranks a job spanning `nodes` Altix nodes may use over
+/// InfiniBand (paper eq. 1). Exceeding it drops the job to 10GigE.
+///
+/// With ranks spread evenly over `n` nodes, each node terminates
+/// `P^2 (n-1) / n^2` remote connections, bounded by cards x connections;
+/// hence `P <= n * sqrt(cards * conn / (n-1))`, derated to the practical
+/// limit the paper reports (1524 at n = 4).
+pub fn ib_rank_limit(nodes: usize) -> usize {
+    if nodes <= 1 {
+        return usize::MAX;
+    }
+    let n = nodes as f64;
+    let theoretical = n * (IB_CARDS_PER_NODE * IB_CONNECTIONS_PER_CARD / (n - 1.0)).sqrt();
+    (theoretical * IB_PRACTICAL_FACTOR).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ib_limit_matches_paper_at_4_nodes() {
+        let lim = ib_rank_limit(4);
+        assert!(
+            (1500..=1540).contains(&lim),
+            "4-node IB rank limit {lim} should be ~1524"
+        );
+    }
+
+    #[test]
+    fn ib_limit_monotone_in_nodes_after_two() {
+        // More nodes => fewer connections available per pair => lower limit
+        // per the (n-1) term, but the n prefactor grows; verify sane values.
+        assert!(ib_rank_limit(2) > ib_rank_limit(4) / 2);
+        assert_eq!(ib_rank_limit(1), usize::MAX);
+    }
+
+    #[test]
+    fn numalink_beats_infiniband_across_nodes() {
+        for span in [2, 4] {
+            assert!(Fabric::NumaLink4.bandwidth(span) > Fabric::InfiniBand.bandwidth(span));
+            assert!(Fabric::NumaLink4.latency(span) < Fabric::InfiniBand.latency(span));
+        }
+    }
+
+    #[test]
+    fn intra_node_fabrics_are_equivalent_shared_memory() {
+        assert_eq!(
+            Fabric::NumaLink4.bandwidth(1),
+            Fabric::InfiniBand.bandwidth(1)
+        );
+        assert_eq!(Fabric::NumaLink4.latency(1), Fabric::InfiniBand.latency(1));
+    }
+
+    #[test]
+    fn random_ring_collapses_only_on_ib_across_nodes() {
+        assert!(Fabric::InfiniBand.random_ring_derate(4) < 0.2);
+        assert!(Fabric::InfiniBand.random_ring_derate(1) > 0.8);
+        assert!(Fabric::NumaLink4.random_ring_derate(4) > 0.8);
+    }
+
+    #[test]
+    fn numalink_span_limit() {
+        assert_eq!(Fabric::NumaLink4.max_nodes(), 4);
+        assert!(Fabric::InfiniBand.max_nodes() >= 20);
+    }
+}

@@ -1,0 +1,112 @@
+//! Speedup-series generation for the figure harnesses.
+
+use crate::columbia::MachineConfig;
+use crate::model::{simulate_cycle, RunConfig, SimError};
+use crate::profile::CycleProfile;
+
+/// One point of a scaling study.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// CPUs used.
+    pub ncpus: usize,
+    /// Cycle wall-clock seconds (None if the configuration is infeasible).
+    pub seconds: Option<f64>,
+    /// Parallel speedup relative to the reference point (perfect speedup
+    /// assumed at the reference, as in the paper's figures).
+    pub speedup: Option<f64>,
+    /// Achieved TFLOP/s.
+    pub tflops: Option<f64>,
+    /// Why the point is missing, if it is.
+    pub error: Option<SimError>,
+}
+
+/// Produce a speedup series over `cpu_counts`, normalised so that the first
+/// *feasible* count achieves perfect speedup (the paper assumes ideal
+/// speedup at its smallest CPU count: 128 for NSU3D, 32 for Cart3D).
+pub fn speedup_series(
+    profile: &CycleProfile,
+    machine: &MachineConfig,
+    cpu_counts: &[usize],
+    make_run: impl Fn(usize) -> RunConfig,
+) -> Vec<ScalingPoint> {
+    let mut reference: Option<(usize, f64)> = None;
+    let mut points = Vec::with_capacity(cpu_counts.len());
+    for &n in cpu_counts {
+        let run = make_run(n);
+        match simulate_cycle(profile, machine, &run) {
+            Ok(b) => {
+                if reference.is_none() {
+                    reference = Some((n, b.seconds));
+                }
+                let (rn, rt) = reference.unwrap();
+                points.push(ScalingPoint {
+                    ncpus: n,
+                    seconds: Some(b.seconds),
+                    speedup: Some(rn as f64 * rt / b.seconds),
+                    tflops: Some(b.flops_per_second() / 1e12),
+                    error: None,
+                });
+            }
+            Err(e) => points.push(ScalingPoint {
+                ncpus: n,
+                seconds: None,
+                speedup: None,
+                tflops: None,
+                error: Some(e),
+            }),
+        }
+    }
+    points
+}
+
+/// Standard CPU counts of the paper's NSU3D studies.
+pub const NSU3D_CPU_COUNTS: [usize; 5] = [128, 256, 502, 1004, 2008];
+
+/// Standard CPU counts of the paper's Cart3D multi-node studies.
+pub const CART3D_CPU_COUNTS: [usize; 10] = [32, 64, 128, 256, 496, 508, 688, 1024, 1524, 2016];
+
+/// Node placement of the paper's Cart3D runs (§VII): 32-496 CPUs on one
+/// node, 508-1000 spanning two nodes, 1024-2016 spanning four.
+pub fn cart3d_node_span(ncpus: usize) -> usize {
+    if ncpus >= 1024 {
+        4
+    } else if ncpus >= 508 {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::Fabric;
+    use crate::profile::paper_nsu3d_72m as nsu3d_72m_profile;
+
+    #[test]
+    fn series_normalises_to_first_feasible() {
+        let m = MachineConfig::columbia_vortex();
+        let p = nsu3d_72m_profile();
+        let pts = speedup_series(&p, &m, &NSU3D_CPU_COUNTS, |n| {
+            RunConfig::mpi(n, Fabric::NumaLink4)
+        });
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].speedup.unwrap() - 128.0).abs() < 1e-9);
+        // Monotone increasing speedups on NUMAlink.
+        for w in pts.windows(2) {
+            assert!(w[1].speedup.unwrap() > w[0].speedup.unwrap());
+        }
+    }
+
+    #[test]
+    fn infeasible_points_reported_not_skipped() {
+        let m = MachineConfig::columbia_vortex();
+        let p = nsu3d_72m_profile();
+        let pts = speedup_series(&p, &m, &[1004, 2008], |n| {
+            RunConfig::mpi(n, Fabric::InfiniBand)
+        });
+        assert!(pts[0].speedup.is_some());
+        assert!(pts[1].speedup.is_none());
+        assert!(pts[1].error.is_some());
+    }
+}

@@ -1,0 +1,354 @@
+//! Agglomeration multigrid coarse-level construction (paper Figures 2-3).
+//!
+//! Coarse levels are built by merging neighbouring fine control volumes: a
+//! seed vertex is chosen and all its unagglomerated neighbours are merged
+//! with it into one coarse control volume; the procedure runs over a BFS
+//! frontier (seeded at the wall so boundary-layer agglomerates stay clean)
+//! and is applied recursively for the full fine-to-coarse sequence. Fine
+//! dual-face normals are *summed* into coarse faces, so the coarse
+//! discretisation conserves exactly what the fine one does.
+
+use crate::geom::Vec3;
+use crate::mesh::{BoundaryKind, Edge, UnstructuredMesh};
+use std::collections::{HashMap, VecDeque};
+
+/// One agglomeration step: the coarse mesh plus the fine→coarse map.
+#[derive(Clone, Debug)]
+pub struct Agglomeration {
+    /// The agglomerated (coarser) mesh.
+    pub coarse: UnstructuredMesh,
+    /// `fine_to_coarse[v]` = coarse control volume containing fine vertex `v`.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+impl Agglomeration {
+    /// Fine/coarse vertex-count ratio.
+    pub fn ratio(&self, fine_nvertices: usize) -> f64 {
+        fine_nvertices as f64 / self.coarse.nvertices().max(1) as f64
+    }
+}
+
+/// Perform one seed-based agglomeration pass.
+pub fn agglomerate(fine: &UnstructuredMesh) -> Agglomeration {
+    let n = fine.nvertices();
+    let ve = fine.vertex_edges();
+    let mut cmap = vec![u32::MAX; n];
+    let mut ncoarse = 0u32;
+
+    // BFS frontier seeded at wall vertices, then far field, then the rest —
+    // keeps agglomerates layered away from the wall.
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for v in 0..n {
+        if fine.bc[v] == BoundaryKind::Wall {
+            queue.push_back(v as u32);
+        }
+    }
+    for v in 0..n {
+        if fine.bc[v] != BoundaryKind::Wall {
+            queue.push_back(v as u32);
+        }
+    }
+
+    while let Some(seed) = queue.pop_front() {
+        let s = seed as usize;
+        if cmap[s] != u32::MAX {
+            continue;
+        }
+        let cid = ncoarse;
+        ncoarse += 1;
+        cmap[s] = cid;
+        for r in ve.of(s) {
+            let u = r.other as usize;
+            if cmap[u] == u32::MAX {
+                cmap[u] = cid;
+                // Push second-ring vertices so the frontier stays contiguous.
+                for r2 in ve.of(u) {
+                    if cmap[r2.other as usize] == u32::MAX {
+                        queue.push_back(r2.other);
+                    }
+                }
+            }
+        }
+    }
+
+    // Cleanup pass: merge small agglomerates (<= 3 fine vertices) into
+    // their most strongly connected neighbour. Without this, frontier
+    // collisions leave many 1-2 vertex agglomerates and the coarsening
+    // ratio collapses to ~2; with it the ratio lands in the 5-8 band the
+    // paper reports.
+    let nc0 = ncoarse as usize;
+    let mut sizes = vec![0usize; nc0];
+    for &c in &cmap {
+        sizes[c as usize] += 1;
+    }
+    // Union-find over coarse ids.
+    let mut parent: Vec<u32> = (0..nc0 as u32).collect();
+    fn find(parent: &mut [u32], mut c: u32) -> u32 {
+        while parent[c as usize] != c {
+            let p = parent[c as usize];
+            parent[c as usize] = parent[p as usize];
+            c = parent[c as usize];
+        }
+        c
+    }
+    // Precompute coarse adjacency (neighbour, coupling) lists once.
+    // BTreeMap keeps the tie-breaking of "strongest neighbour" fully
+    // deterministic across runs (HashMap iteration order is seeded).
+    let mut cadj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); nc0];
+    {
+        let mut accw: std::collections::BTreeMap<(u32, u32), f64> = Default::default();
+        for e in &fine.edges {
+            let ca = cmap[e.a as usize];
+            let cb = cmap[e.b as usize];
+            if ca != cb {
+                let key = (ca.min(cb), ca.max(cb));
+                *accw.entry(key).or_insert(0.0) += e.normal.norm();
+            }
+        }
+        for ((a, b), w) in accw {
+            cadj[a as usize].push((b, w));
+            cadj[b as usize].push((a, w));
+        }
+    }
+    for small in 0..nc0 as u32 {
+        let sroot = find(&mut parent, small);
+        if sizes[sroot as usize] > 3 || sizes[sroot as usize] == 0 {
+            continue;
+        }
+        // Strongest neighbouring agglomerate (resolved through merges),
+        // capped so cleanup merges cannot cascade into giant blobs.
+        let max_merged = 9;
+        let mut best: Option<(u32, f64)> = None;
+        for &(nb, w) in &cadj[small as usize] {
+            let nroot = find(&mut parent, nb);
+            if nroot == sroot || sizes[nroot as usize] + sizes[sroot as usize] > max_merged {
+                continue;
+            }
+            match best {
+                Some((_, bw)) if bw >= w => {}
+                _ => best = Some((nroot, w)),
+            }
+        }
+        if let Some((troot, _)) = best {
+            parent[sroot as usize] = troot;
+            sizes[troot as usize] += sizes[sroot as usize];
+            sizes[sroot as usize] = 0;
+        }
+    }
+    // Compact renumbering.
+    let mut compact = vec![u32::MAX; nc0];
+    let mut nc_final = 0u32;
+    for v in 0..n {
+        let root = find(&mut parent, cmap[v]);
+        if compact[root as usize] == u32::MAX {
+            compact[root as usize] = nc_final;
+            nc_final += 1;
+        }
+        cmap[v] = compact[root as usize];
+    }
+    let ncoarse = nc_final;
+
+    let nc = ncoarse as usize;
+    // Coarse volumes, centroids, wall distances, boundary kinds.
+    let mut volumes = vec![0.0f64; nc];
+    let mut centroid = vec![Vec3::ZERO; nc];
+    let mut wall_distance = vec![0.0f64; nc];
+    let mut bc = vec![BoundaryKind::Interior; nc];
+    for v in 0..n {
+        let c = cmap[v] as usize;
+        let w = fine.volumes[v];
+        volumes[c] += w;
+        centroid[c] += fine.points[v] * w;
+        wall_distance[c] += fine.wall_distance[v] * w;
+        // Wall dominates, then far field.
+        bc[c] = match (bc[c], fine.bc[v]) {
+            (BoundaryKind::Wall, _) | (_, BoundaryKind::Wall) => BoundaryKind::Wall,
+            (BoundaryKind::FarField, _) | (_, BoundaryKind::FarField) => BoundaryKind::FarField,
+            _ => BoundaryKind::Interior,
+        };
+    }
+    for c in 0..nc {
+        let w = volumes[c].max(1e-300);
+        centroid[c] = centroid[c] / w;
+        wall_distance[c] /= w;
+    }
+
+    // Coarse edges: sum fine dual-face normals between distinct agglomerates.
+    let mut acc: HashMap<(u32, u32), Vec3> = HashMap::new();
+    for e in &fine.edges {
+        let ca = cmap[e.a as usize];
+        let cb = cmap[e.b as usize];
+        if ca == cb {
+            continue;
+        }
+        let (key, sign) = if ca < cb {
+            ((ca, cb), 1.0)
+        } else {
+            ((cb, ca), -1.0)
+        };
+        *acc.entry(key).or_insert(Vec3::ZERO) += e.normal * sign;
+    }
+    let mut edges: Vec<Edge> = acc
+        .into_iter()
+        .map(|((a, b), normal)| {
+            let length = (centroid[a as usize] - centroid[b as usize])
+                .norm()
+                .max(1e-300);
+            Edge {
+                a,
+                b,
+                normal,
+                length,
+            }
+        })
+        .collect();
+    // Deterministic ordering (HashMap iteration order is not).
+    edges.sort_unstable_by_key(|e| (e.a, e.b));
+
+    let coarse = UnstructuredMesh {
+        points: centroid,
+        edges,
+        volumes,
+        bc,
+        wall_distance,
+    };
+    Agglomeration {
+        coarse,
+        fine_to_coarse: cmap,
+    }
+}
+
+/// Build a sequence of agglomerated levels.
+///
+/// Element `l` of the result coarsens level `l` into level `l + 1`; the
+/// sequence stops after `max_levels - 1` coarsenings or when a level would
+/// drop below `min_vertices` vertices.
+pub fn agglomerate_hierarchy(
+    fine: &UnstructuredMesh,
+    max_levels: usize,
+    min_vertices: usize,
+) -> Vec<Agglomeration> {
+    let mut steps: Vec<Agglomeration> = Vec::new();
+    let mut current = fine;
+    for _ in 1..max_levels {
+        if current.nvertices() <= min_vertices {
+            break;
+        }
+        let step = agglomerate(current);
+        // No progress, or a degenerate coarsest level (too few control
+        // volumes to carry a meaningful operator): stop without the step.
+        if step.coarse.nvertices() >= current.nvertices()
+            || step.coarse.nvertices() < min_vertices
+        {
+            break;
+        }
+        steps.push(step);
+        current = &steps.last().unwrap().coarse;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{isotropic_box_mesh, wing_mesh, WingMeshSpec};
+
+    #[test]
+    fn volume_is_conserved() {
+        let m = isotropic_box_mesh(8, 8, 8);
+        let a = agglomerate(&m);
+        assert!((a.coarse.total_volume() - m.total_volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coarsening_ratio_in_expected_band() {
+        // Seed-plus-neighbours merging on a 6-connected 3-D grid gives
+        // ratios around 5-8 (the paper quotes >7 for Cart3D's scheme and
+        // similar magnitudes for agglomeration).
+        let m = isotropic_box_mesh(16, 16, 16);
+        let a = agglomerate(&m);
+        let r = a.ratio(m.nvertices());
+        assert!(r > 3.0 && r < 10.0, "ratio {r}");
+    }
+
+    #[test]
+    fn map_is_complete_and_surjective() {
+        let m = isotropic_box_mesh(6, 6, 6);
+        let a = agglomerate(&m);
+        assert!(a.fine_to_coarse.iter().all(|&c| c != u32::MAX));
+        let nc = a.coarse.nvertices();
+        let mut hit = vec![false; nc];
+        for &c in &a.fine_to_coarse {
+            hit[c as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn coarse_mesh_is_structurally_valid_and_connected() {
+        let m = wing_mesh(&WingMeshSpec::default());
+        let a = agglomerate(&m);
+        a.coarse.validate().unwrap();
+        let (_, ncomp) = a.coarse.dual_graph().connected_components();
+        assert_eq!(ncomp, 1);
+    }
+
+    #[test]
+    fn wall_flag_propagates_to_coarse() {
+        let m = wing_mesh(&WingMeshSpec::default());
+        let a = agglomerate(&m);
+        let coarse_walls = a
+            .coarse
+            .bc
+            .iter()
+            .filter(|&&b| b == BoundaryKind::Wall)
+            .count();
+        assert!(coarse_walls > 0, "wall boundary lost in agglomeration");
+    }
+
+    #[test]
+    fn hierarchy_reaches_small_coarsest_level() {
+        let m = wing_mesh(&WingMeshSpec::default());
+        let steps = agglomerate_hierarchy(&m, 6, 10);
+        assert!(steps.len() >= 3, "only {} levels built", steps.len());
+        // Strictly decreasing sizes.
+        let mut prev = m.nvertices();
+        for s in &steps {
+            assert!(s.coarse.nvertices() < prev);
+            prev = s.coarse.nvertices();
+        }
+        // Volume conserved through the whole hierarchy.
+        let last = &steps.last().unwrap().coarse;
+        assert!((last.total_volume() - m.total_volume()).abs() < 1e-9 * m.total_volume());
+    }
+
+    #[test]
+    fn coarse_normals_sum_like_fine_normals() {
+        // Gauss check: for any agglomerate, the sum of its outward coarse
+        // face normals equals the sum of fine outward normals of its
+        // children across the agglomerate boundary (construction identity);
+        // verify for one agglomerate on a small mesh.
+        let m = isotropic_box_mesh(5, 5, 5);
+        let a = agglomerate(&m);
+        let target = 0u32;
+        let mut fine_sum = Vec3::ZERO;
+        for e in &m.edges {
+            let ca = a.fine_to_coarse[e.a as usize];
+            let cb = a.fine_to_coarse[e.b as usize];
+            if ca == target && cb != target {
+                fine_sum += e.normal;
+            } else if cb == target && ca != target {
+                fine_sum -= e.normal;
+            }
+        }
+        let mut coarse_sum = Vec3::ZERO;
+        for e in &a.coarse.edges {
+            if e.a == target {
+                coarse_sum += e.normal;
+            } else if e.b == target {
+                coarse_sum -= e.normal;
+            }
+        }
+        assert!((fine_sum - coarse_sum).norm() < 1e-12);
+    }
+}

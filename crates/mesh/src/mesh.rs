@@ -1,0 +1,288 @@
+//! The edge-based unstructured mesh (median-dual view).
+//!
+//! The vertex-centred finite-volume solver never needs the elements
+//! themselves — only the dual: one control volume per vertex, one dual face
+//! (area-weighted normal) per edge, and boundary conditions per vertex. The
+//! generator in [`crate::generator`] produces this dual directly.
+
+use crate::geom::Vec3;
+use columbia_partition::Graph;
+
+/// Boundary condition attached to a vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BoundaryKind {
+    /// Interior point: no boundary condition.
+    #[default]
+    Interior,
+    /// Solid wall (no-slip for viscous runs, slip for inviscid).
+    Wall,
+    /// Far-field: state pinned to free stream.
+    FarField,
+}
+
+/// A dual edge between two vertices.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// First endpoint (owner of the positive normal direction).
+    pub a: u32,
+    /// Second endpoint.
+    pub b: u32,
+    /// Area-weighted dual-face normal, pointing from `a` towards `b`.
+    pub normal: Vec3,
+    /// Distance between the endpoints.
+    pub length: f64,
+}
+
+/// Vertex-centred unstructured mesh in dual (edge-based) form.
+#[derive(Clone, Debug, Default)]
+pub struct UnstructuredMesh {
+    /// Vertex coordinates (coarse agglomerated levels store centroids).
+    pub points: Vec<Vec3>,
+    /// Dual edges with face normals.
+    pub edges: Vec<Edge>,
+    /// Control-volume size per vertex.
+    pub volumes: Vec<f64>,
+    /// Boundary condition per vertex.
+    pub bc: Vec<BoundaryKind>,
+    /// Distance to the nearest wall per vertex (turbulence model input).
+    pub wall_distance: Vec<f64>,
+}
+
+impl UnstructuredMesh {
+    /// Number of vertices.
+    pub fn nvertices(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of dual edges.
+    pub fn nedges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total control-volume size.
+    pub fn total_volume(&self) -> f64 {
+        self.volumes.iter().sum()
+    }
+
+    /// The vertex adjacency graph (for partitioning / reordering /
+    /// agglomeration). Vertex weights 1, edge weights 1.
+    pub fn dual_graph(&self) -> Graph {
+        let pairs: Vec<(u32, u32)> = self.edges.iter().map(|e| (e.a, e.b)).collect();
+        Graph::unweighted(self.nvertices(), &pairs)
+    }
+
+    /// Adjacency in CSR form as (edge index, other endpoint, direction sign)
+    /// per vertex: sign +1 when the vertex is `a` (normal points away),
+    /// -1 when it is `b`.
+    pub fn vertex_edges(&self) -> VertexEdges {
+        let n = self.nvertices();
+        let mut deg = vec![0usize; n];
+        for e in &self.edges {
+            deg[e.a as usize] += 1;
+            deg[e.b as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0usize);
+        for d in &deg {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let total = *xadj.last().unwrap();
+        let mut items = vec![
+            VertexEdgeRef {
+                edge: 0,
+                other: 0,
+                sign: 0.0
+            };
+            total
+        ];
+        let mut cursor = xadj[..n].to_vec();
+        for (ei, e) in self.edges.iter().enumerate() {
+            items[cursor[e.a as usize]] = VertexEdgeRef {
+                edge: ei as u32,
+                other: e.b,
+                sign: 1.0,
+            };
+            cursor[e.a as usize] += 1;
+            items[cursor[e.b as usize]] = VertexEdgeRef {
+                edge: ei as u32,
+                other: e.a,
+                sign: -1.0,
+            };
+            cursor[e.b as usize] += 1;
+        }
+        VertexEdges { xadj, items }
+    }
+
+    /// Apply a vertex permutation (`perm[new] = old`), renumbering edges and
+    /// all per-vertex arrays. Used after RCM reordering.
+    pub fn permute(&self, perm: &[u32]) -> UnstructuredMesh {
+        let n = self.nvertices();
+        assert_eq!(perm.len(), n);
+        let mut inv = vec![0u32; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        let points = perm.iter().map(|&o| self.points[o as usize]).collect();
+        let volumes = perm.iter().map(|&o| self.volumes[o as usize]).collect();
+        let bc = perm.iter().map(|&o| self.bc[o as usize]).collect();
+        let wall_distance = perm
+            .iter()
+            .map(|&o| self.wall_distance[o as usize])
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge {
+                a: inv[e.a as usize],
+                b: inv[e.b as usize],
+                normal: e.normal,
+                length: e.length,
+            })
+            .collect();
+        UnstructuredMesh {
+            points,
+            edges,
+            volumes,
+            bc,
+            wall_distance,
+        }
+    }
+
+    /// Structural sanity check used by tests: consistent array lengths,
+    /// valid endpoints, positive volumes, finite normals.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nvertices();
+        if self.volumes.len() != n || self.bc.len() != n || self.wall_distance.len() != n {
+            return Err("per-vertex array length mismatch".into());
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.a as usize >= n || e.b as usize >= n {
+                return Err(format!("edge {i} endpoint out of range"));
+            }
+            if e.a == e.b {
+                return Err(format!("edge {i} is a self loop"));
+            }
+            if !(e.length > 0.0) || !e.normal.norm().is_finite() {
+                return Err(format!("edge {i} has degenerate geometry"));
+            }
+        }
+        for (i, &v) in self.volumes.iter().enumerate() {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(format!("vertex {i} has non-positive volume {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-vertex incident-edge reference.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexEdgeRef {
+    /// Index into `mesh.edges`.
+    pub edge: u32,
+    /// The other endpoint.
+    pub other: u32,
+    /// +1 if this vertex is `a` of the edge, -1 if `b`.
+    pub sign: f64,
+}
+
+/// CSR incident-edge table.
+#[derive(Clone, Debug)]
+pub struct VertexEdges {
+    xadj: Vec<usize>,
+    items: Vec<VertexEdgeRef>,
+}
+
+impl VertexEdges {
+    /// Incident edges of vertex `v`.
+    #[inline]
+    pub fn of(&self, v: usize) -> &[VertexEdgeRef] {
+        &self.items[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Number of vertices covered.
+    pub fn nvertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_edge_mesh() -> UnstructuredMesh {
+        UnstructuredMesh {
+            points: vec![
+                Vec3::ZERO,
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(2.0, 0.0, 0.0),
+            ],
+            edges: vec![
+                Edge {
+                    a: 0,
+                    b: 1,
+                    normal: Vec3::new(1.0, 0.0, 0.0),
+                    length: 1.0,
+                },
+                Edge {
+                    a: 1,
+                    b: 2,
+                    normal: Vec3::new(1.0, 0.0, 0.0),
+                    length: 1.0,
+                },
+            ],
+            volumes: vec![1.0, 1.0, 1.0],
+            bc: vec![
+                BoundaryKind::Wall,
+                BoundaryKind::Interior,
+                BoundaryKind::FarField,
+            ],
+            wall_distance: vec![0.0, 1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn vertex_edges_signs_and_degrees() {
+        let m = two_edge_mesh();
+        let ve = m.vertex_edges();
+        assert_eq!(ve.of(0).len(), 1);
+        assert_eq!(ve.of(1).len(), 2);
+        assert_eq!(ve.of(0)[0].sign, 1.0);
+        assert_eq!(ve.of(1).iter().map(|r| r.sign).sum::<f64>(), 0.0);
+        assert_eq!(ve.of(2)[0].sign, -1.0);
+    }
+
+    #[test]
+    fn permute_roundtrip_preserves_structure() {
+        let m = two_edge_mesh();
+        let p = m.permute(&[2, 0, 1]);
+        p.validate().unwrap();
+        assert_eq!(p.points[0], Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(p.bc[0], BoundaryKind::FarField);
+        // Edge 0-1 became edge between new ids of 0 and 1: inv[0]=1, inv[1]=2.
+        assert_eq!((p.edges[0].a, p.edges[0].b), (1, 2));
+        assert_eq!(p.total_volume(), m.total_volume());
+    }
+
+    #[test]
+    fn dual_graph_matches_edges() {
+        let m = two_edge_mesh();
+        let g = m.dual_graph();
+        assert_eq!(g.nvertices(), 3);
+        assert_eq!(g.nedges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_meshes() {
+        let mut m = two_edge_mesh();
+        m.volumes[1] = -1.0;
+        assert!(m.validate().is_err());
+        let mut m2 = two_edge_mesh();
+        m2.edges[0].b = 9;
+        assert!(m2.validate().is_err());
+        let mut m3 = two_edge_mesh();
+        m3.edges[0].b = 0;
+        assert!(m3.validate().is_err());
+    }
+}

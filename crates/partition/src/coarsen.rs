@@ -1,0 +1,112 @@
+//! Graph coarsening by heavy-edge matching (HEM).
+//!
+//! Vertices are visited in random order; each unmatched vertex is matched
+//! with its unmatched neighbour of heaviest connecting edge. Matched pairs
+//! collapse into one coarse vertex. This is the coarsening phase of the
+//! Karypis-Kumar multilevel scheme.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One coarsening step.
+#[derive(Debug)]
+pub struct CoarseningStep {
+    /// The coarse graph.
+    pub coarse: Graph,
+    /// Fine-vertex → coarse-vertex map.
+    pub cmap: Vec<u32>,
+}
+
+/// Perform one heavy-edge-matching coarsening pass.
+///
+/// `seed` makes the visit order deterministic for reproducibility.
+pub fn heavy_edge_matching(g: &Graph, seed: u64) -> CoarseningStep {
+    let n = g.nvertices();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut matched = vec![u32::MAX; n];
+    let mut ncoarse = 0u32;
+    for &v in &order {
+        let v = v as usize;
+        if matched[v] != u32::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbour.
+        let mut best: Option<(u32, f64)> = None;
+        for (u, w) in g.neighbors_weighted(v) {
+            if matched[u as usize] == u32::MAX {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                matched[v] = ncoarse;
+                matched[u as usize] = ncoarse;
+            }
+            None => {
+                matched[v] = ncoarse;
+            }
+        }
+        ncoarse += 1;
+    }
+    let coarse = g.contract(&matched, ncoarse as usize);
+    CoarseningStep {
+        coarse,
+        cmap: matched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::grid_graph;
+
+    #[test]
+    fn matching_halves_path_graph() {
+        let g = grid_graph(8, 1, 1);
+        let step = heavy_edge_matching(&g, 1);
+        // A perfect matching on a path of 8 gives 4 coarse vertices; an
+        // imperfect one gives at most 8.
+        assert!(step.coarse.nvertices() >= 4 && step.coarse.nvertices() < 8);
+        assert_eq!(step.coarse.total_vwgt(), g.total_vwgt());
+        step.coarse.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = Graph::unweighted(3, &[]);
+        let step = heavy_edge_matching(&g, 0);
+        assert_eq!(step.coarse.nvertices(), 3);
+    }
+
+    #[test]
+    fn repeated_coarsening_terminates() {
+        let mut g = grid_graph(10, 10, 1);
+        let mut levels = 0;
+        while g.nvertices() > 4 && levels < 20 {
+            let step = heavy_edge_matching(&g, levels as u64);
+            assert!(step.coarse.nvertices() < g.nvertices() || g.nedges() == 0);
+            g = step.coarse;
+            levels += 1;
+        }
+        assert!(levels < 20, "coarsening failed to reduce graph");
+    }
+
+    #[test]
+    fn cmap_is_surjective_onto_coarse_ids() {
+        let g = grid_graph(5, 5, 1);
+        let step = heavy_edge_matching(&g, 7);
+        let nc = step.coarse.nvertices();
+        let mut hit = vec![false; nc];
+        for &c in &step.cmap {
+            hit[c as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+}

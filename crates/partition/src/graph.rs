@@ -1,0 +1,363 @@
+//! Compressed-sparse-row undirected graph with vertex and edge weights.
+
+/// Undirected weighted graph in CSR form.
+///
+/// Every undirected edge `{u, v}` is stored twice (once in each adjacency
+/// list) with the same weight. Vertex weights carry computational work
+/// (e.g. number of mesh points collapsed into a contracted line vertex);
+/// edge weights carry communication volume.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Adjacency offsets; `xadj[v]..xadj[v+1]` indexes `adjncy`/`ewgt`.
+    pub xadj: Vec<usize>,
+    /// Flattened adjacency lists.
+    pub adjncy: Vec<u32>,
+    /// Vertex weights, length `nvertices`.
+    pub vwgt: Vec<f64>,
+    /// Edge weights, parallel to `adjncy`.
+    pub ewgt: Vec<f64>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn nvertices(&self) -> usize {
+        self.xadj.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn nedges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbour vertex ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// `(neighbor, edge_weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors_weighted(&self, v: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.xadj[v]..self.xadj[v + 1];
+        self.adjncy[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.ewgt[r].iter().copied())
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> f64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Build from an undirected edge list. Duplicate edges are merged by
+    /// summing weights; self-loops are dropped.
+    ///
+    /// # Panics
+    /// If any endpoint is `>= nvertices` or lengths disagree.
+    pub fn from_edges(
+        nvertices: usize,
+        edges: &[(u32, u32)],
+        vwgt: Vec<f64>,
+        ewgt: &[f64],
+    ) -> Self {
+        assert_eq!(vwgt.len(), nvertices, "vertex weight length mismatch");
+        assert_eq!(edges.len(), ewgt.len(), "edge weight length mismatch");
+        // Count half-edges per vertex (excluding self loops).
+        let mut deg = vec![0usize; nvertices];
+        for &(u, v) in edges {
+            assert!((u as usize) < nvertices && (v as usize) < nvertices);
+            if u != v {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+        }
+        let mut xadj = Vec::with_capacity(nvertices + 1);
+        xadj.push(0usize);
+        for d in &deg {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let half = *xadj.last().unwrap();
+        let mut adjncy = vec![0u32; half];
+        let mut ew = vec![0f64; half];
+        let mut cursor = xadj[..nvertices].to_vec();
+        for (&(u, v), &w) in edges.iter().zip(ewgt.iter()) {
+            if u == v {
+                continue;
+            }
+            adjncy[cursor[u as usize]] = v;
+            ew[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adjncy[cursor[v as usize]] = u;
+            ew[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        let mut g = Graph {
+            xadj,
+            adjncy,
+            vwgt,
+            ewgt: ew,
+        };
+        g.merge_duplicate_edges();
+        g
+    }
+
+    /// Build with unit vertex and edge weights.
+    pub fn unweighted(nvertices: usize, edges: &[(u32, u32)]) -> Self {
+        let ew = vec![1.0; edges.len()];
+        Self::from_edges(nvertices, edges, vec![1.0; nvertices], &ew)
+    }
+
+    /// Merge parallel edges in each adjacency list, summing their weights.
+    fn merge_duplicate_edges(&mut self) {
+        let n = self.nvertices();
+        let mut new_xadj = Vec::with_capacity(n + 1);
+        let mut new_adj = Vec::with_capacity(self.adjncy.len());
+        let mut new_ew = Vec::with_capacity(self.ewgt.len());
+        new_xadj.push(0usize);
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
+        for v in 0..n {
+            pairs.clear();
+            pairs.extend(self.neighbors_weighted(v));
+            pairs.sort_unstable_by_key(|&(u, _)| u);
+            let mut i = 0;
+            while i < pairs.len() {
+                let (u, mut w) = pairs[i];
+                let mut j = i + 1;
+                while j < pairs.len() && pairs[j].0 == u {
+                    w += pairs[j].1;
+                    j += 1;
+                }
+                new_adj.push(u);
+                new_ew.push(w);
+                i = j;
+            }
+            new_xadj.push(new_adj.len());
+        }
+        self.xadj = new_xadj;
+        self.adjncy = new_adj;
+        self.ewgt = new_ew;
+    }
+
+    /// Contract the graph given a vertex→coarse-vertex map with `ncoarse`
+    /// coarse vertices. Vertex weights are summed; edges between distinct
+    /// coarse vertices are merged with summed weights; internal edges vanish.
+    pub fn contract(&self, cmap: &[u32], ncoarse: usize) -> Graph {
+        assert_eq!(cmap.len(), self.nvertices());
+        let mut vwgt = vec![0.0; ncoarse];
+        for (v, &c) in cmap.iter().enumerate() {
+            assert!((c as usize) < ncoarse, "coarse id out of range");
+            vwgt[c as usize] += self.vwgt[v];
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut ewgt: Vec<f64> = Vec::new();
+        for v in 0..self.nvertices() {
+            let cv = cmap[v];
+            for (u, w) in self.neighbors_weighted(v) {
+                let cu = cmap[u as usize];
+                // Keep each undirected coarse edge once (cv < cu).
+                if cv < cu {
+                    edges.push((cv, cu));
+                    ewgt.push(w);
+                }
+            }
+        }
+        Graph::from_edges(ncoarse, &edges, vwgt, &ewgt)
+    }
+
+    /// Connected components; returns (component id per vertex, count).
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let n = self.nvertices();
+        let mut comp = vec![u32::MAX; n];
+        let mut ncomp = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = ncomp;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &u in self.neighbors(v) {
+                    if comp[u as usize] == u32::MAX {
+                        comp[u as usize] = ncomp;
+                        stack.push(u as usize);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        (comp, ncomp as usize)
+    }
+
+    /// Structural validation: symmetric adjacency, sorted lists, no self
+    /// loops. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.nvertices();
+        if self.vwgt.len() != n {
+            return Err("vwgt length mismatch".into());
+        }
+        if self.adjncy.len() != self.ewgt.len() {
+            return Err("ewgt length mismatch".into());
+        }
+        for v in 0..n {
+            let mut prev: Option<u32> = None;
+            for (u, w) in self.neighbors_weighted(v) {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} out of range"));
+                }
+                if u as usize == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                if let Some(p) = prev {
+                    if u <= p {
+                        return Err(format!("unsorted/duplicate adjacency at {v}"));
+                    }
+                }
+                prev = Some(u);
+                // Find the reverse edge.
+                let rev = self
+                    .neighbors_weighted(u as usize)
+                    .find(|&(x, _)| x as usize == v);
+                match rev {
+                    Some((_, wr)) if (wr - w).abs() < 1e-9 * (1.0 + w.abs()) => {}
+                    Some(_) => return Err(format!("asymmetric weight on edge {v}-{u}")),
+                    None => return Err(format!("missing reverse edge {u}-{v}")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the edge list of a structured `nx x ny x nz` grid graph
+/// (6-neighbour stencil). Shared by tests and benches as a canonical mesh
+/// stand-in.
+pub fn grid_graph(nx: usize, ny: usize, nz: usize) -> Graph {
+    let id = |x: usize, y: usize, z: usize| (x + nx * (y + ny * z)) as u32;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y, z), id(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y, z), id(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((id(x, y, z), id(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    Graph::unweighted(nx * ny * nz, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangle_graph_structure() {
+        let g = Graph::unweighted(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.nvertices(), 3);
+        assert_eq!(g.nedges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_dropped_duplicates_merged() {
+        let g = Graph::from_edges(
+            2,
+            &[(0, 0), (0, 1), (1, 0)],
+            vec![1.0, 1.0],
+            &[5.0, 2.0, 3.0],
+        );
+        assert_eq!(g.nedges(), 1);
+        let (u, w) = g.neighbors_weighted(0).next().unwrap();
+        assert_eq!(u, 1);
+        assert_eq!(w, 5.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_graph_counts() {
+        let g = grid_graph(3, 3, 3);
+        assert_eq!(g.nvertices(), 27);
+        // Edges: 3 directions * 2*3*3 = 54.
+        assert_eq!(g.nedges(), 54);
+        g.validate().unwrap();
+        // Corner has degree 3, center degree 6.
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(13), 6);
+    }
+
+    #[test]
+    fn contract_conserves_vertex_weight_and_drops_internal_edges() {
+        let g = grid_graph(4, 1, 1); // path 0-1-2-3
+        let cmap = vec![0u32, 0, 1, 1];
+        let c = g.contract(&cmap, 2);
+        assert_eq!(c.nvertices(), 2);
+        assert_eq!(c.nedges(), 1);
+        assert_eq!(c.total_vwgt(), g.total_vwgt());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn contract_merges_parallel_edges() {
+        // Square 0-1-2-3-0 contracted into two pairs across the square:
+        // two parallel edges must merge with weight 2.
+        let g = Graph::unweighted(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let c = g.contract(&[0, 1, 1, 0], 2);
+        assert_eq!(c.nedges(), 1);
+        let (_, w) = c.neighbors_weighted(0).next().unwrap();
+        assert_eq!(w, 2.0);
+    }
+
+    #[test]
+    fn components_of_disjoint_graphs() {
+        let g = Graph::unweighted(5, &[(0, 1), (2, 3)]);
+        let (comp, n) = g.connected_components();
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    proptest! {
+        /// from_edges always produces a structurally valid graph.
+        #[test]
+        fn prop_from_edges_valid(n in 1usize..30, edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80)) {
+            let edges: Vec<_> = edges.into_iter()
+                .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
+                .collect();
+            let ew = vec![1.0; edges.len()];
+            let g = Graph::from_edges(n, &edges, vec![1.0; n], &ew);
+            prop_assert!(g.validate().is_ok());
+        }
+
+        /// Contraction conserves total vertex weight.
+        #[test]
+        fn prop_contract_conserves_weight(nx in 1usize..6, ny in 1usize..6, k in 1usize..5) {
+            let g = grid_graph(nx, ny, 1);
+            let cmap: Vec<u32> = (0..g.nvertices()).map(|v| (v % k) as u32).collect();
+            let c = g.contract(&cmap, k);
+            prop_assert!((c.total_vwgt() - g.total_vwgt()).abs() < 1e-9);
+            prop_assert!(c.validate().is_ok());
+        }
+    }
+}

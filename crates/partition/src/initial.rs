@@ -1,0 +1,163 @@
+//! Initial k-way partition by greedy BFS region growing.
+//!
+//! On the coarsest graph of the multilevel hierarchy (a few hundred
+//! vertices), `k` regions are grown breadth-first from spread-out seeds,
+//! always extending the currently lightest region through its cheapest
+//! boundary vertex. Unreached vertices (disconnected components) are swept
+//! into the lightest region at the end.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Greedy region-growing k-way partition. Returns a part id per vertex.
+///
+/// # Panics
+/// If `k == 0`.
+pub fn region_growing(g: &Graph, k: usize) -> Vec<u32> {
+    assert!(k > 0);
+    let n = g.nvertices();
+    let mut part = vec![u32::MAX; n];
+    if n == 0 {
+        return part;
+    }
+    if k >= n {
+        // Trivial: one vertex per part (extra parts stay empty).
+        for (v, p) in part.iter_mut().enumerate() {
+            *p = v as u32;
+        }
+        return part;
+    }
+
+    // Pick spread-out seeds: repeated BFS from the last seed picks the
+    // farthest unassigned vertex (a pseudo-peripheral sweep).
+    let mut seeds = Vec::with_capacity(k);
+    let mut dist = vec![usize::MAX; n];
+    let mut seed = 0usize;
+    for _ in 0..k {
+        seeds.push(seed);
+        // BFS from all seeds so far; next seed = farthest vertex.
+        for d in dist.iter_mut() {
+            *d = usize::MAX;
+        }
+        let mut q = VecDeque::new();
+        for &s in &seeds {
+            dist[s] = 0;
+            q.push_back(s);
+        }
+        let mut far = seed;
+        while let Some(v) = q.pop_front() {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    if dist[u] >= dist[far] || dist[far] == 0 {
+                        far = u;
+                    }
+                    q.push_back(u);
+                }
+            }
+        }
+        // Farthest reachable vertex not already a seed; fall back to any
+        // unreached vertex (other component).
+        if let Some(un) = dist.iter().position(|&d| d == usize::MAX) {
+            far = un;
+        }
+        seed = far;
+    }
+
+    // Grow regions: repeatedly extend the lightest region.
+    let mut weight = vec![0.0f64; k];
+    let mut frontier: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+    for (p, &s) in seeds.iter().enumerate() {
+        part[s] = p as u32;
+        weight[p] += g.vwgt[s];
+        frontier[p].push_back(s);
+    }
+    let mut assigned = k;
+    while assigned < n {
+        // Lightest region with a non-empty frontier.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| weight[a].partial_cmp(&weight[b]).unwrap());
+        let mut grew = false;
+        'regions: for &p in &order {
+            while let Some(v) = frontier[p].pop_front() {
+                // Find an unassigned neighbour of v.
+                let mut extended = false;
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if part[u] == u32::MAX {
+                        part[u] = p as u32;
+                        weight[p] += g.vwgt[u];
+                        frontier[p].push_back(u);
+                        assigned += 1;
+                        extended = true;
+                    }
+                }
+                if extended {
+                    frontier[p].push_back(v);
+                    grew = true;
+                    break 'regions;
+                }
+            }
+        }
+        if !grew {
+            // Remaining vertices are unreachable from any region (separate
+            // components): sweep them into the lightest region via their own
+            // BFS.
+            let lightest = order[0];
+            if let Some(v0) = part.iter().position(|&p| p == u32::MAX) {
+                part[v0] = lightest as u32;
+                weight[lightest] += g.vwgt[v0];
+                frontier[lightest].push_back(v0);
+                assigned += 1;
+            }
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::grid_graph;
+    use crate::quality::PartitionQuality;
+
+    #[test]
+    fn all_vertices_assigned() {
+        let g = grid_graph(8, 8, 1);
+        let part = region_growing(&g, 4);
+        assert!(part.iter().all(|&p| (p as usize) < 4));
+    }
+
+    #[test]
+    fn balance_is_reasonable_on_grid() {
+        let g = grid_graph(16, 16, 1);
+        let part = region_growing(&g, 4);
+        let q = PartitionQuality::measure(&g, &part, 4);
+        assert!(q.imbalance < 1.25, "imbalance {}", q.imbalance);
+    }
+
+    #[test]
+    fn disconnected_components_are_covered() {
+        // Two disjoint paths.
+        let g = Graph::unweighted(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let part = region_growing(&g, 2);
+        assert!(part.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn k_equal_n_gives_singletons() {
+        let g = grid_graph(3, 1, 1);
+        let part = region_growing(&g, 3);
+        let mut s = part.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_greater_than_n_leaves_some_parts_empty() {
+        let g = grid_graph(2, 1, 1);
+        let part = region_growing(&g, 5);
+        assert!(part.iter().all(|&p| p < 5));
+    }
+}

@@ -1,0 +1,167 @@
+//! The multilevel k-way driver: coarsen → initial partition → uncoarsen+refine.
+
+use crate::coarsen::heavy_edge_matching;
+use crate::graph::Graph;
+use crate::initial::region_growing;
+use crate::refine::{refine_kway, RefineParams};
+
+/// Configuration of the multilevel partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionConfig {
+    /// Stop coarsening when the graph has at most `coarsen_to * k` vertices.
+    pub coarsen_to_per_part: usize,
+    /// Refinement parameters applied at every uncoarsening step.
+    pub refine: RefineParams,
+    /// RNG seed for the matching order (determinism).
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            coarsen_to_per_part: 30,
+            refine: RefineParams::default(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Partition `g` into `k` parts; returns a part id per vertex.
+///
+/// This is the drop-in METIS replacement: multilevel heavy-edge-matching
+/// coarsening, greedy region-growing initial partition, boundary FM
+/// refinement during uncoarsening.
+///
+/// ```
+/// use columbia_partition::{partition_graph, PartitionConfig, PartitionQuality};
+/// use columbia_partition::graph::grid_graph;
+/// let g = grid_graph(12, 12, 1);
+/// let part = partition_graph(&g, 4, &PartitionConfig::default());
+/// let q = PartitionQuality::measure(&g, &part, 4);
+/// assert!(q.imbalance < 1.1);
+/// ```
+pub fn partition_graph(g: &Graph, k: usize, config: &PartitionConfig) -> Vec<u32> {
+    assert!(k > 0, "k must be positive");
+    let n = g.nvertices();
+    if k == 1 {
+        return vec![0; n];
+    }
+    if n <= k {
+        return (0..n as u32).collect();
+    }
+
+    // Coarsening phase.
+    let target = (config.coarsen_to_per_part * k).max(2 * k);
+    let mut graphs: Vec<Graph> = vec![g.clone()];
+    let mut cmaps: Vec<Vec<u32>> = Vec::new();
+    let mut seed = config.seed;
+    while graphs.last().unwrap().nvertices() > target {
+        let step = heavy_edge_matching(graphs.last().unwrap(), seed);
+        seed = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        // Matching can stall on edgeless graphs; bail out.
+        if step.coarse.nvertices() as f64 > 0.95 * graphs.last().unwrap().nvertices() as f64 {
+            break;
+        }
+        graphs.push(step.coarse);
+        cmaps.push(step.cmap);
+    }
+
+    // Initial partition on the coarsest graph.
+    let coarsest = graphs.last().unwrap();
+    let mut part = region_growing(coarsest, k);
+    refine_kway(coarsest, &mut part, k, config.refine);
+
+    // Uncoarsening: project and refine.
+    for lvl in (0..cmaps.len()).rev() {
+        let fine_g = &graphs[lvl];
+        let cmap = &cmaps[lvl];
+        let mut fine_part = vec![0u32; fine_g.nvertices()];
+        for (v, &c) in cmap.iter().enumerate() {
+            fine_part[v] = part[c as usize];
+        }
+        refine_kway(fine_g, &mut fine_part, k, config.refine);
+        part = fine_part;
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::grid_graph;
+    use crate::quality::PartitionQuality;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisection_of_grid_is_balanced_with_low_cut() {
+        let g = grid_graph(16, 16, 1);
+        let part = partition_graph(&g, 2, &PartitionConfig::default());
+        let q = PartitionQuality::measure(&g, &part, 2);
+        assert!(q.imbalance < 1.06, "imbalance {}", q.imbalance);
+        // Ideal bisection cut is 16; accept up to 2x.
+        assert!(q.edge_cut <= 32.0, "cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn kway_16_parts_on_3d_grid() {
+        let g = grid_graph(12, 12, 12);
+        let part = partition_graph(&g, 16, &PartitionConfig::default());
+        let q = PartitionQuality::measure(&g, &part, 16);
+        assert!(q.imbalance < 1.10, "imbalance {}", q.imbalance);
+        assert_eq!(q.nonempty_parts, 16);
+        // Random partition cut would be ~15/16 of 4752 edges; demand far less.
+        assert!(q.edge_cut < 1500.0, "cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = grid_graph(10, 10, 2);
+        let c = PartitionConfig::default();
+        assert_eq!(partition_graph(&g, 4, &c), partition_graph(&g, 4, &c));
+    }
+
+    #[test]
+    fn k_one_is_all_zero() {
+        let g = grid_graph(5, 5, 1);
+        assert!(partition_graph(&g, 1, &PartitionConfig::default())
+            .iter()
+            .all(|&p| p == 0));
+    }
+
+    #[test]
+    fn tiny_graph_many_parts() {
+        let g = grid_graph(2, 2, 1);
+        let part = partition_graph(&g, 8, &PartitionConfig::default());
+        assert_eq!(part.len(), 4);
+        assert!(part.iter().all(|&p| p < 8));
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // Line of 8 vertices; first two carry weight 3 each (like contracted
+        // implicit lines), rest weight 1: total 12, so a 2-way split should
+        // put the two heavy vertices alone against the six light ones.
+        let edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        let vwgt = vec![3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let ew = vec![1.0; edges.len()];
+        let g = Graph::from_edges(8, &edges, vwgt, &ew);
+        let part = partition_graph(&g, 2, &PartitionConfig::default());
+        let q = PartitionQuality::measure(&g, &part, 2);
+        assert!(q.imbalance < 1.2, "imbalance {}", q.imbalance);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Every vertex gets a valid part; parts are <= k; imbalance bounded
+        /// on grid graphs large relative to k.
+        #[test]
+        fn prop_partition_valid(nx in 6usize..14, ny in 6usize..14, k in 2usize..9) {
+            let g = grid_graph(nx, ny, 1);
+            let part = partition_graph(&g, k, &PartitionConfig::default());
+            prop_assert_eq!(part.len(), g.nvertices());
+            prop_assert!(part.iter().all(|&p| (p as usize) < k));
+            let q = PartitionQuality::measure(&g, &part, k);
+            prop_assert!(q.imbalance < 1.35, "imbalance {}", q.imbalance);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Greedy inter-level partition matching.
+//!
+//! Each multigrid level is partitioned independently for intra-level balance.
+//! To keep restriction/prolongation traffic local, coarse partitions are then
+//! *relabelled* so that coarse partition `p` overlaps fine partition `p` as
+//! much as possible — the "non-optimal greedy-type algorithm" of the paper.
+
+/// Relabel `coarse_part` (ids in `0..k`) to maximise overlap with
+/// `fine_part`, where `fine_to_coarse[v]` maps each fine vertex to its coarse
+/// agglomerate. Overlap between fine part `f` and coarse part `c` counts the
+/// fine vertices in `f` whose agglomerate lies in `c`, weighted by `weights`
+/// (pass all-ones for vertex counts).
+///
+/// Returns the permuted coarse partition vector and the fraction of total
+/// weight that ends up "aligned" (same label fine and coarse).
+pub fn match_levels(
+    fine_part: &[u32],
+    fine_to_coarse: &[u32],
+    coarse_part: &[u32],
+    k: usize,
+    weights: &[f64],
+) -> (Vec<u32>, f64) {
+    assert_eq!(fine_part.len(), fine_to_coarse.len());
+    assert_eq!(fine_part.len(), weights.len());
+    // Overlap matrix O[f][c].
+    let mut overlap = vec![vec![0.0f64; k]; k];
+    let mut total = 0.0;
+    for ((&f, &agg), &w) in fine_part
+        .iter()
+        .zip(fine_to_coarse.iter())
+        .zip(weights.iter())
+    {
+        let c = coarse_part[agg as usize] as usize;
+        overlap[f as usize][c] += w;
+        total += w;
+    }
+    // Greedy assignment: repeatedly take the largest remaining overlap pair.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(k * k);
+    for (f, row) in overlap.iter().enumerate() {
+        for (c, &w) in row.iter().enumerate() {
+            if w > 0.0 {
+                pairs.push((w, f, c));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut fine_used = vec![false; k];
+    let mut coarse_used = vec![false; k];
+    // relabel[c] = new label of coarse part c.
+    let mut relabel = vec![u32::MAX; k];
+    let mut aligned = 0.0;
+    for (w, f, c) in pairs {
+        if !fine_used[f] && !coarse_used[c] {
+            fine_used[f] = true;
+            coarse_used[c] = true;
+            relabel[c] = f as u32;
+            aligned += w;
+        }
+    }
+    // Unmatched coarse parts take any free fine label.
+    let mut free: Vec<u32> = (0..k as u32).filter(|&f| !fine_used[f as usize]).collect();
+    for r in relabel.iter_mut() {
+        if *r == u32::MAX {
+            *r = free.pop().expect("label accounting broken");
+        }
+    }
+    let new_coarse: Vec<u32> = coarse_part.iter().map(|&c| relabel[c as usize]).collect();
+    let frac = if total > 0.0 { aligned / total } else { 1.0 };
+    (new_coarse, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_nested_levels_align_fully() {
+        // 4 fine vertices, 2 coarse agglomerates, nested partitions but with
+        // permuted coarse labels.
+        let fine_part = vec![0u32, 0, 1, 1];
+        let fine_to_coarse = vec![0u32, 0, 1, 1];
+        let coarse_part = vec![1u32, 0]; // swapped labels
+        let w = vec![1.0; 4];
+        let (relabeled, frac) = match_levels(&fine_part, &fine_to_coarse, &coarse_part, 2, &w);
+        assert_eq!(relabeled, vec![0, 1]);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_prefers_heavier_pairing() {
+        // Agglomerate 0 has 3 fine vertices in part 0, 1 in part 1.
+        let fine_part = vec![0u32, 0, 0, 1];
+        let fine_to_coarse = vec![0u32, 0, 0, 0];
+        let coarse_part = vec![1u32]; // only one coarse part, labelled 1
+        let w = vec![1.0; 4];
+        let (relabeled, frac) = match_levels(&fine_part, &fine_to_coarse, &coarse_part, 2, &w);
+        assert_eq!(relabeled, vec![0]); // relabelled to the dominant fine part
+        assert!((frac - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_labels_remain_valid_permutation() {
+        let fine_part = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let fine_to_coarse = vec![0u32, 1, 2, 3, 0, 1, 2, 3];
+        let coarse_part = vec![3u32, 2, 1, 0];
+        let w = vec![1.0; 8];
+        let (relabeled, _) = match_levels(&fine_part, &fine_to_coarse, &coarse_part, 4, &w);
+        let mut seen: Vec<u32> = relabeled.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4, "relabelling must stay a permutation");
+    }
+
+    #[test]
+    fn weights_drive_matching() {
+        // Two fine vertices; the heavy one dominates alignment.
+        let fine_part = vec![0u32, 1];
+        let fine_to_coarse = vec![0u32, 0];
+        let coarse_part = vec![0u32];
+        let w = vec![1.0, 10.0];
+        let (relabeled, frac) = match_levels(&fine_part, &fine_to_coarse, &coarse_part, 2, &w);
+        assert_eq!(relabeled, vec![1]);
+        assert!((frac - 10.0 / 11.0).abs() < 1e-12);
+    }
+}

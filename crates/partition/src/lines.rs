@@ -1,0 +1,121 @@
+//! Implicit-line contraction for partitioning.
+//!
+//! The line-implicit smoother solves block-tridiagonal systems along mesh
+//! lines; a line split across two partitions would serialise the solve
+//! across an interconnect. NSU3D therefore contracts each line to a single
+//! vertex (with summed vertex weight and merged edges) before calling the
+//! partitioner, guaranteeing no line is ever broken (paper Figure 6(b)).
+
+use crate::graph::Graph;
+
+/// Result of contracting implicit lines.
+#[derive(Clone, Debug)]
+pub struct LineContraction {
+    /// The contracted graph (one vertex per line; singleton "lines" for
+    /// vertices outside any line).
+    pub contracted: Graph,
+    /// Fine-vertex → contracted-vertex map.
+    pub cmap: Vec<u32>,
+}
+
+/// Contract `g` along `lines`: each inner `Vec<u32>` lists the fine vertices
+/// of one line (length >= 1). Every fine vertex must appear in exactly one
+/// line (singleton lines for point-implicit vertices).
+///
+/// # Panics
+/// If the lines do not exactly cover the vertex set.
+pub fn contract_lines(g: &Graph, lines: &[Vec<u32>]) -> LineContraction {
+    let n = g.nvertices();
+    let mut cmap = vec![u32::MAX; n];
+    for (li, line) in lines.iter().enumerate() {
+        assert!(!line.is_empty(), "empty line {li}");
+        for &v in line {
+            assert!(
+                cmap[v as usize] == u32::MAX,
+                "vertex {v} appears in more than one line"
+            );
+            cmap[v as usize] = li as u32;
+        }
+    }
+    assert!(
+        cmap.iter().all(|&c| c != u32::MAX),
+        "lines must cover every vertex"
+    );
+    let contracted = g.contract(&cmap, lines.len());
+    LineContraction { contracted, cmap }
+}
+
+/// Expand a partition of the contracted graph back to the fine vertices.
+pub fn expand_line_partition(cmap: &[u32], line_part: &[u32]) -> Vec<u32> {
+    cmap.iter().map(|&c| line_part[c as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::grid_graph;
+    use crate::kway::{partition_graph, PartitionConfig};
+
+    /// Build the k-direction lines of a structured grid: one line per (x, y)
+    /// column.
+    fn column_lines(nx: usize, ny: usize, nz: usize) -> Vec<Vec<u32>> {
+        let id = |x: usize, y: usize, z: usize| (x + nx * (y + ny * z)) as u32;
+        let mut lines = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                lines.push((0..nz).map(|z| id(x, y, z)).collect());
+            }
+        }
+        lines
+    }
+
+    #[test]
+    fn contraction_preserves_total_weight() {
+        let g = grid_graph(4, 4, 8);
+        let lines = column_lines(4, 4, 8);
+        let lc = contract_lines(&g, &lines);
+        assert_eq!(lc.contracted.nvertices(), 16);
+        assert_eq!(lc.contracted.total_vwgt(), g.total_vwgt());
+        // Each contracted vertex carries the 8 points of its line.
+        assert!(lc.contracted.vwgt.iter().all(|&w| w == 8.0));
+    }
+
+    #[test]
+    fn no_line_is_ever_broken() {
+        let g = grid_graph(6, 6, 10);
+        let lines = column_lines(6, 6, 10);
+        let lc = contract_lines(&g, &lines);
+        let line_part = partition_graph(&lc.contracted, 4, &PartitionConfig::default());
+        let part = expand_line_partition(&lc.cmap, &line_part);
+        for line in &lines {
+            let p0 = part[line[0] as usize];
+            assert!(
+                line.iter().all(|&v| part[v as usize] == p0),
+                "line split across partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_lines_reduce_to_identity() {
+        let g = grid_graph(5, 1, 1);
+        let lines: Vec<Vec<u32>> = (0..5u32).map(|v| vec![v]).collect();
+        let lc = contract_lines(&g, &lines);
+        assert_eq!(lc.contracted.nvertices(), 5);
+        assert_eq!(lc.contracted.nedges(), g.nedges());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every vertex")]
+    fn incomplete_cover_panics() {
+        let g = grid_graph(3, 1, 1);
+        contract_lines(&g, &[vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one line")]
+    fn overlapping_lines_panic() {
+        let g = grid_graph(3, 1, 1);
+        contract_lines(&g, &[vec![0, 1], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Partition quality metrics: edge cut, imbalance, ghost counts, and the
+//! communication-graph statistics the machine model consumes.
+
+use crate::graph::Graph;
+
+/// Quality measures of a k-way partition.
+#[derive(Clone, Debug)]
+pub struct PartitionQuality {
+    /// Total weight of cut edges.
+    pub edge_cut: f64,
+    /// max part weight / mean part weight.
+    pub imbalance: f64,
+    /// Number of parts containing at least one vertex.
+    pub nonempty_parts: usize,
+    /// Per-part vertex weight.
+    pub part_weights: Vec<f64>,
+    /// Per-part number of ghost vertices (off-part neighbours it must mirror).
+    pub ghosts_per_part: Vec<usize>,
+    /// Per-part number of neighbouring parts (degree of the communication
+    /// graph; the paper reports max degree 18 for the 72M-point fine grid).
+    pub comm_degree: Vec<usize>,
+}
+
+impl PartitionQuality {
+    /// Measure the quality of `part` (values in `0..k`) on `g`.
+    pub fn measure(g: &Graph, part: &[u32], k: usize) -> Self {
+        assert_eq!(part.len(), g.nvertices());
+        let mut part_weights = vec![0.0f64; k];
+        for (v, &p) in part.iter().enumerate() {
+            part_weights[p as usize] += g.vwgt[v];
+        }
+        let mut edge_cut = 0.0;
+        // ghosts[p] = set of off-part vertices adjacent to p; we count
+        // distinct vertices using a stamp array.
+        let mut ghost_stamp = vec![u32::MAX; g.nvertices()];
+        let mut ghosts_per_part = vec![0usize; k];
+        let mut neigh_stamp = vec![vec![]; k]; // neighbour part lists
+        for v in 0..g.nvertices() {
+            let pv = part[v];
+            for (u, w) in g.neighbors_weighted(v) {
+                let pu = part[u as usize];
+                if pu != pv {
+                    if (u as usize) > v {
+                        edge_cut += w;
+                    }
+                    // u is a ghost of part pv.
+                    if ghost_stamp[u as usize] != pv {
+                        ghost_stamp[u as usize] = pv;
+                        ghosts_per_part[pv as usize] += 1;
+                    }
+                    let np: &mut Vec<u32> = &mut neigh_stamp[pv as usize];
+                    if !np.contains(&pu) {
+                        np.push(pu);
+                    }
+                }
+            }
+        }
+        let nonempty_parts = part_weights.iter().filter(|&&w| w > 0.0).count();
+        let mean = g.total_vwgt() / k as f64;
+        let imbalance = if mean > 0.0 {
+            part_weights.iter().cloned().fold(0.0f64, f64::max) / mean
+        } else {
+            1.0
+        };
+        let comm_degree = neigh_stamp.iter().map(|v| v.len()).collect();
+        PartitionQuality {
+            edge_cut,
+            imbalance,
+            nonempty_parts,
+            part_weights,
+            ghosts_per_part,
+            comm_degree,
+        }
+    }
+
+    /// Maximum communication degree over parts.
+    pub fn max_comm_degree(&self) -> usize {
+        self.comm_degree.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean ghosts per non-empty part (communication surface).
+    pub fn mean_ghosts(&self) -> f64 {
+        if self.nonempty_parts == 0 {
+            return 0.0;
+        }
+        self.ghosts_per_part.iter().sum::<usize>() as f64 / self.nonempty_parts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::grid_graph;
+
+    #[test]
+    fn half_split_of_line_graph() {
+        let g = grid_graph(4, 1, 1);
+        let part = vec![0u32, 0, 1, 1];
+        let q = PartitionQuality::measure(&g, &part, 2);
+        assert_eq!(q.edge_cut, 1.0);
+        assert_eq!(q.imbalance, 1.0);
+        assert_eq!(q.nonempty_parts, 2);
+        assert_eq!(q.ghosts_per_part, vec![1, 1]);
+        assert_eq!(q.comm_degree, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_parts_counted() {
+        let g = grid_graph(4, 1, 1);
+        let part = vec![0u32, 0, 0, 0];
+        let q = PartitionQuality::measure(&g, &part, 3);
+        assert_eq!(q.nonempty_parts, 1);
+        assert_eq!(q.edge_cut, 0.0);
+        assert!((q.imbalance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghost_counted_once_per_part() {
+        // Star: center 0 in part 0, leaves in part 1. Center is one ghost
+        // for part 1 even though three leaves touch it.
+        let g = Graph::unweighted(4, &[(0, 1), (0, 2), (0, 3)]);
+        let q = PartitionQuality::measure(&g, &[0, 1, 1, 1], 2);
+        assert_eq!(q.ghosts_per_part[1], 1);
+        assert_eq!(q.ghosts_per_part[0], 3);
+    }
+
+    #[test]
+    fn comm_degree_on_strip() {
+        // 3 parts in a row: middle part talks to both ends.
+        let g = grid_graph(6, 1, 1);
+        let part = vec![0u32, 0, 1, 1, 2, 2];
+        let q = PartitionQuality::measure(&g, &part, 3);
+        assert_eq!(q.comm_degree, vec![1, 2, 1]);
+        assert_eq!(q.max_comm_degree(), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! Domain-decomposed execution of the solver (paper §III, Figure 6).
+//!
+//! The mesh's dual graph is contracted along the implicit lines (no line is
+//! ever broken across a partition boundary), partitioned with the
+//! multilevel k-way partitioner, and each rank builds a local sub-level
+//! containing its owned vertices, the ghost images of off-rank neighbours,
+//! and the edges it owns. A smoothing sweep then interleaves the serial
+//! kernel phases with packed ghost exchanges:
+//!
+//! 1. gradient accumulation → add ghosts to owners → copy back,
+//! 2. flux accumulation → add ghost residuals to owners,
+//! 3. implicit-diagonal accumulation → add ghost blocks to owners → copy,
+//! 4. local line/point solves (lines are rank-local by construction),
+//! 5. state update → copy owners to ghosts.
+//!
+//! The result is bitwise-equivalent to the serial solver up to floating
+//! point summation order; tests check parity to tight tolerances.
+
+use crate::level::{RansLevel, SolverParams};
+use crate::state::{State, NVARS};
+use columbia_comm::{decompose, run_ranks, CommStats, Decomposition, Rank};
+use columbia_mesh::{extract_lines, Edge, UnstructuredMesh};
+use columbia_partition::{
+    contract_lines, expand_line_partition, partition_graph, PartitionConfig,
+};
+
+/// Partition a mesh without breaking implicit lines.
+pub fn partition_mesh_line_aware(
+    mesh: &UnstructuredMesh,
+    nparts: usize,
+    line_threshold: f64,
+) -> Vec<u32> {
+    let graph = mesh.dual_graph();
+    let ls = extract_lines(mesh, line_threshold);
+    let cover = ls.covering_lines();
+    let lc = contract_lines(&graph, &cover);
+    let lp = partition_graph(&lc.contracted, nparts, &PartitionConfig::default());
+    expand_line_partition(&lc.cmap, &lp)
+}
+
+/// Everything one rank needs to run its sub-level.
+pub struct LocalLevel {
+    /// The local solver level (owned + ghost vertices).
+    pub level: RansLevel,
+    /// Number of owned vertices (prefix of the local numbering).
+    pub n_owned: usize,
+    /// Local → global vertex map.
+    pub local_to_global: Vec<u32>,
+}
+
+/// Build the per-rank sub-levels of a mesh under partition `part`.
+///
+/// Edge ownership: a cut edge belongs to the rank owning its `a` endpoint,
+/// so each edge is assembled exactly once globally.
+pub fn build_local_levels(
+    mesh: &UnstructuredMesh,
+    part: &[u32],
+    nparts: usize,
+    params: SolverParams,
+) -> (Decomposition, Vec<LocalLevel>) {
+    let pairs: Vec<(u32, u32)> = mesh.edges.iter().map(|e| (e.a, e.b)).collect();
+    let decomp = decompose(mesh.nvertices(), part, nparts, &pairs);
+
+    // Global line set, restricted per rank (lines never cross ranks when
+    // the partition came from `partition_mesh_line_aware`).
+    let global_lines = extract_lines(mesh, params.line_threshold).lines;
+
+    let mut locals = Vec::with_capacity(nparts);
+    for p in 0..nparts {
+        let l2g = &decomp.local_to_global[p];
+        let n_owned = decomp.n_owned[p];
+        let nloc = l2g.len();
+        let mut points = Vec::with_capacity(nloc);
+        let mut volumes = Vec::with_capacity(nloc);
+        let mut bc = Vec::with_capacity(nloc);
+        let mut wall = Vec::with_capacity(nloc);
+        for &g in l2g {
+            let g = g as usize;
+            points.push(mesh.points[g]);
+            volumes.push(mesh.volumes[g]);
+            bc.push(mesh.bc[g]);
+            wall.push(mesh.wall_distance[g]);
+        }
+        let mut edges = Vec::new();
+        for e in &mesh.edges {
+            if part[e.a as usize] as usize != p {
+                continue;
+            }
+            let la = decomp.local_index(p, e.a).expect("owned endpoint missing");
+            let lb = decomp
+                .local_index(p, e.b)
+                .expect("edge endpoint neither owned nor ghost");
+            edges.push(Edge {
+                a: la,
+                b: lb,
+                normal: e.normal,
+                length: e.length,
+            });
+        }
+        let local_mesh = UnstructuredMesh {
+            points,
+            edges,
+            volumes,
+            bc,
+            wall_distance: wall,
+        };
+        // Restrict global lines: lines whose first vertex is owned by p.
+        let mut lines = Vec::new();
+        for line in &global_lines {
+            if part[line[0] as usize] as usize != p {
+                continue;
+            }
+            let local_line: Vec<u32> = line
+                .iter()
+                .map(|&v| {
+                    decomp
+                        .local_index(p, v)
+                        .expect("line crosses rank boundary")
+                })
+                .collect();
+            lines.push(local_line);
+        }
+        let mut level = RansLevel::with_lines(local_mesh, params, lines);
+        for v in n_owned..nloc {
+            level.active[v] = false;
+        }
+        locals.push(LocalLevel {
+            level,
+            n_owned,
+            local_to_global: l2g.clone(),
+        });
+    }
+    (decomp, locals)
+}
+
+/// One parallel smoothing sweep on a local level.
+pub fn parallel_sweep(local: &mut LocalLevel, decomp: &Decomposition, rank: &mut Rank) {
+    let p = rank.rank();
+    let plan = &decomp.plans[p];
+    let lvl = &mut local.level;
+
+    // Residual with exchanges.
+    lvl.begin_residual();
+    lvl.accumulate_gradients();
+    plan.exchange_add::<9>(rank, 10, lvl.grad_mut());
+    lvl.finalize_gradients();
+    plan.exchange_copy::<9>(rank, 11, lvl.grad_mut());
+    lvl.accumulate_fluxes();
+    plan.exchange_add::<NVARS>(rank, 12, &mut lvl.res);
+    lvl.finalize_residual();
+
+    // Implicit diagonal with exchanges.
+    lvl.accumulate_diagonal();
+    let mut dbuf = lvl.pack_diag();
+    plan.exchange_add::<37>(rank, 13, &mut dbuf);
+    plan.exchange_copy::<37>(rank, 14, &mut dbuf);
+    lvl.unpack_diag(&dbuf);
+    lvl.finalize_diagonal();
+
+    // Local solves + update, then refresh ghosts.
+    lvl.solve_implicit();
+    plan.exchange_copy::<NVARS>(rank, 15, &mut lvl.u);
+}
+
+/// Parallel residual norm (collective).
+pub fn parallel_residual_rms(
+    local: &mut LocalLevel,
+    decomp: &Decomposition,
+    rank: &mut Rank,
+) -> f64 {
+    let p = rank.rank();
+    let plan = &decomp.plans[p];
+    let lvl = &mut local.level;
+    lvl.begin_residual();
+    lvl.accumulate_gradients();
+    plan.exchange_add::<9>(rank, 20, lvl.grad_mut());
+    lvl.finalize_gradients();
+    plan.exchange_copy::<9>(rank, 21, lvl.grad_mut());
+    lvl.accumulate_fluxes();
+    plan.exchange_add::<NVARS>(rank, 22, &mut lvl.res);
+    lvl.finalize_residual();
+    let (ss, cnt) = lvl.residual_sumsq();
+    let gss = rank.allreduce_sum(ss);
+    let gcnt = rank.allreduce_sum(cnt as f64);
+    if gcnt == 0.0 {
+        0.0
+    } else {
+        (gss / gcnt).sqrt()
+    }
+}
+
+/// Run `sweeps` parallel smoothing sweeps on `nparts` ranks; returns the
+/// assembled global state, the final global residual RMS, and per-rank
+/// communication statistics.
+pub fn run_parallel_smoothing(
+    mesh: &UnstructuredMesh,
+    params: SolverParams,
+    nparts: usize,
+    sweeps: usize,
+) -> (Vec<State>, f64, Vec<CommStats>) {
+    let part = partition_mesh_line_aware(mesh, nparts, params.line_threshold);
+    let (decomp, locals) = build_local_levels(mesh, &part, nparts, params);
+    let locals = std::sync::Mutex::new(
+        locals
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<LocalLevel>>>(),
+    );
+
+    let results = run_ranks(nparts, |rank| {
+        let mut local = locals.lock().unwrap()[rank.rank()]
+            .take()
+            .expect("local level already taken");
+        // Apply BCs and make ghosts consistent before starting (mirrors
+        // the serial driver's initialisation).
+        local.level.apply_bcs();
+        decomp.plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut local.level.u);
+        for _ in 0..sweeps {
+            parallel_sweep(&mut local, &decomp, rank);
+        }
+        let rms = parallel_residual_rms(&mut local, &decomp, rank);
+        let stats = rank.take_stats();
+        let owned_u: Vec<(u32, State)> = (0..local.n_owned)
+            .map(|i| (local.local_to_global[i], local.level.u[i]))
+            .collect();
+        (owned_u, rms, stats)
+    });
+
+    let mut global_u = vec![[0.0; NVARS]; mesh.nvertices()];
+    let mut rms = 0.0;
+    let mut stats = Vec::with_capacity(nparts);
+    for (owned, r, s) in results {
+        for (g, u) in owned {
+            global_u[g as usize] = u;
+        }
+        rms = r;
+        stats.push(s);
+    }
+    (global_u, rms, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_mesh::{wing_mesh, WingMeshSpec};
+
+    fn mesh() -> UnstructuredMesh {
+        wing_mesh(&WingMeshSpec {
+            ni: 16,
+            nj: 4,
+            nk: 10,
+            nk_bl: 5,
+            jitter: 0.0,
+            ..Default::default()
+        })
+    }
+
+    fn params() -> SolverParams {
+        SolverParams {
+            mach: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parallel_state_matches_serial_after_sweeps() {
+        let m = mesh();
+        // Serial reference.
+        let mut serial = RansLevel::new(m.clone(), params());
+        serial.apply_bcs();
+        for _ in 0..3 {
+            serial.smooth_sweep();
+        }
+        let serial_rms = serial.residual_rms();
+
+        for nparts in [2, 4] {
+            let (u, rms, stats) = run_parallel_smoothing(&m, params(), nparts, 3);
+            let mut max_diff = 0.0f64;
+            for (v, su) in serial.u.iter().enumerate() {
+                for k in 0..NVARS {
+                    max_diff = max_diff.max((u[v][k] - su[k]).abs());
+                }
+            }
+            assert!(
+                max_diff < 1e-8,
+                "{nparts}-way parallel state diverged: {max_diff}"
+            );
+            assert!(
+                (rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms),
+                "residual mismatch: {rms} vs {serial_rms}"
+            );
+            // Communication actually happened.
+            assert!(stats.iter().any(|s| s.total_msgs() > 0));
+        }
+    }
+
+    #[test]
+    fn partition_preserves_lines() {
+        let m = mesh();
+        let part = partition_mesh_line_aware(&m, 4, 10.0);
+        let lines = extract_lines(&m, 10.0).lines;
+        for line in &lines {
+            let p0 = part[line[0] as usize];
+            assert!(line.iter().all(|&v| part[v as usize] == p0));
+        }
+    }
+
+    #[test]
+    fn ghost_counts_match_decomposition_surface() {
+        let m = mesh();
+        let part = partition_mesh_line_aware(&m, 4, 10.0);
+        let (decomp, locals) = build_local_levels(&m, &part, 4, params());
+        let total_owned: usize = locals.iter().map(|l| l.n_owned).sum();
+        assert_eq!(total_owned, m.nvertices());
+        // Every local mesh is structurally valid.
+        for (p, l) in locals.iter().enumerate() {
+            l.level.mesh.validate().unwrap();
+            assert!(decomp.plans[p].degree() >= 1);
+        }
+        // Edges are globally conserved.
+        let total_edges: usize = locals.iter().map(|l| l.level.mesh.nedges()).sum();
+        assert_eq!(total_edges, m.nedges());
+    }
+}

@@ -1,0 +1,270 @@
+//! Measured workload profiles for the Columbia machine model.
+//!
+//! The scalability figures need, per multigrid level: FLOPs per point per
+//! visit, the ghost-surface scaling law, communication-graph degrees, and
+//! inter-grid transfer locality. All of these are *measured* here on real
+//! meshes — by running instrumented cycles and by partitioning the actual
+//! level graphs at several CPU counts — then extrapolated to the paper's
+//! 72M-point problem through the fitted surface law.
+
+use crate::solver::RansSolver;
+use crate::state::NVARS;
+use columbia_machine::{CycleProfile, IntergridProfile, LevelProfile};
+use columbia_mg::{CycleParams, CycleType};
+use columbia_partition::{
+    contract_lines, expand_line_partition, match_levels, partition_graph, PartitionConfig,
+    PartitionQuality,
+};
+
+/// Surface-law fit: `ghosts_per_part = coeff * q^exponent`.
+#[derive(Clone, Copy, Debug)]
+pub struct SurfaceLaw {
+    /// Prefactor.
+    pub coeff: f64,
+    /// Exponent (~2/3 in 3-D).
+    pub exponent: f64,
+    /// Largest communication degree observed while fitting.
+    pub max_degree: f64,
+}
+
+/// Fit the ghost-surface law of a mesh level by partitioning its
+/// (line-contracted) graph at each count in `parts` and regressing
+/// `log(mean ghosts)` on `log(mean points)`.
+pub fn fit_surface_law(solver: &RansSolver, level: usize, parts: &[usize]) -> SurfaceLaw {
+    let lvl = &solver.levels[level];
+    let graph = lvl.mesh.dual_graph();
+    let cover = line_cover(lvl);
+    let lc = contract_lines(&graph, &cover);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut max_degree = 0.0f64;
+    for &p in parts {
+        if p < 2 || p * 4 > lvl.nvertices() {
+            continue;
+        }
+        let lp = partition_graph(&lc.contracted, p, &PartitionConfig::default());
+        let part = expand_line_partition(&lc.cmap, &lp);
+        let q = PartitionQuality::measure(&graph, &part, p);
+        let mean_pts = lvl.nvertices() as f64 / p as f64;
+        let mean_ghosts = q.mean_ghosts();
+        if mean_ghosts > 0.0 {
+            xs.push(mean_pts.ln());
+            ys.push(mean_ghosts.ln());
+        }
+        max_degree = max_degree.max(q.max_comm_degree() as f64);
+    }
+    if xs.len() < 2 {
+        // Too small to fit: fall back to the canonical 3-D law.
+        return SurfaceLaw {
+            coeff: 6.0,
+            exponent: 2.0 / 3.0,
+            max_degree: max_degree.max(18.0),
+        };
+    }
+    // Least squares on ln y = ln c + e ln x.
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    let (coeff, exponent) = if denom.abs() < 1e-12 {
+        (6.0, 2.0 / 3.0)
+    } else {
+        let e = (n * sxy - sx * sy) / denom;
+        let lnc = (sy - e * sx) / n;
+        (lnc.exp(), e.clamp(0.3, 1.0))
+    };
+    SurfaceLaw {
+        coeff,
+        exponent,
+        max_degree: max_degree.max(1.0),
+    }
+}
+
+fn line_cover(lvl: &crate::level::RansLevel) -> Vec<Vec<u32>> {
+    let mut covered = vec![false; lvl.nvertices()];
+    let mut cover = lvl.lines.clone();
+    for line in &cover {
+        for &v in line {
+            covered[v as usize] = true;
+        }
+    }
+    for v in 0..lvl.nvertices() {
+        if !covered[v] {
+            cover.push(vec![v as u32]);
+        }
+    }
+    cover
+}
+
+/// Measure the non-local fraction of inter-grid transfers between level
+/// `l` and `l + 1` when both are partitioned independently into `p` parts
+/// and greedily matched (the paper's strategy).
+pub fn measure_intergrid_nonlocal(solver: &RansSolver, level: usize, p: usize) -> f64 {
+    let fine = &solver.levels[level];
+    let coarse = &solver.levels[level + 1];
+    let map = fine.to_coarse.as_ref().expect("no map");
+    if p < 2 || coarse.nvertices() < p {
+        return 0.0;
+    }
+    let cfg = PartitionConfig::default();
+    let fine_part = partition_graph(&fine.mesh.dual_graph(), p, &cfg);
+    let coarse_part = partition_graph(&coarse.mesh.dual_graph(), p, &cfg);
+    let w = vec![1.0; fine.nvertices()];
+    let (matched, aligned) = match_levels(&fine_part, map, &coarse_part, p, &w);
+    let _ = matched;
+    1.0 - aligned
+}
+
+/// Measure a full [`CycleProfile`] from an instrumented solver.
+///
+/// * Runs one W-cycle with FLOP counters to get per-level FLOPs/point/visit.
+/// * Fits the ghost-surface law on the finest level (`parts` samples) and
+///   reuses its exponent for coarser levels (same mesh family) with
+///   per-level degree measurements.
+/// * Measures inter-grid non-locality with `match_parts`-way partitions.
+/// * Rescales the level sizes so the finest level has `target_points`
+///   (the paper's 72M), preserving the measured coarsening ratios.
+pub fn measure_profile(
+    solver: &mut RansSolver,
+    cycle: &CycleParams,
+    parts: &[usize],
+    match_parts: usize,
+    target_points: f64,
+    name: &str,
+) -> CycleProfile {
+    // FLOP measurement over one cycle.
+    for lvl in solver.levels.iter_mut() {
+        lvl.flops.take();
+    }
+    solver.cycle(cycle);
+    let nlev = solver.nlevels();
+    let visits: Vec<f64> = (0..nlev)
+        .map(|l| match cycle.cycle {
+            CycleType::V => 1.0,
+            CycleType::W => (1usize << l) as f64,
+        })
+        .collect();
+    let flops_per_point: Vec<f64> = (0..nlev)
+        .map(|l| {
+            let f = solver.levels[l].flops.total() as f64;
+            f / (solver.levels[l].nvertices() as f64 * visits[l])
+        })
+        .collect();
+
+    let law = fit_surface_law(solver, 0, parts);
+    let scale = target_points / solver.levels[0].nvertices() as f64;
+
+    // Exchanges per visit: each smoothing sweep needs gradient add+copy,
+    // residual add, diagonal add, state copy = 5; plus the residual
+    // assembly for the transfer. Derived from the cycle parameters.
+    let sweeps = (cycle.pre_sweeps + cycle.post_sweeps) as f64 / 2.0 + 1.0;
+    let exchanges_per_visit = 5.0 * sweeps + 2.0;
+
+    // Working set per point: 4 state-sized arrays + gradients + diagonal
+    // blocks + mesh metrics (edges amortised per vertex).
+    let state_bytes = (4 * NVARS * 8 + 72 + 296 + 200) as f64;
+
+    let levels: Vec<LevelProfile> = (0..nlev)
+        .map(|l| LevelProfile {
+            name: format!("level {l}"),
+            points: solver.levels[l].nvertices() as f64 * scale,
+            flops_per_point: flops_per_point[l],
+            state_bytes_per_point: state_bytes,
+            exchange_bytes_per_entry: (NVARS * 8) as f64,
+            exchanges_per_visit,
+            surface_coeff: law.coeff,
+            surface_exponent: law.exponent,
+            max_degree: law.max_degree.max(18.0),
+            visits: visits[l],
+            rate_scale: 1.0,
+            cache_fraction: 1.0,
+        })
+        .collect();
+
+    let intergrid: Vec<IntergridProfile> = (0..nlev - 1)
+        .map(|l| IntergridProfile {
+            // Restriction ships state+residual (13 doubles), prolongation
+            // ships the correction (6): ~ (13 + 6) * 8 / 2 per transfer.
+            bytes_per_fine_point: 76.0,
+            transfers_per_cycle: visits[l + 1],
+            nonlocal_fraction: measure_intergrid_nonlocal(solver, l, match_parts).max(0.05),
+            max_degree: (law.max_degree + 1.0).max(19.0),
+            fine_points: solver.levels[l].nvertices() as f64 * scale,
+        })
+        .collect();
+
+    CycleProfile {
+        name: name.to_string(),
+        levels,
+        intergrid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverParams;
+    use columbia_mesh::{wing_mesh, WingMeshSpec};
+
+    fn solver(points: usize, levels: usize) -> RansSolver {
+        let mesh = wing_mesh(&WingMeshSpec {
+            jitter: 0.0,
+            ..WingMeshSpec::with_target_points(points)
+        });
+        RansSolver::new(
+            mesh,
+            SolverParams {
+                mach: 0.5,
+                ..Default::default()
+            },
+            levels,
+        )
+    }
+
+    #[test]
+    fn surface_law_is_sublinear() {
+        let s = solver(12000, 1);
+        let law = fit_surface_law(&s, 0, &[4, 8, 16, 32]);
+        assert!(
+            (0.3..=1.0).contains(&law.exponent),
+            "exponent {}",
+            law.exponent
+        );
+        assert!(law.coeff > 0.1, "coeff {}", law.coeff);
+        assert!(law.max_degree >= 2.0);
+    }
+
+    #[test]
+    fn intergrid_nonlocality_in_unit_range() {
+        let s = solver(4000, 3);
+        let f = measure_intergrid_nonlocal(&s, 0, 8);
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn measured_profile_validates_and_scales() {
+        let mut s = solver(4000, 3);
+        let p = measure_profile(
+            &mut s,
+            &CycleParams::default(),
+            &[4, 8, 16],
+            8,
+            72.0e6,
+            "measured NSU3D",
+        );
+        p.validate().unwrap();
+        assert!((p.levels[0].points - 72.0e6).abs() / 72.0e6 < 1e-9);
+        // FLOPs per point per visit should be in a physically sensible band
+        // for a 6-variable implicit solver (10^3..10^6).
+        for l in &p.levels {
+            assert!(
+                l.flops_per_point > 1e3 && l.flops_per_point < 1e6,
+                "{}: {}",
+                l.name,
+                l.flops_per_point
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The multigrid solver driver: hierarchy construction and FAS transfers.
+
+use crate::level::RansLevel;
+pub use crate::level::SolverParams;
+use crate::state::NVARS;
+use columbia_mesh::{agglomerate_hierarchy, BoundaryKind, UnstructuredMesh};
+use columbia_mg::{
+    fas_cycle, solve_to_tolerance, ConvergenceHistory, CycleParams, MultigridLevel,
+};
+
+impl MultigridLevel for RansLevel {
+    fn smooth(&mut self, sweeps: usize) {
+        for _ in 0..sweeps {
+            self.smooth_sweep();
+        }
+    }
+
+    fn residual_norm(&mut self) -> f64 {
+        self.residual_rms()
+    }
+
+    fn restrict_into(&mut self, coarse: &mut Self) {
+        let map = self
+            .to_coarse
+            .clone()
+            .expect("level has no coarse map; cannot restrict");
+        self.compute_residual();
+        let nc = coarse.nvertices();
+        let mut acc = vec![[0.0f64; NVARS]; nc];
+        let mut racc = vec![[0.0f64; NVARS]; nc];
+        for (v, &c) in map.iter().enumerate() {
+            let vol = self.mesh.volumes[v];
+            let c = c as usize;
+            for k in 0..NVARS {
+                acc[c][k] += vol * self.u[v][k];
+                racc[c][k] += self.res[v][k];
+            }
+        }
+        for c in 0..nc {
+            let iv = 1.0 / coarse.mesh.volumes[c];
+            for k in 0..NVARS {
+                coarse.u[c][k] = acc[c][k] * iv;
+            }
+        }
+        // The coarse state must satisfy the same strong BCs, and the stored
+        // restricted state must match it so the correction is consistent.
+        coarse.apply_bcs();
+        coarse.restricted_u.copy_from_slice(&coarse.u);
+        // FAS forcing: f_c = N_c(u_hat) + R(r_fine); compute N_c with zero
+        // forcing first.
+        for f in coarse.forcing.iter_mut() {
+            *f = [0.0; NVARS];
+        }
+        coarse.compute_residual(); // res = -N_c(u_hat) (BC rows zeroed)
+        for c in 0..nc {
+            for k in 0..NVARS {
+                coarse.forcing[c][k] = -coarse.res[c][k] + racc[c][k];
+            }
+        }
+    }
+
+    fn prolong_from(&mut self, coarse: &Self) {
+        let map = self
+            .to_coarse
+            .as_ref()
+            .expect("level has no coarse map; cannot prolongate");
+        let relax = self.params.prolong_relax;
+        for (v, &c) in map.iter().enumerate() {
+            if self.mesh.bc[v] == BoundaryKind::FarField {
+                continue;
+            }
+            let c = c as usize;
+            let mut corr = [0.0f64; NVARS];
+            for k in 0..NVARS {
+                corr[k] = relax * (coarse.u[c][k] - coarse.restricted_u[c][k]);
+            }
+            // Positivity backtracking: halve the correction until density
+            // and pressure stay within a factor of 2 of the current state.
+            let mut alpha = 1.0;
+            for _ in 0..6 {
+                let mut trial = self.u[v];
+                for k in 0..NVARS {
+                    trial[k] += alpha * corr[k];
+                }
+                let rho_ok = trial[0] > 0.5 * self.u[v][0] && trial[0] < 2.0 * self.u[v][0];
+                let p_old = crate::state::pressure(&self.u[v]);
+                let p_new = crate::state::pressure(&trial);
+                let p_ok = p_new > 0.5 * p_old && p_new < 2.0 * p_old;
+                if rho_ok && p_ok {
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            for k in 0..NVARS {
+                self.u[v][k] += alpha * corr[k];
+            }
+        }
+        self.apply_bcs();
+    }
+}
+
+/// The NSU3D-style solver: an agglomeration multigrid hierarchy over an
+/// unstructured mesh.
+pub struct RansSolver {
+    /// Levels, finest first.
+    pub levels: Vec<RansLevel>,
+}
+
+impl RansSolver {
+    /// Build a solver with up to `nlevels` agglomerated levels (coarsening
+    /// stops early if a level would drop below ~10 vertices).
+    pub fn new(mesh: UnstructuredMesh, params: SolverParams, nlevels: usize) -> Self {
+        assert!(nlevels >= 1);
+        let steps = agglomerate_hierarchy(&mesh, nlevels, 10);
+        let mut levels = Vec::with_capacity(steps.len() + 1);
+        let mut fine = RansLevel::new(mesh, params);
+        for step in &steps {
+            fine.to_coarse = Some(step.fine_to_coarse.clone());
+            levels.push(fine);
+            fine = RansLevel::new(step.coarse.clone(), params);
+        }
+        levels.push(fine);
+        let mut solver = RansSolver { levels };
+        solver.initialize();
+        solver
+    }
+
+    /// Reset all levels to free stream with boundary conditions applied.
+    pub fn initialize(&mut self) {
+        for lvl in &mut self.levels {
+            let fs = lvl.fs;
+            for u in lvl.u.iter_mut() {
+                *u = fs;
+            }
+            for f in lvl.forcing.iter_mut() {
+                *f = [0.0; NVARS];
+            }
+            lvl.apply_bcs();
+        }
+    }
+
+    /// Number of levels actually built.
+    pub fn nlevels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Vertex counts per level, finest first.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.nvertices()).collect()
+    }
+
+    /// Run one multigrid cycle.
+    pub fn cycle(&mut self, params: &CycleParams) {
+        fas_cycle(&mut self.levels, params);
+    }
+
+    /// Set the working CFL on every level.
+    pub fn set_cfl(&mut self, cfl: f64) {
+        for lvl in &mut self.levels {
+            lvl.cfl_now = cfl;
+        }
+    }
+
+    /// Run cycles to tolerance with geometric CFL ramping from
+    /// `params.cfl_start` to `params.cfl`; returns the fine residual
+    /// history.
+    pub fn solve(
+        &mut self,
+        params: &CycleParams,
+        tol: f64,
+        max_cycles: usize,
+    ) -> ConvergenceHistory {
+        let sp = self.levels[0].params;
+        let mut history = ConvergenceHistory::default();
+        history.residuals.push(self.levels[0].residual_rms());
+        let mut cfl = sp.cfl_start.min(sp.cfl);
+        for _ in 0..max_cycles {
+            if *history.residuals.last().unwrap() <= tol {
+                break;
+            }
+            self.set_cfl(cfl);
+            fas_cycle(&mut self.levels, params);
+            history.residuals.push(self.levels[0].residual_rms());
+            cfl = (cfl * 1.6).min(sp.cfl);
+        }
+        history
+    }
+
+    /// Run cycles at a fixed CFL (no ramping) — used by tests and by the
+    /// generic driver parity checks.
+    pub fn solve_fixed_cfl(
+        &mut self,
+        params: &CycleParams,
+        tol: f64,
+        max_cycles: usize,
+    ) -> ConvergenceHistory {
+        solve_to_tolerance(&mut self.levels, params, tol, max_cycles)
+    }
+
+    /// Total software-counted FLOPs across all levels (and reset counters).
+    pub fn take_flops(&mut self) -> u64 {
+        self.levels.iter_mut().map(|l| l.flops.take()).sum()
+    }
+
+    /// Per-level FLOPs since the last reset, finest first (not reset).
+    pub fn level_flops(&self) -> Vec<u64> {
+        self.levels.iter().map(|l| l.flops.total()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_mesh::{wing_mesh, WingMeshSpec};
+    use columbia_mg::CycleType;
+
+    fn wing(n: usize) -> UnstructuredMesh {
+        wing_mesh(&WingMeshSpec {
+            jitter: 0.0,
+            ..WingMeshSpec::with_target_points(n)
+        })
+    }
+
+    fn params() -> SolverParams {
+        SolverParams {
+            mach: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hierarchy_has_requested_levels() {
+        let s = RansSolver::new(wing(4000), params(), 4);
+        assert_eq!(s.nlevels(), 4);
+        let sizes = s.level_sizes();
+        for w in sizes.windows(2) {
+            assert!(w[1] < w[0], "levels must shrink: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn multigrid_drives_residual_down() {
+        let mut s = RansSolver::new(wing(3000), params(), 4);
+        let hist = s.solve(&CycleParams::default(), 0.0, 25);
+        assert!(
+            hist.orders_reduced() > 2.0,
+            "only {} orders in 25 cycles: {:?}",
+            hist.orders_reduced(),
+            &hist.residuals
+        );
+    }
+
+    #[test]
+    fn multigrid_beats_single_grid_per_cycle() {
+        let mesh = wing(3000);
+        let mut mg = RansSolver::new(mesh.clone(), params(), 4);
+        let mut sg = RansSolver::new(mesh, params(), 1);
+        let cp = CycleParams::default();
+        let hm = mg.solve(&cp, 0.0, 12);
+        let hs = sg.solve(&cp, 0.0, 12);
+        assert!(
+            hm.orders_reduced() > hs.orders_reduced(),
+            "mg {} vs single {}",
+            hm.orders_reduced(),
+            hs.orders_reduced()
+        );
+    }
+
+    #[test]
+    fn w_cycle_at_least_matches_v_cycle() {
+        let mesh = wing(3000);
+        let mut v = RansSolver::new(mesh.clone(), params(), 4);
+        let mut w = RansSolver::new(mesh, params(), 4);
+        let cv = CycleParams {
+            cycle: CycleType::V,
+            ..Default::default()
+        };
+        let cw = CycleParams {
+            cycle: CycleType::W,
+            ..Default::default()
+        };
+        let hv = v.solve(&cv, 0.0, 10);
+        let hw = w.solve(&cw, 0.0, 10);
+        assert!(
+            hw.orders_reduced() >= hv.orders_reduced() - 0.3,
+            "W {} vs V {}",
+            hw.orders_reduced(),
+            hv.orders_reduced()
+        );
+    }
+
+    #[test]
+    fn flop_accounting_scales_with_cycles() {
+        let mut s = RansSolver::new(wing(2000), params(), 3);
+        s.cycle(&CycleParams::default());
+        let f1 = s.take_flops();
+        s.cycle(&CycleParams::default());
+        s.cycle(&CycleParams::default());
+        let f2 = s.take_flops();
+        assert!(f1 > 0);
+        let ratio = f2 as f64 / f1 as f64;
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "2 cycles should cost ~2x one: ratio {ratio}"
+        );
+    }
+}

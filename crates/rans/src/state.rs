@@ -1,0 +1,295 @@
+//! Flow state, fluxes, and Jacobians for the six-variable system.
+//!
+//! Conservative variables per vertex: `[rho, rho*u, rho*v, rho*w, E,
+//! rho*nu_t]` — compressible flow plus a passively advected, diffused and
+//! sourced turbulence working variable (Spalart-Allmaras style), solved
+//! coupled as in NSU3D.
+
+use columbia_linalg::BlockMat;
+use columbia_mesh::Vec3;
+
+/// Number of coupled unknowns per vertex (paper: "six degrees of freedom at
+/// each grid point").
+pub const NVARS: usize = 6;
+
+/// Conservative state vector.
+pub type State = [f64; NVARS];
+
+/// Ratio of specific heats.
+pub const GAMMA: f64 = 1.4;
+
+/// Turbulence model constants (Spalart-Allmaras).
+pub mod sa {
+    /// Production coefficient.
+    pub const CB1: f64 = 0.1355;
+    /// Diffusion coefficient.
+    pub const SIGMA: f64 = 2.0 / 3.0;
+    /// Second diffusion coefficient.
+    pub const CB2: f64 = 0.622;
+    /// Kármán constant.
+    pub const KAPPA: f64 = 0.41;
+    /// Destruction coefficient `cb1/kappa^2 + (1 + cb2)/sigma`.
+    pub const CW1: f64 = CB1 / (KAPPA * KAPPA) + (1.0 + CB2) / SIGMA;
+    /// Wall-damping constant.
+    pub const CV1: f64 = 7.1;
+}
+
+/// Static pressure from the conservative state.
+#[inline]
+pub fn pressure(u: &State) -> f64 {
+    let rho = u[0];
+    let q2 = (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / rho;
+    (GAMMA - 1.0) * (u[4] - 0.5 * q2)
+}
+
+/// Speed of sound.
+#[inline]
+pub fn sound_speed(u: &State) -> f64 {
+    (GAMMA * pressure(u) / u[0]).max(1e-300).sqrt()
+}
+
+/// Velocity vector.
+#[inline]
+pub fn velocity(u: &State) -> Vec3 {
+    Vec3::new(u[1] / u[0], u[2] / u[0], u[3] / u[0])
+}
+
+/// Turbulence working variable `nu_t = (rho*nu_t)/rho`.
+#[inline]
+pub fn nu_tilde(u: &State) -> f64 {
+    u[5] / u[0]
+}
+
+/// Convective flux through area vector `s` (magnitude = face area).
+#[inline]
+pub fn flux(u: &State, s: Vec3) -> State {
+    let v = velocity(u);
+    let un = v.dot(s); // volume flux through the face
+    let p = pressure(u);
+    [
+        u[0] * un,
+        u[1] * un + p * s.x,
+        u[2] * un + p * s.y,
+        u[3] * un + p * s.z,
+        (u[4] + p) * un,
+        u[5] * un,
+    ]
+}
+
+/// Convective spectral radius `|V.S| + c|S|`.
+#[inline]
+pub fn spectral_radius(u: &State, s: Vec3) -> f64 {
+    velocity(u).dot(s).abs() + sound_speed(u) * s.norm()
+}
+
+/// Rusanov (local Lax-Friedrichs) numerical flux from `ul` to `ur` through
+/// area vector `s` (oriented l -> r). Robust, monotone, and smooth enough
+/// to be driven hard by implicit smoothers — the appropriate model operator
+/// for a scalability reproduction.
+#[inline]
+pub fn rusanov(ul: &State, ur: &State, s: Vec3) -> State {
+    let fl = flux(ul, s);
+    let fr = flux(ur, s);
+    let lam = spectral_radius(ul, s).max(spectral_radius(ur, s));
+    let mut out = [0.0; NVARS];
+    for k in 0..NVARS {
+        out[k] = 0.5 * (fl[k] + fr[k]) - 0.5 * lam * (ur[k] - ul[k]);
+    }
+    out
+}
+
+/// Analytic Jacobian `dF/dU` of the convective flux through `s`.
+///
+/// Standard compressible-flow Jacobian extended with the passively advected
+/// sixth variable (pressure does not depend on `rho*nu_t`).
+pub fn flux_jacobian(u: &State, s: Vec3) -> BlockMat<NVARS> {
+    let rho = u[0];
+    let vel = velocity(u);
+    let (vx, vy, vz) = (vel.x, vel.y, vel.z);
+    let un = vel.dot(s);
+    let q2 = vx * vx + vy * vy + vz * vz;
+    let phi = 0.5 * (GAMMA - 1.0) * q2;
+    let p = pressure(u);
+    let h = (u[4] + p) / rho; // total enthalpy
+    let nt = u[5] / rho;
+    let g1 = GAMMA - 1.0;
+
+    let mut a = BlockMat::zero();
+    // Mass row.
+    a.set(0, 1, s.x);
+    a.set(0, 2, s.y);
+    a.set(0, 3, s.z);
+    // Momentum rows.
+    let sv = [s.x, s.y, s.z];
+    let vv = [vx, vy, vz];
+    for i in 0..3 {
+        a.set(1 + i, 0, phi * sv[i] - vv[i] * un);
+        for j in 0..3 {
+            let mut val = vv[i] * sv[j] - g1 * vv[j] * sv[i];
+            if i == j {
+                val += un;
+            }
+            a.set(1 + i, 1 + j, val);
+        }
+        a.set(1 + i, 4, g1 * sv[i]);
+    }
+    // Energy row.
+    a.set(4, 0, un * (phi - h));
+    for j in 0..3 {
+        a.set(4, 1 + j, h * sv[j] - g1 * vv[j] * un);
+    }
+    a.set(4, 4, GAMMA * un);
+    // Turbulence row: F6 = (rho nu) * un.
+    a.set(5, 0, -nt * un);
+    for j in 0..3 {
+        a.set(5, 1 + j, nt * sv[j]);
+    }
+    a.set(5, 5, un);
+    a
+}
+
+/// Free-stream conservative state for Mach number `mach` at `alpha` radians
+/// angle of attack (in the x-y plane) with unit density and unit sound
+/// speed, and turbulence variable `nu_t_inf`.
+pub fn freestream(mach: f64, alpha: f64, nu_t_inf: f64) -> State {
+    let rho = 1.0;
+    let p = 1.0 / GAMMA; // c = 1
+    let q = mach;
+    let (vx, vy, vz) = (q * alpha.cos(), q * alpha.sin(), 0.0);
+    let e = p / (GAMMA - 1.0) + 0.5 * rho * q * q;
+    [rho, rho * vx, rho * vy, rho * vz, e, rho * nu_t_inf]
+}
+
+/// SA wall-damping function `fv1 = chi^3 / (chi^3 + cv1^3)`, `chi = nu_t/nu`.
+#[inline]
+pub fn fv1(nu_t: f64, nu_laminar: f64) -> f64 {
+    let chi = (nu_t / nu_laminar).max(0.0);
+    let c3 = chi * chi * chi;
+    c3 / (c3 + sa::CV1 * sa::CV1 * sa::CV1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fs() -> State {
+        freestream(0.5, 0.02, 1e-4)
+    }
+
+    #[test]
+    fn freestream_has_unit_sound_speed() {
+        let u = fs();
+        assert!((sound_speed(&u) - 1.0).abs() < 1e-12);
+        assert!((velocity(&u).norm() - 0.5).abs() < 1e-12);
+        assert!((nu_tilde(&u) - 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn flux_in_zero_normal_is_zero() {
+        let u = fs();
+        let f = flux(&u, Vec3::ZERO);
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rusanov_is_consistent() {
+        // f(u, u, s) == F(u).s (consistency of the numerical flux).
+        let u = fs();
+        let s = Vec3::new(0.3, -0.2, 0.9);
+        let num = rusanov(&u, &u, s);
+        let exact = flux(&u, s);
+        for k in 0..NVARS {
+            assert!((num[k] - exact[k]).abs() < 1e-14, "component {k}");
+        }
+    }
+
+    #[test]
+    fn rusanov_conserves_antisymmetry() {
+        // Flux l->r through s equals minus flux r->l through -s.
+        let ul = fs();
+        let mut ur = fs();
+        ur[0] = 1.1;
+        ur[4] *= 1.2;
+        let s = Vec3::new(0.5, 0.1, -0.3);
+        let f1 = rusanov(&ul, &ur, s);
+        let f2 = rusanov(&ur, &ul, -s);
+        for k in 0..NVARS {
+            assert!((f1[k] + f2[k]).abs() < 1e-14, "component {k}");
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let u = {
+            let mut u = fs();
+            u[3] = 0.1; // non-trivial w
+            u
+        };
+        let s = Vec3::new(0.7, -0.4, 0.2);
+        let a = flux_jacobian(&u, s);
+        let eps = 1e-7;
+        for j in 0..NVARS {
+            let mut up = u;
+            let mut um = u;
+            let h = eps * (1.0 + u[j].abs());
+            up[j] += h;
+            um[j] -= h;
+            let fp = flux(&up, s);
+            let fm = flux(&um, s);
+            for i in 0..NVARS {
+                let fd = (fp[i] - fm[i]) / (2.0 * h);
+                let an = a.get(i, j);
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                    "dF{i}/dU{j}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_radius_bounds_jacobian_in_1d() {
+        // For the exact Jacobian, the largest eigenvalue magnitude is
+        // |un| + c|s|; check the Rusanov lambda dominates a matvec growth.
+        let u = fs();
+        let s = Vec3::new(1.0, 0.0, 0.0);
+        let lam = spectral_radius(&u, s);
+        assert!((lam - (0.5 * 0.02f64.cos() + 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fv1_limits() {
+        assert!(fv1(0.0, 1e-3) == 0.0);
+        assert!(fv1(1.0, 1e-6) > 0.999);
+        let mid = fv1(7.1e-3, 1e-3); // chi = cv1 -> 0.5
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Pressure positivity is preserved by the freestream constructor
+        /// and pressure() inverts the energy relation.
+        #[test]
+        fn prop_freestream_roundtrip(m in 0.05f64..0.95, al in -0.3f64..0.3) {
+            let u = freestream(m, al, 1e-4);
+            prop_assert!(pressure(&u) > 0.0);
+            prop_assert!((pressure(&u) - 1.0 / GAMMA).abs() < 1e-12);
+            prop_assert!((velocity(&u).norm() - m).abs() < 1e-12);
+        }
+
+        /// Jacobian is exactly the derivative of a *homogeneous* function:
+        /// for Euler (rows 0..5), F(U) = A(U) U (flux homogeneity of degree
+        /// one in U).
+        #[test]
+        fn prop_flux_homogeneity(m in 0.1f64..0.9, sx in -1.0f64..1.0, sy in -1.0f64..1.0) {
+            let u = freestream(m, 0.1, 1e-4);
+            let s = Vec3::new(sx, sy, 0.4);
+            let a = flux_jacobian(&u, s);
+            let au = a.mul_vec(&u);
+            let f = flux(&u, s);
+            for k in 0..NVARS {
+                prop_assert!((au[k] - f[k]).abs() < 1e-12 * (1.0 + f[k].abs()), "component {}", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Peano-Hilbert curve in three dimensions.
+//!
+//! Implementation follows Skilling's "Programming the Hilbert curve"
+//! (AIP Conf. Proc. 707, 2004): coordinates are converted to/from the
+//! "transpose" representation with a pair of bit-twiddling passes, and the
+//! final key is obtained by interleaving the transposed bits.
+//!
+//! Unlike Morton, consecutive Hilbert keys always correspond to cells that
+//! are *face neighbours*, which is what gives SFC partitions their good
+//! surface-to-volume ratio.
+
+use crate::MAX_BITS;
+
+const N: usize = 3;
+
+/// Convert axis coordinates to the Hilbert transpose form, in place.
+fn axes_to_transpose(x: &mut [u32; N], bits: u32) {
+    let m = 1u32 << (bits - 1);
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..N {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..N {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    let mut q = m;
+    while q > 1 {
+        if x[N - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Convert the Hilbert transpose form back to axis coordinates, in place.
+fn transpose_to_axes(x: &mut [u32; N], bits: u32) {
+    let m = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[N - 1] >> 1;
+    for i in (1..N).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2;
+    while q != m {
+        let p = q - 1;
+        for i in (0..N).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Encode `(x, y, z)` at `bits` of per-axis resolution into a Hilbert key.
+///
+/// # Panics
+/// If `bits` is 0 or exceeds [`MAX_BITS`], or a coordinate is out of range.
+pub fn hilbert_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
+    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    let lim = 1u32 << bits;
+    assert!(
+        x < lim && y < lim && z < lim,
+        "coordinate out of range for {bits} bits: ({x}, {y}, {z})"
+    );
+    let mut t = [x, y, z];
+    axes_to_transpose(&mut t, bits);
+    // Interleave: bit j of axis i lands at key bit 3*j + (2 - i), so axis 0
+    // carries the most significant bit of each triple.
+    let mut key = 0u64;
+    for j in (0..bits).rev() {
+        for ti in t.iter() {
+            let bit = ((ti >> j) & 1) as u64;
+            key = (key << 1) | bit;
+        }
+    }
+    key
+}
+
+/// Decode a Hilbert key back into `(x, y, z)`.
+pub fn hilbert_decode(key: u64, bits: u32) -> (u32, u32, u32) {
+    assert!((1..=MAX_BITS).contains(&bits));
+    let mut t = [0u32; N];
+    for j in 0..bits {
+        for (i, ti) in t.iter_mut().enumerate() {
+            let shift = 3 * j + (2 - i as u32);
+            let bit = ((key >> shift) & 1) as u32;
+            *ti |= bit << j;
+        }
+    }
+    transpose_to_axes(&mut t, bits);
+    (t[0], t[1], t[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_bit_curve_visits_all_corners_with_unit_steps() {
+        let mut prev: Option<(u32, u32, u32)> = None;
+        let mut seen = HashSet::new();
+        for k in 0..8u64 {
+            let p = hilbert_decode(k, 1);
+            assert!(seen.insert(p));
+            if let Some(q) = prev {
+                let d = (p.0 as i64 - q.0 as i64).abs()
+                    + (p.1 as i64 - q.1 as i64).abs()
+                    + (p.2 as i64 - q.2 as i64).abs();
+                assert_eq!(d, 1, "step {k} not a unit move: {q:?} -> {p:?}");
+            }
+            prev = Some(p);
+        }
+    }
+
+    #[test]
+    fn exhaustive_bijective_and_adjacent_on_16_cube() {
+        let bits = 4;
+        let n = 1u64 << (3 * bits);
+        let mut seen = vec![false; n as usize];
+        let mut prev: Option<(u32, u32, u32)> = None;
+        for k in 0..n {
+            let (x, y, z) = hilbert_decode(k, bits);
+            let back = hilbert_encode(x, y, z, bits);
+            assert_eq!(back, k, "roundtrip failed at key {k}");
+            let idx = (x as usize) | ((y as usize) << 4) | ((z as usize) << 8);
+            assert!(!seen[idx], "cell visited twice");
+            seen[idx] = true;
+            if let Some(q) = prev {
+                let d = (x as i64 - q.0 as i64).abs()
+                    + (y as i64 - q.1 as i64).abs()
+                    + (z as i64 - q.2 as i64).abs();
+                assert_eq!(d, 1, "non-adjacent step at key {k}");
+            }
+            prev = Some((x, y, z));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn start_at_origin() {
+        for bits in 1..=8 {
+            assert_eq!(hilbert_decode(0, bits), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        hilbert_encode(4, 0, 0, 2);
+    }
+
+    #[test]
+    fn locality_beats_morton_on_average() {
+        // Mean squared euclidean distance between consecutive curve points
+        // should be strictly smaller for Hilbert than Morton (Hilbert is
+        // always 1.0 by construction).
+        let bits = 4;
+        let n = 1u64 << (3 * bits);
+        let mut hsum = 0f64;
+        let mut msum = 0f64;
+        let mut hprev = hilbert_decode(0, bits);
+        let mut mprev = crate::morton::morton_decode(0, bits);
+        for k in 1..n {
+            let h = hilbert_decode(k, bits);
+            let m = crate::morton::morton_decode(k, bits);
+            let d2 = |a: (u32, u32, u32), b: (u32, u32, u32)| {
+                let dx = a.0 as f64 - b.0 as f64;
+                let dy = a.1 as f64 - b.1 as f64;
+                let dz = a.2 as f64 - b.2 as f64;
+                dx * dx + dy * dy + dz * dz
+            };
+            hsum += d2(h, hprev);
+            msum += d2(m, mprev);
+            hprev = h;
+            mprev = m;
+        }
+        assert!(hsum < msum, "hilbert {hsum} should beat morton {msum}");
+        assert!((hsum - (n - 1) as f64).abs() < 1e-9, "hilbert steps are all unit");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+            let k = hilbert_encode(x, y, z, 21);
+            prop_assert_eq!(hilbert_decode(k, 21), (x, y, z));
+        }
+
+        /// Consecutive keys decode to face-adjacent cells at any resolution.
+        #[test]
+        fn prop_unit_steps(k in 0u64..((1u64 << 18) - 1)) {
+            let a = hilbert_decode(k, 6);
+            let b = hilbert_decode(k + 1, 6);
+            let d = (a.0 as i64 - b.0 as i64).abs()
+                + (a.1 as i64 - b.1 as i64).abs()
+                + (a.2 as i64 - b.2 as i64).abs();
+            prop_assert_eq!(d, 1);
+        }
+    }
+}

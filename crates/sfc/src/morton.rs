@@ -1,0 +1,145 @@
+//! Morton (Z-order) curve: bit interleaving in three dimensions.
+//!
+//! The key property exploited by the single-pass mesh coarsener is that the
+//! eight children of an octree cell occupy eight *consecutive* positions on
+//! the curve, so sibling detection is a local scan.
+
+use crate::MAX_BITS;
+
+/// Spread the low 21 bits of `v` so each lands every third bit position.
+#[inline]
+fn spread3(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread3`]: gather every third bit back into the low 21 bits.
+#[inline]
+fn compact3(v: u64) -> u32 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Encode `(x, y, z)` at `bits` of per-axis resolution into a Morton key.
+///
+/// Bit `k` of `x` lands at key bit `3k`, of `y` at `3k + 1`, of `z` at
+/// `3k + 2`; `bits` only bounds the valid coordinate range (the encoding
+/// itself is resolution-independent).
+///
+/// # Panics
+/// If `bits > 21` or any coordinate needs more than `bits` bits.
+#[inline]
+pub fn morton_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
+    assert!(bits <= MAX_BITS, "morton supports at most {MAX_BITS} bits/axis");
+    let lim = 1u32.checked_shl(bits).unwrap_or(u32::MAX);
+    assert!(
+        x < lim && y < lim && z < lim,
+        "coordinate out of range for {bits} bits: ({x}, {y}, {z})"
+    );
+    spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
+}
+
+/// Decode a Morton key back into `(x, y, z)`.
+#[inline]
+pub fn morton_decode(key: u64, bits: u32) -> (u32, u32, u32) {
+    assert!(bits <= MAX_BITS);
+    let mask = if bits == 0 { 0 } else { (1u64 << (3 * bits)) - 1 };
+    let key = key & mask;
+    (compact3(key), compact3(key >> 1), compact3(key >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn known_small_values() {
+        // Unit cube corners at 1 bit.
+        assert_eq!(morton_encode(0, 0, 0, 1), 0);
+        assert_eq!(morton_encode(1, 0, 0, 1), 1);
+        assert_eq!(morton_encode(0, 1, 0, 1), 2);
+        assert_eq!(morton_encode(1, 1, 0, 1), 3);
+        assert_eq!(morton_encode(0, 0, 1, 1), 4);
+        assert_eq!(morton_encode(1, 1, 1, 1), 7);
+    }
+
+    #[test]
+    fn children_are_consecutive() {
+        // The 8 children of the cell at (2,4,6) level-3 parent occupy
+        // 8 consecutive keys.
+        let (px, py, pz) = (2u32, 4, 6);
+        let mut keys: Vec<u64> = (0..8)
+            .map(|c| {
+                let dx = c & 1;
+                let dy = (c >> 1) & 1;
+                let dz = (c >> 2) & 1;
+                morton_encode(px * 2 + dx, py * 2 + dy, pz * 2 + dz, 4)
+            })
+            .collect();
+        keys.sort_unstable();
+        for w in keys.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        assert_eq!(keys[0] % 8, 0, "first child aligned to multiple of 8");
+    }
+
+    #[test]
+    fn exhaustive_bijective_on_small_grid() {
+        let bits = 3;
+        let mut seen = HashSet::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    let k = morton_encode(x, y, z, bits);
+                    assert!(seen.insert(k), "duplicate key {k}");
+                    assert_eq!(morton_decode(k, bits), (x, y, z));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 512);
+        assert_eq!(*seen.iter().max().unwrap(), 511);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        morton_encode(8, 0, 0, 3);
+    }
+
+    #[test]
+    fn max_bits_roundtrip() {
+        let m = (1u32 << 21) - 1;
+        let k = morton_encode(m, m, m, 21);
+        assert_eq!(morton_decode(k, 21), (m, m, m));
+        assert_eq!(k, (1u64 << 63) - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+            let k = morton_encode(x, y, z, 21);
+            prop_assert_eq!(morton_decode(k, 21), (x, y, z));
+        }
+
+        /// Monotone in each axis: increasing one coordinate increases the key
+        /// when the others are zero.
+        #[test]
+        fn prop_axis_monotone(x in 0u32..((1 << 21) - 1)) {
+            prop_assert!(morton_encode(x, 0, 0, 21) < morton_encode(x + 1, 0, 0, 21));
+            prop_assert!(morton_encode(0, x, 0, 21) < morton_encode(0, x + 1, 0, 21));
+            prop_assert!(morton_encode(0, 0, x, 21) < morton_encode(0, 0, x + 1, 21));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Weighted curve-splitting partitioner.
+//!
+//! Once cells are sorted along a space-filling curve, domain decomposition
+//! reduces to cutting the curve into `P` contiguous segments of (nearly)
+//! equal total weight. Cut cells are weighted more heavily than full
+//! Cartesian hexahedra (the paper's SSLV example uses a factor of 2.1) to
+//! balance the extra flux work they incur.
+
+/// Result of splitting a weighted curve into contiguous partitions.
+#[derive(Clone, Debug)]
+pub struct CurvePartition {
+    /// `starts[p]..starts[p+1]` is the index range (into the SFC-sorted cell
+    /// array) owned by partition `p`. Length `nparts + 1`.
+    pub starts: Vec<usize>,
+}
+
+impl CurvePartition {
+    /// Number of partitions.
+    pub fn nparts(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Index range of partition `p`.
+    pub fn range(&self, p: usize) -> std::ops::Range<usize> {
+        self.starts[p]..self.starts[p + 1]
+    }
+
+    /// Owner partition of sorted-cell index `i` (binary search).
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < *self.starts.last().unwrap());
+        match self.starts.binary_search(&i) {
+            Ok(p) => p.min(self.nparts() - 1),
+            Err(p) => p - 1,
+        }
+    }
+
+    /// Load imbalance: max partition weight / mean partition weight.
+    pub fn imbalance(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.nparts() as f64;
+        let mut max = 0.0f64;
+        for p in 0..self.nparts() {
+            let w: f64 = weights[self.range(p)].iter().sum();
+            max = max.max(w);
+        }
+        max / mean
+    }
+}
+
+/// Split a weighted, SFC-sorted cell list into `nparts` contiguous segments.
+///
+/// Uses the standard prefix-sum chunking: partition `p` ends at the first
+/// index whose cumulative weight reaches `(p + 1) / nparts` of the total.
+/// Empty partitions are possible only when there are fewer cells than
+/// partitions (the paper notes some empty coarsest-level partitions at 2008
+/// CPUs — the downstream machinery tolerates them).
+///
+/// # Panics
+/// If `nparts == 0` or any weight is negative.
+pub fn split_weighted_curve(weights: &[f64], nparts: usize) -> CurvePartition {
+    assert!(nparts > 0, "need at least one partition");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "cell weights must be non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    let n = weights.len();
+    let mut starts = Vec::with_capacity(nparts + 1);
+    starts.push(0);
+    let mut acc = 0.0;
+    let mut i = 0;
+    for p in 1..nparts {
+        let target = total * (p as f64) / (nparts as f64);
+        while i < n && acc + weights[i] * 0.5 < target {
+            acc += weights[i];
+            i += 1;
+        }
+        starts.push(i);
+    }
+    starts.push(n);
+    CurvePartition { starts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![1.0; 100];
+        let p = split_weighted_curve(&w, 4);
+        assert_eq!(p.starts, vec![0, 25, 50, 75, 100]);
+        assert!((p.imbalance(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_cell_weighting_shifts_boundaries() {
+        // First half cells are "cut" (weight 2.1), second half full (1.0);
+        // the midpoint partition boundary must sit inside the first half.
+        let mut w = vec![2.1; 50];
+        w.extend(std::iter::repeat(1.0).take(50));
+        let p = split_weighted_curve(&w, 2);
+        assert!(p.starts[1] < 50, "boundary {} should be in cut region", p.starts[1]);
+        assert!(p.imbalance(&w) < 1.05);
+    }
+
+    #[test]
+    fn more_parts_than_cells_yields_empty_parts() {
+        let w = vec![1.0; 3];
+        let p = split_weighted_curve(&w, 8);
+        assert_eq!(p.nparts(), 8);
+        let nonempty = (0..8).filter(|&q| !p.range(q).is_empty()).count();
+        assert_eq!(nonempty, 3);
+        // All cells covered exactly once.
+        let covered: usize = (0..8).map(|q| p.range(q).len()).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn owner_is_consistent_with_ranges() {
+        let w = vec![1.0; 37];
+        let p = split_weighted_curve(&w, 5);
+        for q in 0..5 {
+            for i in p.range(q) {
+                assert_eq!(p.owner(i), q);
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let w = vec![3.0; 10];
+        let p = split_weighted_curve(&w, 1);
+        assert_eq!(p.range(0), 0..10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_parts_panics() {
+        split_weighted_curve(&[1.0], 0);
+    }
+
+    proptest! {
+        /// Partitions always tile the index range in order.
+        #[test]
+        fn prop_tiling(n in 0usize..200, nparts in 1usize..17) {
+            let w: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+            let p = split_weighted_curve(&w, nparts);
+            prop_assert_eq!(p.starts[0], 0);
+            prop_assert_eq!(*p.starts.last().unwrap(), n);
+            for k in 0..nparts {
+                prop_assert!(p.starts[k] <= p.starts[k + 1]);
+            }
+        }
+
+        /// With many more unit-weight cells than partitions, imbalance stays
+        /// close to 1.
+        #[test]
+        fn prop_balanced_when_plenty_of_cells(nparts in 1usize..16) {
+            let w = vec![1.0; 10_000];
+            let p = split_weighted_curve(&w, nparts);
+            prop_assert!(p.imbalance(&w) < 1.01);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Aero-performance database fill (paper §IV).
+//!
+//! Sweeps a configuration-space of elevon deflections against a wind-space
+//! of Mach numbers and angles of attack on the SSLV-style launch-vehicle
+//! stack, reusing one mesh per geometry instance and running wind cases on
+//! parallel threads — the miniature version of the paper's 10^4..10^6-case
+//! fills. Finishes with an on-demand "virtual database" re-run.
+//!
+//! ```text
+//! cargo run --release --example database_fill
+//! ```
+
+use columbia_cartesian::sslv_geometry;
+use columbia_core::{CartAnalysis, DatabaseFill, DatabaseSpec};
+
+fn main() {
+    let analysis = CartAnalysis::default().resolution(3, 6);
+    let fill = DatabaseFill::new(analysis, sslv_geometry);
+
+    let spec = DatabaseSpec {
+        deflections: vec![0.0, 0.5],
+        machs: vec![0.6, 1.4, 2.6],
+        alphas: vec![0.0, 0.0365], // paper's SSLV case: 2.09 deg
+        betas: vec![0.0],
+        cycles: 20,
+    };
+    println!(
+        "filling database: {} geometry instance(s) x {} wind cases = {} runs",
+        spec.deflections.len(),
+        spec.machs.len() * spec.alphas.len() * spec.betas.len(),
+        spec.ncases()
+    );
+    let t0 = std::time::Instant::now();
+    let db = fill.run(&spec, 3);
+    println!("filled {} entries in {:.1} s\n", db.len(), t0.elapsed().as_secs_f64());
+
+    println!(
+        "{:>8}{:>8}{:>8}{:>12}{:>12}{:>12}{:>8}",
+        "defl", "Mach", "alpha", "Fx", "Fy", "Fz", "orders"
+    );
+    for e in &db {
+        println!(
+            "{:>8.2}{:>8.2}{:>8.3}{:>12.4}{:>12.4}{:>12.4}{:>8.1}",
+            e.deflection, e.mach, e.alpha, e.forces.force.x, e.forces.force.y, e.forces.force.z,
+            e.orders
+        );
+    }
+
+    // Virtual database: re-run one case on demand instead of storing the
+    // full flow field (the paper: often faster than mass storage).
+    println!("\nvirtual-database re-run of (defl 0.15, M 2.6, alpha 2.09 deg):");
+    let again = fill.rerun(0.15, 2.6, 0.0365, 0.0, spec.cycles);
+    println!(
+        "  Fx {:+.4}  Fz {:+.4}  ({:.1} orders)",
+        again.forces.force.x, again.forces.force.z, again.orders
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: one high-fidelity analysis + one Cartesian analysis.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the two-package workflow of the paper's introduction in
+//! miniature: NSU3D-style viscous analysis at the design point, Cart3D-style
+//! inviscid analysis of the same class of configuration for fast sweeps.
+
+use columbia_core::{CartAnalysis, FlowAnalysis};
+use columbia_cartesian::{Geometry, TriMesh};
+
+fn main() {
+    // ---- High-fidelity (NSU3D-style) analysis ---------------------------
+    println!("== high-fidelity RANS-style analysis (synthetic wing) ==");
+    let report = FlowAnalysis::new()
+        .mach(0.5)
+        .alpha_deg(1.0)
+        .reynolds(3.0e6)
+        .mesh_points(12_000)
+        .multigrid_levels(5)
+        .run(40);
+    println!(
+        "mesh levels: {:?} (line coverage {:.0}%)",
+        report.level_sizes,
+        report.line_coverage * 100.0
+    );
+    println!(
+        "converged {:.1} orders of magnitude in {} W-cycles ({:.2e} FLOPs)",
+        report.history.orders_reduced(),
+        report.history.cycles(),
+        report.flops as f64
+    );
+
+    // ---- Automated Cartesian (Cart3D-style) analysis --------------------
+    println!("\n== automated cut-cell Cartesian analysis (body of revolution) ==");
+    let profile: Vec<(f64, f64)> = (0..=14)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / 14.0;
+            (-0.3 * t.cos(), 0.3 * t.sin())
+        })
+        .collect();
+    let geom = Geometry::new(&[TriMesh::body_of_revolution(&profile, 16)]);
+    let report = CartAnalysis::default()
+        .wind(2.0, 0.0349, 0.0) // Mach 2, 2 deg alpha
+        .resolution(3, 5)
+        .run(&geom, 30);
+    println!(
+        "mesh: {} cells ({} cut), generated at {:.1}M cells/min; levels {:?}",
+        report.ncells,
+        report.ncut,
+        report.cells_per_minute / 1e6,
+        report.level_sizes
+    );
+    println!(
+        "converged {:.1} orders in {} cycles",
+        report.history.orders_reduced(),
+        report.history.cycles()
+    );
+    println!(
+        "pressure force: drag {:+.4}, lift {:+.4} (z), side {:+.4} (y)",
+        report.forces.force.x, report.forces.force.z, report.forces.force.y
+    );
+}

@@ -1,0 +1,76 @@
+//! The headline Columbia scaling study in one binary (condensed Figures
+//! 14(b) + 16(b) + 21): measured/calibrated workloads replayed through the
+//! machine model over both fabrics and both codes.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use columbia_core::PerformanceStudy;
+use columbia_machine::{
+    paper_cart3d_25m, paper_nsu3d_72m, Fabric, RunConfig, CART3D_CPU_COUNTS, NSU3D_CPU_COUNTS,
+};
+
+fn main() {
+    println!("== NSU3D 72M-point 6-level W-cycle ==");
+    let study = PerformanceStudy::new(paper_nsu3d_72m(), &NSU3D_CPU_COUNTS);
+    let rows = vec![
+        study.series("NUMAlink, pure MPI", |n| RunConfig::mpi(n, Fabric::NumaLink4)),
+        study.series("NUMAlink, 2 OMP threads", |n| {
+            RunConfig::hybrid(n, Fabric::NumaLink4, 2)
+        }),
+        study.series("InfiniBand, 2 OMP threads", |n| {
+            RunConfig::hybrid(n, Fabric::InfiniBand, 2)
+        }),
+    ];
+    print!("{}", PerformanceStudy::format_table(&rows, &NSU3D_CPU_COUNTS));
+    println!(
+        "paper: NUMAlink superlinear (2044 at 2008 CPUs); InfiniBand multigrid\n\
+         collapses at high CPU counts.\n"
+    );
+
+    println!("== Cart3D 25M-cell SSLV 4-level W-cycle ==");
+    let study = PerformanceStudy::new(paper_cart3d_25m(), &CART3D_CPU_COUNTS);
+    let rows = vec![
+        study.series("NUMAlink, pure MPI", |n| RunConfig::mpi(n, Fabric::NumaLink4)),
+        study.series("InfiniBand, pure MPI", |n| RunConfig::mpi(n, Fabric::InfiniBand)),
+    ];
+    print!("{}", PerformanceStudy::format_table(&rows, &CART3D_CPU_COUNTS));
+    println!(
+        "paper: ~1585 at 2016 CPUs on NUMAlink; InfiniBand dips crossing the\n\
+         2-node boundary at 508 CPUs and stops at the 1524-rank limit.\n"
+    );
+
+    println!("== outlook beyond 2048 CPUs (paper §VI) ==");
+    // NUMAlink cannot span more than 4 nodes; InfiniBand requires hybrid
+    // ranks. A 1e9-point 7-level case at 4016 CPUs:
+    let mut big = paper_nsu3d_72m();
+    let scale = 1.0e9 / big.levels[0].points;
+    for l in big.levels.iter_mut() {
+        l.points *= scale;
+    }
+    for ig in big.intergrid.iter_mut() {
+        ig.fine_points *= scale;
+    }
+    let machine = columbia_machine::MachineConfig::columbia_full();
+    for (label, run) in [
+        (
+            "1e9 pts, 2008 CPUs, NUMAlink",
+            RunConfig::mpi(2008, Fabric::NumaLink4),
+        ),
+        (
+            "1e9 pts, 4016 CPUs, InfiniBand + 4 OMP threads",
+            RunConfig::hybrid(4016, Fabric::InfiniBand, 4),
+        ),
+    ] {
+        match columbia_machine::simulate_cycle(&big, &machine, &run) {
+            Ok(b) => println!(
+                "{label:<48} {:>7.2} s/cycle  {:>6.2} TFLOP/s",
+                b.seconds,
+                b.flops_per_second() / 1e12
+            ),
+            Err(e) => println!("{label:<48} infeasible: {e}"),
+        }
+    }
+    println!("paper projection: ~5-6 TFLOP/s for a 1e9-point 7-level case on 4016 CPUs.");
+}

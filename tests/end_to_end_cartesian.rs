@@ -1,0 +1,106 @@
+//! Cross-crate integration: the full Cart3D-style pipeline.
+
+use columbia_cartesian::{
+    build_octree, coarsen_hierarchy, extract_mesh, partition_cells, sslv_geometry,
+    CutCellConfig,
+};
+use columbia_core::{CartAnalysis, DatabaseFill, DatabaseSpec};
+use columbia_euler::{freestream5, EulerParams, EulerSolver};
+use columbia_mg::CycleParams;
+use columbia_sfc::CurveKind;
+
+#[test]
+fn sslv_geometry_to_converged_solution() {
+    let geom = sslv_geometry(0.1);
+    let config = CutCellConfig::around(&geom, 2.5, 3, 6);
+    let tree = build_octree(&geom, &config);
+    assert!(tree.is_balanced());
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    mesh.validate().unwrap();
+    assert!(mesh.max_closure_defect() < 1e-10);
+    assert!(mesh.ncut() > 100);
+
+    let mut solver = EulerSolver::new(
+        mesh,
+        EulerParams {
+            mach: 1.4,
+            alpha: 0.0365,
+            ..Default::default()
+        },
+    );
+    let h = solver.solve(&CycleParams::default(), 0.0, 25);
+    assert!(
+        h.orders_reduced() > 2.0,
+        "SSLV solve: {} orders",
+        h.orders_reduced()
+    );
+    let f = solver.forces();
+    assert!(f.force.x > 0.0, "supersonic stack must have drag: {f:?}");
+}
+
+#[test]
+fn coarsening_hierarchy_supports_multigrid_and_partitioning() {
+    let geom = sslv_geometry(0.0);
+    let config = CutCellConfig::around(&geom, 2.5, 3, 6);
+    let tree = build_octree(&geom, &config);
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    let steps = coarsen_hierarchy(&mesh, 4, 30);
+    assert!(steps.len() >= 2, "hierarchy too shallow");
+    // Volume conserved through the chain; every coarse mesh remains closed.
+    let mut vol = mesh.total_volume();
+    for s in &steps {
+        assert!((s.coarse.total_volume() - vol).abs() < 1e-9 * vol);
+        assert!(s.coarse.max_closure_defect() < 1e-10);
+        vol = s.coarse.total_volume();
+    }
+    // 16-way weighted SFC decomposition balances.
+    let p = partition_cells(&mesh, 16);
+    assert!(p.imbalance(&mesh.weights) < 1.05);
+}
+
+#[test]
+fn euler_parallel_matches_serial_on_sslv() {
+    let geom = sslv_geometry(0.0);
+    let config = CutCellConfig::around(&geom, 2.5, 3, 5);
+    let tree = build_octree(&geom, &config);
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    let fs = freestream5(1.2, 0.02, 0.0);
+    let mut serial = columbia_euler::EulerLevel::new(mesh.clone(), fs, 1.5);
+    for _ in 0..2 {
+        serial.rk_step();
+    }
+    let (u, _, _) =
+        columbia_euler::parallel::run_parallel_smoothing(&mesh, fs, 1.5, 4, 2);
+    let mut max_diff = 0.0f64;
+    for (c, su) in serial.u.iter().enumerate() {
+        for k in 0..5 {
+            max_diff = max_diff.max((u[c][k] - su[k]).abs());
+        }
+    }
+    assert!(max_diff < 1e-9, "parallel mismatch {max_diff}");
+}
+
+#[test]
+fn database_fill_trends_are_physical() {
+    let analysis = CartAnalysis::default().resolution(3, 5);
+    let fill = DatabaseFill::new(analysis, sslv_geometry);
+    let spec = DatabaseSpec {
+        deflections: vec![0.0],
+        machs: vec![0.8, 2.0],
+        alphas: vec![0.0, 0.05],
+        betas: vec![0.0],
+        cycles: 12,
+    };
+    let db = fill.run(&spec, 2);
+    assert_eq!(db.len(), 4);
+    let fx = |m: f64, a: f64| {
+        db.iter()
+            .find(|e| e.mach == m && e.alpha == a)
+            .unwrap()
+            .forces
+            .force
+    };
+    // Drag grows with Mach; lift grows with alpha.
+    assert!(fx(2.0, 0.0).x > fx(0.8, 0.0).x);
+    assert!(fx(2.0, 0.05).z > fx(2.0, 0.0).z);
+}
