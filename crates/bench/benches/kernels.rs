@@ -1,13 +1,13 @@
-//! Criterion microbenchmarks of the computational kernels.
+//! Microbenchmarks of the computational kernels (columbia-rt harness).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use columbia_linalg::{BlockMat, BlockTridiag};
 use columbia_mesh::Vec3;
 use columbia_partition::{graph::grid_graph, partition_graph, PartitionConfig};
 use columbia_rans::state::{flux_jacobian, freestream, rusanov};
+use columbia_rt::bench::{black_box, Bench, Throughput};
 use columbia_sfc::{hilbert_encode, morton_encode};
 
-fn bench_block_kernels(c: &mut Criterion) {
+fn bench_block_kernels(c: &mut Bench) {
     let mut g = c.benchmark_group("linalg");
     let mut m = BlockMat::<6>::from_fn(|r, c| 0.1 * (r as f64) - 0.2 * (c as f64));
     m.add_diagonal(8.0);
@@ -43,7 +43,7 @@ fn bench_block_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_flux_kernels(c: &mut Criterion) {
+fn bench_flux_kernels(c: &mut Bench) {
     let mut g = c.benchmark_group("flux");
     let ul = freestream(0.75, 0.02, 1e-4);
     let mut ur = ul;
@@ -59,7 +59,7 @@ fn bench_flux_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_sfc(c: &mut Criterion) {
+fn bench_sfc(c: &mut Bench) {
     let mut g = c.benchmark_group("sfc");
     g.throughput(Throughput::Elements(1));
     g.bench_function("morton_encode", |bench| {
@@ -71,7 +71,7 @@ fn bench_sfc(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_partitioner(c: &mut Criterion) {
+fn bench_partitioner(c: &mut Bench) {
     let mut g = c.benchmark_group("partition");
     g.sample_size(10);
     let graph = grid_graph(24, 24, 24);
@@ -81,7 +81,7 @@ fn bench_partitioner(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_mesh_algorithms(c: &mut Criterion) {
+fn bench_mesh_algorithms(c: &mut Bench) {
     use columbia_mesh::{agglomerate, extract_lines, reverse_cuthill_mckee, wing_mesh, WingMeshSpec};
     let mut g = c.benchmark_group("mesh");
     g.sample_size(10);
@@ -102,12 +102,10 @@ fn bench_mesh_algorithms(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
+columbia_rt::bench_main!(
     bench_block_kernels,
     bench_flux_kernels,
     bench_sfc,
     bench_partitioner,
     bench_mesh_algorithms
 );
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of full solver iterations and mesh generation
-//! (the latter measures the cells-per-minute rate the paper quotes as
-//! 3-5M cells/minute on a 1.5 GHz Itanium2).
+//! Benchmarks of full solver iterations and mesh generation (the latter
+//! measures the cells-per-minute rate the paper quotes as 3-5M
+//! cells/minute on a 1.5 GHz Itanium2). Runs on the columbia-rt harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
+use columbia_rt::bench::{black_box, Bench, Throughput};
 use columbia_euler::{EulerLevel, EulerParams, EulerSolver};
 use columbia_mesh::{wing_mesh, Vec3, WingMeshSpec};
 use columbia_mg::CycleParams;
@@ -17,7 +17,7 @@ fn rans_params() -> SolverParams {
     }
 }
 
-fn bench_rans(c: &mut Criterion) {
+fn bench_rans(c: &mut Bench) {
     let mut g = c.benchmark_group("rans");
     g.sample_size(10);
     let mesh = wing_mesh(&WingMeshSpec {
@@ -59,7 +59,7 @@ fn sphere_geom() -> Geometry {
     Geometry::new(&[TriMesh::body_of_revolution(&prof, 16)])
 }
 
-fn bench_cartesian(c: &mut Criterion) {
+fn bench_cartesian(c: &mut Bench) {
     let mut g = c.benchmark_group("cartesian");
     g.sample_size(10);
     let geom = sphere_geom();
@@ -82,7 +82,7 @@ fn bench_cartesian(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_euler(c: &mut Criterion) {
+fn bench_euler(c: &mut Bench) {
     let mut g = c.benchmark_group("euler");
     g.sample_size(10);
     let geom = sphere_geom();
@@ -113,5 +113,4 @@ fn bench_euler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rans, bench_cartesian, bench_euler);
-criterion_main!(benches);
+columbia_rt::bench_main!(bench_rans, bench_cartesian, bench_euler);

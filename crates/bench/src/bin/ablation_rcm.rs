@@ -10,8 +10,7 @@ use columbia_bench::header;
 use columbia_mesh::rcm::{bandwidth, reverse_cuthill_mckee};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_rans::{RansLevel, SolverParams};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use columbia_rt::Pcg32;
 
 fn time_sweeps(mesh: columbia_mesh::UnstructuredMesh, sweeps: usize) -> f64 {
     let mut lvl = RansLevel::new(
@@ -41,7 +40,7 @@ fn main() {
 
     // Scrambled numbering (worst case for cache locality).
     let mut scramble: Vec<u32> = (0..n as u32).collect();
-    scramble.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(7));
+    Pcg32::seed_from_u64(7).shuffle(&mut scramble);
     let scrambled = mesh.permute(&scramble);
 
     // RCM numbering recovered from the scrambled mesh.

@@ -360,4 +360,27 @@ mod tests {
             "SFC cut {cut_sfc} of {interior}"
         );
     }
+
+    columbia_rt::props! {
+        config: columbia_rt::props::Config::with_cases(16);
+        /// On a uniform mesh every octant merges: the coarsening ratio is
+        /// exactly 8 for either curve, and the fine-to-coarse map is total.
+        fn prop_uniform_coarsening_ratio_is_eight(level in 2u32..4, kindsel in 0u32..2) {
+            let curve = if kindsel == 0 { CurveKind::Morton } else { CurveKind::Hilbert };
+            let m = uniform_mesh(level, curve);
+            let c = coarsen_mesh(&m);
+            assert!((c.ratio(m.ncells()) - 8.0).abs() < 1e-12);
+            assert!(c.fine_to_coarse.iter().all(|&j| (j as usize) < c.coarse.ncells()));
+        }
+
+        /// Weighted SFC partitions stay balanced for any part count the
+        /// curve can support.
+        fn prop_partition_imbalance_bounded(nparts in 2usize..12) {
+            let m = uniform_mesh(3, CurveKind::Hilbert);
+            let p = partition_cells(&m, nparts);
+            assert_eq!(p.nparts(), nparts);
+            let imb = p.imbalance(&m.weights);
+            assert!(imb < 1.30, "imbalance {} at {} parts", imb, nparts);
+        }
+    }
 }

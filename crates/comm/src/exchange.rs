@@ -271,12 +271,12 @@ mod tests {
         // partition, so their owners accumulate 1 + 1 = 2.
         let expect = |g: u32| if (1..=4).contains(&g) { 2.0 } else { 1.0 };
         let d = chain_decomp();
-        for p in 0..3 {
+        for (p, res) in results.iter().enumerate() {
             for (i, &g) in d.local_to_global[p].iter().enumerate() {
                 if i < d.n_owned[p] {
-                    assert_eq!(results[p][i][0], expect(g), "owner value at {g}");
+                    assert_eq!(res[i][0], expect(g), "owner value at {g}");
                 } else {
-                    assert_eq!(results[p][i][0], 0.0, "ghost not zeroed at {g}");
+                    assert_eq!(res[i][0], 0.0, "ghost not zeroed at {g}");
                 }
             }
         }
@@ -292,18 +292,16 @@ mod tests {
 
     mod proptests {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(12))]
+        columbia_rt::props! {
+            config: columbia_rt::props::Config::with_cases(16);
             /// Conservation: exchange_add never creates or destroys mass —
             /// the global sum over owned slots after the exchange equals
             /// the global sum over all slots before it.
-            #[test]
             fn prop_exchange_add_conserves_sum(
                 n in 4usize..40,
                 nparts in 2usize..5,
-                seed in proptest::array::uniform16(0.0f64..10.0),
+                seed in columbia_rt::props::array::<_, 16>(0.0f64..10.0),
             ) {
                 let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
                 let part: Vec<u32> = (0..n).map(|v| ((v * nparts) / n) as u32).collect();
@@ -326,11 +324,10 @@ mod tests {
                         + data[d2.n_owned[p]..].iter().map(|x| x[0]).sum::<f64>()
                 });
                 let total_after: f64 = results.iter().sum();
-                prop_assert!((total_after - total_before).abs() < 1e-9 * (1.0 + total_before.abs()));
+                assert!((total_after - total_before).abs() < 1e-9 * (1.0 + total_before.abs()));
             }
 
             /// exchange_copy is idempotent: a second copy changes nothing.
-            #[test]
             fn prop_exchange_copy_idempotent(n in 4usize..30, nparts in 2usize..4) {
                 let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
                 let part: Vec<u32> = (0..n).map(|v| ((v * nparts) / n) as u32).collect();
@@ -346,7 +343,7 @@ mod tests {
                     d.plans[p].exchange_copy(rank, 7, &mut data);
                     snap == data
                 });
-                prop_assert!(results.iter().all(|&ok| ok));
+                assert!(results.iter().all(|&ok| ok));
             }
         }
     }
@@ -403,12 +400,12 @@ mod tests {
             d2.plans[p].exchange_add(rank, 9, &mut acc);
             acc
         });
-        for p in 0..4 {
+        for (p, res) in results.iter().enumerate() {
             for (i, &g) in d.local_to_global[p].iter().enumerate().take(d.n_owned[p]) {
                 assert!(
-                    (results[p][i][0] - serial[g as usize]).abs() < 1e-12,
+                    (res[i][0] - serial[g as usize]).abs() < 1e-12,
                     "mismatch at global {g}: {} vs {}",
-                    results[p][i][0],
+                    res[i][0],
                     serial[g as usize]
                 );
             }

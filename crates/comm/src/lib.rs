@@ -3,7 +3,8 @@
 //! The Rust ecosystem has no production MPI, and the reproduction does not
 //! need a network: it needs the *communication pattern*. This crate runs
 //! each "MPI rank" as an OS thread exchanging typed, packed messages over
-//! crossbeam channels, exactly mirroring NSU3D's strategy (paper §III):
+//! `columbia-rt` MPMC channels, exactly mirroring NSU3D's strategy
+//! (paper §III):
 //!
 //! * ghost values for a given peer are packed into **one buffer per peer**
 //!   ("fewer larger messages ... reducing latency overheads");

@@ -1,7 +1,7 @@
 //! Ranks-as-threads message passing.
 
 use crate::stats::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use columbia_rt::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
 

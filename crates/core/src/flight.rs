@@ -317,7 +317,7 @@ mod tests {
                         beta: 0.0,
                         forces: Forces {
                             force: Vec3::new(0.1 + m * m / 10.0, 0.0, 2.0 * a),
-                            moment: Vec3::new(0.0, -1.0 * a + 0.5 * d, 0.0),
+                            moment: Vec3::new(0.0, 0.5 * d - a, 0.0),
                         },
                         orders: 5.0,
                     });

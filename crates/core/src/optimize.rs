@@ -145,4 +145,21 @@ mod tests {
     fn trim_requires_a_bracket() {
         trim_bisection(0.0, 1.0, 1e-6, 50, |x| x + 1.0);
     }
+
+    columbia_rt::props! {
+        /// Golden-section search locates the minimum of any parabola placed
+        /// anywhere in the bracket, to bracket tolerance.
+        fn prop_golden_section_finds_parabola_min(xmin in -4.0f64..4.0, scale in 0.5f64..5.0) {
+            let opt = golden_section(-5.0, 5.0, 1e-6, 200, |x| scale * (x - xmin) * (x - xmin));
+            assert!((opt.x - xmin).abs() < 1e-5, "found {} expected {}", opt.x, xmin);
+            assert!(opt.value >= 0.0);
+        }
+
+        /// Trim bisection finds the zero crossing of any monotone moment
+        /// curve that straddles zero.
+        fn prop_trim_finds_crossing(root in -0.9f64..0.9, gain in 0.2f64..4.0) {
+            let opt = trim_bisection(-1.0, 1.0, 1e-9, 200, |x| gain * (x - root));
+            assert!((opt.x - root).abs() < 1e-7, "found {} expected {}", opt.x, root);
+        }
+    }
 }

@@ -125,4 +125,34 @@ mod tests {
         assert_eq!(w[4], 0.0);
         assert!((w[2] - 2.0 * pressure(&u)).abs() < 1e-15);
     }
+
+    columbia_rt::props! {
+        /// Free-stream invariants hold over the whole wind-axes envelope
+        /// (subsonic through the paper's Mach 2.6 SSLV point).
+        fn prop_freestream5_invariants(m in 0.3f64..3.0, al in -0.2f64..0.2, be in -0.1f64..0.1) {
+            let u = freestream5(m, al, be);
+            assert!((sound_speed(&u) - 1.0).abs() < 1e-12);
+            assert!((velocity(&u).norm() - m).abs() < 1e-12);
+            assert!(pressure(&u) > 0.0);
+        }
+
+        /// Rusanov flux is antisymmetric under orientation reversal, so
+        /// face loops conserve exactly.
+        fn prop_rusanov_antisymmetric(
+            m in 0.3f64..2.0,
+            drho in 0.0f64..0.5,
+            sx in -1.0f64..1.0,
+            sy in -1.0f64..1.0,
+        ) {
+            let ul = freestream5(m, 0.02, 0.01);
+            let mut ur = ul;
+            ur[0] += drho;
+            let s = Vec3::new(sx, sy, 0.3);
+            let f1 = rusanov(&ul, &ur, s);
+            let f2 = rusanov(&ur, &ul, -s);
+            for k in 0..NVARS5 {
+                assert!((f1[k] + f2[k]).abs() < 1e-12 * (1.0 + f1[k].abs()), "component {}", k);
+            }
+        }
+    }
 }

@@ -357,7 +357,6 @@ impl<const N: usize> BlockLu<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn vec_close<const N: usize>(a: &[f64; N], b: &[f64; N], tol: f64) -> bool {
         a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tol)
@@ -420,22 +419,23 @@ mod tests {
         assert_eq!(m.transpose().transpose(), m);
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// For diagonally dominant random matrices (always invertible),
         /// solving then multiplying recovers the right-hand side.
-        #[test]
-        fn prop_lu_solve_roundtrip(seed in proptest::array::uniform32(-1.0f64..1.0), b in proptest::array::uniform6(-10.0f64..10.0)) {
+        fn prop_lu_solve_roundtrip(
+            seed in columbia_rt::props::array::<_, 32>(-1.0f64..1.0),
+            b in columbia_rt::props::array::<_, 6>(-10.0f64..10.0),
+        ) {
             let mut m = BlockMat::<6>::from_fn(|r, c| seed[(r * 6 + c) % 32]);
             m.add_diagonal(8.0); // ensure diagonal dominance
             let lu = m.lu().unwrap();
             let x = lu.solve(&b);
             let back = m.mul_vec(&x);
-            prop_assert!(vec_close(&back, &b, 1e-9), "back={back:?} b={b:?}");
+            assert!(vec_close(&back, &b, 1e-9), "back={back:?} b={b:?}");
         }
 
         /// solve_mat agrees with column-by-column solve.
-        #[test]
-        fn prop_solve_mat_columns(seed in proptest::array::uniform16(-1.0f64..1.0)) {
+        fn prop_solve_mat_columns(seed in columbia_rt::props::array::<_, 16>(-1.0f64..1.0)) {
             let mut m = BlockMat::<4>::from_fn(|r, c| seed[r * 4 + c]);
             m.add_diagonal(6.0);
             let rhs = BlockMat::<4>::from_fn(|r, c| seed[(r + c * 4) % 16] * 2.0);
@@ -446,19 +446,22 @@ mod tests {
                 for r in 0..4 { col[r] = rhs.get(r, c); }
                 let xc = lu.solve(&col);
                 for r in 0..4 {
-                    prop_assert!((x.get(r, c) - xc[r]).abs() < 1e-12);
+                    assert!((x.get(r, c) - xc[r]).abs() < 1e-12);
                 }
             }
         }
 
         /// (A*B)x == A*(B*x)
-        #[test]
-        fn prop_matmul_assoc_with_vec(sa in proptest::array::uniform9(-2.0f64..2.0), sb in proptest::array::uniform9(-2.0f64..2.0), x in proptest::array::uniform3(-5.0f64..5.0)) {
+        fn prop_matmul_assoc_with_vec(
+            sa in columbia_rt::props::array::<_, 9>(-2.0f64..2.0),
+            sb in columbia_rt::props::array::<_, 9>(-2.0f64..2.0),
+            x in columbia_rt::props::array::<_, 3>(-5.0f64..5.0),
+        ) {
             let a = BlockMat::<3>::from_fn(|r, c| sa[r * 3 + c]);
             let b = BlockMat::<3>::from_fn(|r, c| sb[r * 3 + c]);
             let lhs = (a * b).mul_vec(&x);
             let rhs = a.mul_vec(&b.mul_vec(&x));
-            prop_assert!(vec_close(&lhs, &rhs, 1e-9));
+            assert!(vec_close(&lhs, &rhs, 1e-9));
         }
     }
 }

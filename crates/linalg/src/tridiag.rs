@@ -168,7 +168,6 @@ impl<const N: usize> BlockTridiag<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn max_abs<const N: usize>(r: &[[f64; N]]) -> f64 {
         r.iter()
@@ -253,13 +252,12 @@ mod tests {
         assert!(t.solve_into(&mut x).is_err());
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// Random diagonally-dominant block tridiagonal systems solve to a
         /// small residual.
-        #[test]
         fn prop_solve_residual_small(
             n in 1usize..12,
-            seed in proptest::array::uniform32(-1.0f64..1.0),
+            seed in columbia_rt::props::array::<_, 32>(-1.0f64..1.0),
         ) {
             let mut t = BlockTridiag::<4>::new();
             t.reset(n);
@@ -279,7 +277,7 @@ mod tests {
             }
             let mut x = vec![[0.0; 4]; n];
             t.solve_into(&mut x).unwrap();
-            prop_assert!(max_abs(&t.residual(&x)) < 1e-8);
+            assert!(max_abs(&t.residual(&x)) < 1e-8);
         }
     }
 }

@@ -166,4 +166,27 @@ mod tests {
         assert_eq!(Fabric::NumaLink4.max_nodes(), 4);
         assert!(Fabric::InfiniBand.max_nodes() >= 20);
     }
+
+    columbia_rt::props! {
+        /// Physical sanity across all spans: derates are proper fractions,
+        /// latencies and bandwidths are positive, and NUMAlink4 dominates
+        /// InfiniBand at every span (paper §II / reference [4]).
+        fn prop_fabric_orderings(span in 1usize..20) {
+            for f in [Fabric::NumaLink4, Fabric::InfiniBand, Fabric::TenGigE] {
+                let d = f.random_ring_derate(span);
+                assert!(d > 0.0 && d <= 1.0, "derate {}", d);
+                assert!(f.latency(span) > 0.0);
+                assert!(f.bandwidth(span) > 0.0);
+            }
+            assert!(Fabric::NumaLink4.bandwidth(span) >= Fabric::InfiniBand.bandwidth(span));
+            assert!(Fabric::NumaLink4.latency(span) <= Fabric::InfiniBand.latency(span));
+        }
+
+        /// Eq. 1's `n / sqrt(n-1)` shape: the IB rank cap is finite for
+        /// multi-node jobs and grows with the node count.
+        fn prop_ib_rank_limit_monotone(nodes in 2usize..19) {
+            assert!(ib_rank_limit(nodes) < usize::MAX);
+            assert!(ib_rank_limit(nodes + 1) >= ib_rank_limit(nodes));
+        }
+    }
 }

@@ -13,8 +13,7 @@
 
 use crate::mesh::{BoundaryKind, Edge, UnstructuredMesh};
 use crate::geom::Vec3;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use columbia_rt::Pcg32;
 
 /// Specification of the synthetic wing mesh.
 #[derive(Clone, Debug)]
@@ -120,7 +119,7 @@ pub fn wing_mesh(spec: &WingMeshSpec) -> UnstructuredMesh {
     let a = 0.5 * spec.chord;
     let b = 0.5 * spec.thickness * spec.chord;
 
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut rng = Pcg32::seed_from_u64(spec.seed);
     let mut points = vec![Vec3::ZERO; n];
     let mut wall_distance = vec![0.0f64; n];
     let mut bc = vec![BoundaryKind::Interior; n];

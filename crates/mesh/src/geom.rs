@@ -324,7 +324,6 @@ impl Triangle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn vector_algebra_basics() {
@@ -405,21 +404,23 @@ mod tests {
             .is_none());
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// A box containing the triangle's centroid always overlaps.
-        #[test]
         fn prop_box_around_centroid_overlaps(
-            ax in -5.0f64..5.0, ay in -5.0f64..5.0, az in -5.0f64..5.0,
-            bx in -5.0f64..5.0, by in -5.0f64..5.0, bz in -5.0f64..5.0,
-            cx in -5.0f64..5.0, cy in -5.0f64..5.0, cz in -5.0f64..5.0,
+            a in columbia_rt::props::array::<_, 3>(-5.0f64..5.0),
+            b in columbia_rt::props::array::<_, 3>(-5.0f64..5.0),
+            c in columbia_rt::props::array::<_, 3>(-5.0f64..5.0),
         ) {
-            let t = Triangle::new(Vec3::new(ax, ay, az), Vec3::new(bx, by, bz), Vec3::new(cx, cy, cz));
-            let c = t.centroid();
-            prop_assert!(t.overlaps_box(c, Vec3::new(0.1, 0.1, 0.1)));
+            let t = Triangle::new(
+                Vec3::new(a[0], a[1], a[2]),
+                Vec3::new(b[0], b[1], b[2]),
+                Vec3::new(c[0], c[1], c[2]),
+            );
+            let centroid = t.centroid();
+            assert!(t.overlaps_box(centroid, Vec3::new(0.1, 0.1, 0.1)));
         }
 
         /// Overlap is symmetric under translation.
-        #[test]
         fn prop_overlap_translation_invariant(dx in -3.0f64..3.0, dy in -3.0f64..3.0) {
             let t = Triangle::new(
                 Vec3::new(0.0, 0.0, 0.0),
@@ -430,7 +431,7 @@ mod tests {
             let t2 = Triangle::new(t.a + shift, t.b + shift, t.c + shift);
             let center = Vec3::new(0.2, 0.2, 0.0);
             let half = Vec3::new(0.5, 0.5, 0.5);
-            prop_assert_eq!(
+            assert_eq!(
                 t.overlaps_box(center, half),
                 t2.overlaps_box(center + shift, half)
             );

@@ -91,8 +91,7 @@ pub fn bandwidth(g: &Graph, perm: &[u32]) -> usize {
 mod tests {
     use super::*;
     use columbia_partition::graph::grid_graph;
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use columbia_rt::Pcg32;
 
     fn identity_perm(n: usize) -> Vec<u32> {
         (0..n as u32).collect()
@@ -113,9 +112,9 @@ mod tests {
         // bandwidth.
         let g = grid_graph(20, 20, 1);
         let n = g.nvertices();
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let mut relabel: Vec<u32> = (0..n as u32).collect();
-        relabel.shuffle(&mut rng);
+        rng.shuffle(&mut relabel);
         // Build shuffled graph.
         let mut edges = Vec::new();
         for v in 0..n {

@@ -208,9 +208,9 @@ mod tests {
         fn smooth(&mut self, sweeps: usize) {
             for _ in 0..sweeps {
                 let r = self.residual();
-                for i in 0..self.n {
+                for (u, &ri) in self.u.iter_mut().zip(&r) {
                     // Damped Jacobi, omega = 2/3.
-                    self.u[i] += (2.0 / 3.0) * r[i] * self.h2 / 2.0;
+                    *u += (2.0 / 3.0) * ri * self.h2 / 2.0;
                 }
             }
         }
@@ -355,5 +355,38 @@ mod tests {
         let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 1e-6, 100);
         assert!(hist.cycles() < 100, "tolerance never reached");
         assert!(*hist.residuals.last().unwrap() <= 1e-6);
+    }
+
+    columbia_rt::props! {
+        /// Visit accounting for any depth: a W-cycle visits level `l`
+        /// exactly `2^l` times (total `2^L - 1`), a V-cycle visits every
+        /// level once. This is the count the paper's scalability argument
+        /// rests on ("the coarsest level is visited 32 times").
+        fn prop_level_visits_accounting(nlevels in 1usize..12) {
+            let w = level_visits(nlevels, CycleType::W);
+            let v = level_visits(nlevels, CycleType::V);
+            assert_eq!(w.len(), nlevels);
+            assert!(v.iter().all(|&c| c == 1));
+            for (l, &c) in w.iter().enumerate() {
+                assert_eq!(c, 1usize << l);
+            }
+            assert_eq!(w.iter().sum::<usize>(), (1usize << nlevels) - 1);
+        }
+
+        /// FAS W-cycles converge on the Poisson model problem whenever the
+        /// hierarchy is deep enough that the coarsest grid is genuinely
+        /// coarse (n <= 8) — the regime every real solver hierarchy here
+        /// targets. Twenty cycles then gain at least two orders.
+        fn prop_w_cycles_reduce_residual(k in 5usize..9, extra in 0usize..2) {
+            let n = 1usize << k;
+            let nlevels = k - 2 + extra; // coarsest grid has 8 or 4 points
+            let mut mg = build_hierarchy(n, nlevels);
+            let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 0.0, 20);
+            assert!(
+                hist.orders_reduced() > 2.0,
+                "only {} orders reduced for n={} levels={}",
+                hist.orders_reduced(), n, nlevels
+            );
+        }
     }
 }

@@ -6,8 +6,7 @@
 //! Karypis-Kumar multilevel scheme.
 
 use crate::graph::Graph;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use columbia_rt::Pcg32;
 
 /// One coarsening step.
 #[derive(Debug)]
@@ -24,8 +23,8 @@ pub struct CoarseningStep {
 pub fn heavy_edge_matching(g: &Graph, seed: u64) -> CoarseningStep {
     let n = g.nvertices();
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    let mut rng = Pcg32::seed_from_u64(seed);
+    rng.shuffle(&mut order);
 
     let mut matched = vec![u32::MAX; n];
     let mut ncoarse = 0u32;

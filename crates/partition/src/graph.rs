@@ -265,7 +265,6 @@ pub fn grid_graph(nx: usize, ny: usize, nz: usize) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn triangle_graph_structure() {
@@ -338,26 +337,27 @@ mod tests {
         assert_ne!(comp[4], comp[0]);
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// from_edges always produces a structurally valid graph.
-        #[test]
-        fn prop_from_edges_valid(n in 1usize..30, edges in proptest::collection::vec((0u32..30, 0u32..30), 0..80)) {
+        fn prop_from_edges_valid(
+            n in 1usize..30,
+            edges in columbia_rt::props::vec((0u32..30, 0u32..30), 0..80),
+        ) {
             let edges: Vec<_> = edges.into_iter()
                 .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
                 .collect();
             let ew = vec![1.0; edges.len()];
             let g = Graph::from_edges(n, &edges, vec![1.0; n], &ew);
-            prop_assert!(g.validate().is_ok());
+            assert!(g.validate().is_ok());
         }
 
         /// Contraction conserves total vertex weight.
-        #[test]
         fn prop_contract_conserves_weight(nx in 1usize..6, ny in 1usize..6, k in 1usize..5) {
             let g = grid_graph(nx, ny, 1);
             let cmap: Vec<u32> = (0..g.nvertices()).map(|v| (v % k) as u32).collect();
             let c = g.contract(&cmap, k);
-            prop_assert!((c.total_vwgt() - g.total_vwgt()).abs() < 1e-9);
-            prop_assert!(c.validate().is_ok());
+            assert!((c.total_vwgt() - g.total_vwgt()).abs() < 1e-9);
+            assert!(c.validate().is_ok());
         }
     }
 }

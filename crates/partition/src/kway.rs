@@ -90,7 +90,6 @@ mod tests {
     use super::*;
     use crate::graph::grid_graph;
     use crate::quality::PartitionQuality;
-    use proptest::prelude::*;
 
     #[test]
     fn bisection_of_grid_is_balanced_with_low_cut() {
@@ -150,18 +149,17 @@ mod tests {
         assert!(q.imbalance < 1.2, "imbalance {}", q.imbalance);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
+    columbia_rt::props! {
+        config: columbia_rt::props::Config::with_cases(16);
         /// Every vertex gets a valid part; parts are <= k; imbalance bounded
         /// on grid graphs large relative to k.
-        #[test]
         fn prop_partition_valid(nx in 6usize..14, ny in 6usize..14, k in 2usize..9) {
             let g = grid_graph(nx, ny, 1);
             let part = partition_graph(&g, k, &PartitionConfig::default());
-            prop_assert_eq!(part.len(), g.nvertices());
-            prop_assert!(part.iter().all(|&p| (p as usize) < k));
+            assert_eq!(part.len(), g.nvertices());
+            assert!(part.iter().all(|&p| (p as usize) < k));
             let q = PartitionQuality::measure(&g, &part, k);
-            prop_assert!(q.imbalance < 1.35, "imbalance {}", q.imbalance);
+            assert!(q.imbalance < 1.35, "imbalance {}", q.imbalance);
         }
     }
 }

@@ -66,6 +66,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn kernel_constants_are_plausible() {
         // LU of a 6x6 is ~144 + 72 backsolve flops.
         assert!(LU_SOLVE > 100 && LU_SOLVE < 400);

@@ -171,7 +171,6 @@ pub fn fv1(nu_t: f64, nu_laminar: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn fs() -> State {
         freestream(0.5, 0.02, 1e-4)
@@ -266,21 +265,19 @@ mod tests {
         assert!((mid - 0.5).abs() < 1e-12);
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// Pressure positivity is preserved by the freestream constructor
         /// and pressure() inverts the energy relation.
-        #[test]
         fn prop_freestream_roundtrip(m in 0.05f64..0.95, al in -0.3f64..0.3) {
             let u = freestream(m, al, 1e-4);
-            prop_assert!(pressure(&u) > 0.0);
-            prop_assert!((pressure(&u) - 1.0 / GAMMA).abs() < 1e-12);
-            prop_assert!((velocity(&u).norm() - m).abs() < 1e-12);
+            assert!(pressure(&u) > 0.0);
+            assert!((pressure(&u) - 1.0 / GAMMA).abs() < 1e-12);
+            assert!((velocity(&u).norm() - m).abs() < 1e-12);
         }
 
         /// Jacobian is exactly the derivative of a *homogeneous* function:
         /// for Euler (rows 0..5), F(U) = A(U) U (flux homogeneity of degree
         /// one in U).
-        #[test]
         fn prop_flux_homogeneity(m in 0.1f64..0.9, sx in -1.0f64..1.0, sy in -1.0f64..1.0) {
             let u = freestream(m, 0.1, 1e-4);
             let s = Vec3::new(sx, sy, 0.4);
@@ -288,7 +285,7 @@ mod tests {
             let au = a.mul_vec(&u);
             let f = flux(&u, s);
             for k in 0..NVARS {
-                prop_assert!((au[k] - f[k]).abs() < 1e-12 * (1.0 + f[k].abs()), "component {}", k);
+                assert!((au[k] - f[k]).abs() < 1e-12 * (1.0 + f[k].abs()), "component {}", k);
             }
         }
     }

@@ -1,0 +1,228 @@
+//! Micro-benchmark timing harness (criterion replacement).
+//!
+//! Provides the small API surface the workspace benches use: groups,
+//! `bench_function`, `iter`, `sample_size`, `throughput`, and `black_box`.
+//! Each benchmark auto-calibrates an iteration count to a target sample
+//! time, takes a fixed number of samples, and reports min/median/mean
+//! nanoseconds per iteration plus derived throughput.
+//!
+//! Set `COLUMBIA_BENCH_QUICK=1` to run one short sample per benchmark
+//! (CI smoke mode).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to each bench function.
+pub struct Bench {
+    quick: bool,
+}
+
+impl Bench {
+    pub fn new() -> Self {
+        Bench {
+            quick: std::env::var_os("COLUMBIA_BENCH_QUICK").is_some(),
+        }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        println!("\n== {name} ==");
+        let quick = self.quick;
+        Group {
+            _bench: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+            quick,
+        }
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A group of related benchmarks sharing sample settings.
+pub struct Group<'a> {
+    _bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    quick: bool,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (samples, target) = if self.quick {
+            (1, Duration::from_millis(2))
+        } else {
+            (self.sample_size, Duration::from_millis(10))
+        };
+
+        // Calibrate: double the iteration count until a sample meets the
+        // target time.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+        let tput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12}/s", human_rate(n as f64 * 1e9 / median, "elem"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12}/s", human_rate(n as f64 * 1e9 / median, "B"))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:>14} {:>14} {:>14}{tput}",
+            format!("{}/{name}", self.name),
+            format!("min {}", human_ns(min)),
+            format!("med {}", human_ns(median)),
+            format!("mean {}", human_ns(mean)),
+        );
+        self
+    }
+
+    /// End the group (parity with criterion's API; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Entry point for a `harness = false` bench target: runs each listed
+/// `fn(&mut Bench)` in order.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::new();
+            $($func(&mut bench);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_scales() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO || count == 100);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_in_quick_mode() {
+        std::env::set_var("COLUMBIA_BENCH_QUICK", "1");
+        let mut bench = Bench::new();
+        let mut g = bench.benchmark_group("test-group");
+        let mut calls = 0u64;
+        g.sample_size(3)
+            .throughput(Throughput::Elements(1))
+            .bench_function("noop", |b| {
+                b.iter(|| black_box(1 + 1));
+                calls += 1;
+            });
+        g.finish();
+        assert!(calls >= 2, "calibration + sample runs, got {calls}");
+    }
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human_ns(12.34), "12.3 ns");
+        assert_eq!(human_ns(12_340.0), "12.34 µs");
+        assert!(human_rate(2.5e9, "elem").starts_with("2.50 G"));
+    }
+}

@@ -1,0 +1,27 @@
+//! `columbia-rt`: the workspace's zero-dependency determinism runtime.
+//!
+//! The reproduction's tier-1 contract is a fully *hermetic* build:
+//! `cargo build --release --offline && cargo test -q --offline` with no
+//! crates-io dependency anywhere in the graph, and bit-identical results
+//! across consecutive runs. This crate supplies the four pieces of
+//! infrastructure that previously pulled in external crates:
+//!
+//! * [`rng`] — SplitMix64-seeded PCG32 with the `seed_from_u64` /
+//!   `gen_range` / `shuffle` surface the mesh generator, partitioner and
+//!   tests use (replaces `rand`);
+//! * [`channel`] — unbounded MPMC channels over `Mutex`/`Condvar` for the
+//!   ranks-as-threads comm runtime (replaces `crossbeam::channel`);
+//! * [`props`] — a deterministic property-testing harness with seeded case
+//!   generation, fixed case counts and failure-seed replay (replaces
+//!   `proptest`);
+//! * [`bench`] — a micro-benchmark timing harness for the
+//!   `harness = false` bench targets (replaces `criterion`).
+//!
+//! Everything here is plain `std`; the crate must never grow a dependency.
+
+pub mod bench;
+pub mod channel;
+pub mod props;
+pub mod rng;
+
+pub use rng::{derive_seed, splitmix64, Pcg32};

@@ -1,0 +1,314 @@
+//! Deterministic property-based testing.
+//!
+//! A miniature, fully offline `proptest` replacement: every property runs a
+//! *fixed* number of cases from a *fixed* base seed, so `cargo test` is
+//! bit-identical across runs and machines. Each case gets its own PRNG
+//! derived from `(base seed, case index)`; when a case fails, the harness
+//! reports the case index and seed so the exact inputs can be replayed with
+//! `COLUMBIA_PT_REPLAY=<seed>` (optionally narrowing to one property via
+//! the normal test filter).
+//!
+//! ```
+//! columbia_rt::props! {
+//!     config: columbia_rt::props::Config::default();
+//!
+//!     /// Addition commutes.
+//!     fn prop_add_commutes(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+use crate::rng::{derive_seed, Pcg32};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property — matches proptest's default so the
+/// ported suites run at least as many cases as before.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Workspace-wide default base seed (arbitrary but fixed forever; changing
+/// it changes every generated case).
+pub const DEFAULT_SEED: u64 = 0xC01_0B1A_2005;
+
+/// Per-property run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; case `i` runs with `derive_seed(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl Config {
+    /// Fixed case count with the default seed.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Override the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A deterministic value generator, the analogue of `proptest::Strategy`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut Pcg32) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+impl_range_strategy!(u32, u64, usize, i32, i64, f64);
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    #[inline]
+    fn generate(&self, rng: &mut Pcg32) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Constant strategy (the analogue of `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Pcg32) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// `Vec` strategy with a length range — the analogue of
+/// `proptest::collection::vec`.
+pub struct VecStrategy<S: Strategy> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Pcg32) -> Vec<S::Value> {
+        let n = if self.len.start + 1 >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A vector of `elem`-generated values with length drawn from `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { elem, len }
+}
+
+/// Fixed-size array strategy — the analogue of `proptest::array::uniformN`.
+pub struct ArrayStrategy<S: Strategy, const N: usize> {
+    elem: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut Pcg32) -> [S::Value; N] {
+        std::array::from_fn(|_| self.elem.generate(rng))
+    }
+}
+
+/// An `[T; N]` of independently `elem`-generated values.
+pub fn array<S: Strategy, const N: usize>(elem: S) -> ArrayStrategy<S, N> {
+    ArrayStrategy { elem }
+}
+
+/// Run `body` for every case of `config`, reporting the failing case's seed
+/// on panic. Drives the [`crate::props!`] macro; call directly for
+/// hand-rolled properties.
+pub fn run_cases<F: FnMut(&mut Pcg32)>(config: &Config, name: &str, mut body: F) {
+    // Replay mode: run exactly one case from the given seed.
+    if let Ok(replay) = std::env::var("COLUMBIA_PT_REPLAY") {
+        let seed = parse_seed(&replay);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        eprintln!("{name}: replaying single case with seed {seed:#x}");
+        body(&mut rng);
+        return;
+    }
+    for case in 0..config.cases {
+        let case_seed = derive_seed(config.seed, case as u64);
+        let mut rng = Pcg32::seed_from_u64(case_seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{} (seed {case_seed:#x}); \
+                 replay with COLUMBIA_PT_REPLAY={case_seed:#x}",
+                config.cases
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).expect("COLUMBIA_PT_REPLAY: bad hex seed")
+    } else {
+        s.parse().expect("COLUMBIA_PT_REPLAY: bad seed")
+    }
+}
+
+/// Declare deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// runs the body for every generated case. An optional leading
+/// `config: <expr>;` sets the case count / base seed for the whole block.
+#[macro_export]
+macro_rules! props {
+    (
+        config: $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __rt_config: $crate::props::Config = $cfg;
+                $crate::props::run_cases(
+                    &__rt_config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rt_rng| {
+                        $(let $arg = $crate::props::Strategy::generate(&($strat), __rt_rng);)+
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::props! { config: $crate::props::Config::default(); $($rest)+ }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let config = Config::with_cases(32);
+        let collect = || {
+            let mut vals = Vec::new();
+            run_cases(&config, "det", |rng| vals.push(rng.next_u64()));
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn case_count_is_honoured() {
+        let mut n = 0;
+        run_cases(&Config::with_cases(77), "count", |_| n += 1);
+        assert_eq!(n, 77);
+    }
+
+    #[test]
+    fn failing_case_reports_and_propagates() {
+        let config = Config::with_cases(50);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut n = 0u32;
+            run_cases(&config, "boom", |_| {
+                n += 1;
+                assert!(n < 10, "synthetic failure");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let s = vec(0u32..5, 2..7);
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn array_and_tuple_strategies_compose() {
+        let s = vec((0u32..10, -1.0f64..1.0), 1..4);
+        let a = array::<_, 16>(-1.0f64..1.0);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty());
+        let arr = a.generate(&mut rng);
+        assert!(arr.iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+
+    // The macro itself, exercised end to end.
+    crate::props! {
+        config: crate::props::Config::with_cases(64);
+
+        /// Generated values respect their strategies.
+        fn prop_macro_generates_in_range(
+            x in 0u32..100,
+            y in -1.0f64..=1.0,
+            v in crate::props::vec(0usize..9, 1..5),
+        ) {
+            assert!(x < 100);
+            assert!((-1.0..=1.0).contains(&y));
+            assert!(!v.is_empty() && v.iter().all(|&e| e < 9));
+        }
+    }
+
+    crate::props! {
+        /// Default-config form (no `config:` prefix).
+        fn prop_macro_default_config(a in 1u64..1000) {
+            assert!((1..1000).contains(&a));
+        }
+    }
+}

@@ -117,7 +117,6 @@ pub fn hilbert_decode(key: u64, bits: u32) -> (u32, u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashSet;
 
     #[test]
@@ -203,22 +202,20 @@ mod tests {
         assert!((hsum - (n - 1) as f64).abs() < 1e-9, "hilbert steps are all unit");
     }
 
-    proptest! {
-        #[test]
+    columbia_rt::props! {
         fn prop_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
             let k = hilbert_encode(x, y, z, 21);
-            prop_assert_eq!(hilbert_decode(k, 21), (x, y, z));
+            assert_eq!(hilbert_decode(k, 21), (x, y, z));
         }
 
         /// Consecutive keys decode to face-adjacent cells at any resolution.
-        #[test]
         fn prop_unit_steps(k in 0u64..((1u64 << 18) - 1)) {
             let a = hilbert_decode(k, 6);
             let b = hilbert_decode(k + 1, 6);
             let d = (a.0 as i64 - b.0 as i64).abs()
                 + (a.1 as i64 - b.1 as i64).abs()
                 + (a.2 as i64 - b.2 as i64).abs();
-            prop_assert_eq!(d, 1);
+            assert_eq!(d, 1);
         }
     }
 }

@@ -73,7 +73,6 @@ impl CurveKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn curve_kinds_roundtrip_origin() {
@@ -82,12 +81,11 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_kinds_roundtrip(kindsel in 0..2u8, x in 0u32..512, y in 0u32..512, z in 0u32..512) {
+    columbia_rt::props! {
+        fn prop_kinds_roundtrip(kindsel in 0u32..2, x in 0u32..512, y in 0u32..512, z in 0u32..512) {
             let kind = if kindsel == 0 { CurveKind::Morton } else { CurveKind::Hilbert };
             let key = kind.encode(x, y, z, 9);
-            prop_assert_eq!(kind.decode(key, 9), (x, y, z));
+            assert_eq!(kind.decode(key, 9), (x, y, z));
         }
     }
 }

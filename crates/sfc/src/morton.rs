@@ -61,7 +61,6 @@ pub fn morton_decode(key: u64, bits: u32) -> (u32, u32, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashSet;
 
     #[test]
@@ -126,20 +125,18 @@ mod tests {
         assert_eq!(k, (1u64 << 63) - 1);
     }
 
-    proptest! {
-        #[test]
+    columbia_rt::props! {
         fn prop_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
             let k = morton_encode(x, y, z, 21);
-            prop_assert_eq!(morton_decode(k, 21), (x, y, z));
+            assert_eq!(morton_decode(k, 21), (x, y, z));
         }
 
         /// Monotone in each axis: increasing one coordinate increases the key
         /// when the others are zero.
-        #[test]
         fn prop_axis_monotone(x in 0u32..((1 << 21) - 1)) {
-            prop_assert!(morton_encode(x, 0, 0, 21) < morton_encode(x + 1, 0, 0, 21));
-            prop_assert!(morton_encode(0, x, 0, 21) < morton_encode(0, x + 1, 0, 21));
-            prop_assert!(morton_encode(0, 0, x, 21) < morton_encode(0, 0, x + 1, 21));
+            assert!(morton_encode(x, 0, 0, 21) < morton_encode(x + 1, 0, 0, 21));
+            assert!(morton_encode(0, x, 0, 21) < morton_encode(0, x + 1, 0, 21));
+            assert!(morton_encode(0, 0, x, 21) < morton_encode(0, 0, x + 1, 21));
         }
     }
 }

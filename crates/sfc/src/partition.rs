@@ -87,7 +87,6 @@ pub fn split_weighted_curve(weights: &[f64], nparts: usize) -> CurvePartition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn uniform_weights_split_evenly() {
@@ -102,7 +101,7 @@ mod tests {
         // First half cells are "cut" (weight 2.1), second half full (1.0);
         // the midpoint partition boundary must sit inside the first half.
         let mut w = vec![2.1; 50];
-        w.extend(std::iter::repeat(1.0).take(50));
+        w.resize(100, 1.0);
         let p = split_weighted_curve(&w, 2);
         assert!(p.starts[1] < 50, "boundary {} should be in cut region", p.starts[1]);
         assert!(p.imbalance(&w) < 1.05);
@@ -144,26 +143,24 @@ mod tests {
         split_weighted_curve(&[1.0], 0);
     }
 
-    proptest! {
+    columbia_rt::props! {
         /// Partitions always tile the index range in order.
-        #[test]
         fn prop_tiling(n in 0usize..200, nparts in 1usize..17) {
             let w: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
             let p = split_weighted_curve(&w, nparts);
-            prop_assert_eq!(p.starts[0], 0);
-            prop_assert_eq!(*p.starts.last().unwrap(), n);
+            assert_eq!(p.starts[0], 0);
+            assert_eq!(*p.starts.last().unwrap(), n);
             for k in 0..nparts {
-                prop_assert!(p.starts[k] <= p.starts[k + 1]);
+                assert!(p.starts[k] <= p.starts[k + 1]);
             }
         }
 
         /// With many more unit-weight cells than partitions, imbalance stays
         /// close to 1.
-        #[test]
         fn prop_balanced_when_plenty_of_cells(nparts in 1usize..16) {
             let w = vec![1.0; 10_000];
             let p = split_weighted_curve(&w, nparts);
-            prop_assert!(p.imbalance(&w) < 1.01);
+            assert!(p.imbalance(&w) < 1.01);
         }
     }
 }

@@ -223,6 +223,67 @@ fn fig22_ib_dips_crossing_the_node_boundary() {
 }
 
 #[test]
+fn fig14b_superlinear_speedup_shrinks_with_levels() {
+    // Paper Figure 14(b): every NSU3D variant is *superlinear* at 2008
+    // CPUs (cache effect of ~36k points/CPU), and the superlinearity
+    // shrinks as multigrid levels are added because coarse levels
+    // communicate more per flop.
+    let p = paper_nsu3d_72m();
+    let speedup = |prof: &columbia_machine::CycleProfile| 128.0 * nl(prof, 128) / nl(prof, 2008);
+    let mut prev = f64::INFINITY;
+    for nlev in [1usize, 4, 6] {
+        let s = speedup(&p.truncated(nlev, true));
+        assert!(
+            s > 2008.0,
+            "{nlev}-level speedup {s} at 2008 CPUs must stay superlinear"
+        );
+        assert!(
+            s < prev,
+            "{nlev}-level speedup {s} must be below the shallower hierarchy ({prev})"
+        );
+        prev = s;
+    }
+}
+
+#[test]
+fn sec5_sfc_coarsening_ratio_exceeds_seven() {
+    // Paper §V: "reduction ratios of better than 7:1" for the single-pass
+    // SFC sibling-collection coarsener on adapted Cart3D meshes.
+    use columbia_cartesian::{
+        build_octree, coarsen_mesh, CutCellConfig, Geometry, TriMesh,
+    };
+    use columbia_mesh::Vec3;
+    use columbia_sfc::CurveKind;
+
+    let prof: Vec<(f64, f64)> = (0..=14)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / 14.0;
+            (-0.3 * t.cos(), 0.3 * t.sin())
+        })
+        .collect();
+    let geom = Geometry::new(&[TriMesh::body_of_revolution(&prof, 16)]);
+    // Production-like resolution: the body-adapted band is thin relative
+    // to the uniform bulk, as in the paper's 25M-cell SSLV meshes.
+    let config = CutCellConfig {
+        min_level: 5,
+        max_level: 6,
+        origin: Vec3::new(-1.0, -1.0, -1.0),
+        size: 2.0,
+    };
+    let tree = build_octree(&geom, &config);
+    let fine = columbia_cartesian::extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    let c = coarsen_mesh(&fine);
+    let ratio = c.ratio(fine.ncells());
+    assert!(
+        ratio > 7.0,
+        "SFC coarsening ratio {ratio} must beat the paper's 7:1"
+    );
+    // The coarse mesh must itself be coarsenable (multigrid hierarchy).
+    let c2 = coarsen_mesh(&c.coarse);
+    assert!(c2.ratio(c.coarse.ncells()) > 4.0);
+}
+
+#[test]
 fn outlook_4016_cpus_requires_hybrid_infiniband() {
     // Paper §VI: >2048 CPUs must use InfiniBand, and the rank limit forces
     // hybrid MPI/OpenMP.
