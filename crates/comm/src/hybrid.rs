@@ -86,6 +86,42 @@ impl HybridLayout {
         stats
     }
 
+    /// Merge *measured* per-partition send statistics into per-MPI-rank
+    /// statistics under this layout.
+    ///
+    /// Partition peers are mapped to their owning ranks; intra-rank traffic
+    /// disappears (shared-memory copies); and traffic from all threads of a
+    /// rank towards the same remote rank is **summed** — sibling partitions
+    /// routinely share remote peers, so overlapping peer sets must
+    /// accumulate rather than overwrite (the bug this method replaces:
+    /// naively inserting per-partition peer tables into the rank table
+    /// silently kept only the last thread's counts). Fault-protocol
+    /// counters are per sending thread and accumulate over the rank's
+    /// partitions unchanged.
+    ///
+    /// # Panics
+    /// If `per_part` does not have exactly one entry per partition.
+    pub fn aggregate_measured(&self, per_part: &[CommStats]) -> Vec<CommStats> {
+        assert_eq!(
+            per_part.len(),
+            self.part_to_rank.len(),
+            "one CommStats per partition required"
+        );
+        let mut out = vec![CommStats::default(); self.nranks];
+        for (p, s) in per_part.iter().enumerate() {
+            let rp = self.part_to_rank[p];
+            for (peer_part, msgs, bytes) in s.peers() {
+                let rq = self.part_to_rank[peer_part];
+                if rq == rp {
+                    continue; // shared-memory copy
+                }
+                out[rp].record_sends(rq, msgs, bytes);
+            }
+            out[rp].absorb_faults(s.faults());
+        }
+        out
+    }
+
     /// Fraction of exchanged vertex entries that stay inside a rank
     /// (shared-memory) — rises with `threads_per_rank`, the reason hybrid
     /// runs need fewer, larger messages.
@@ -193,5 +229,41 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn uneven_layout_panics() {
         HybridLayout::block(5, 2);
+    }
+
+    #[test]
+    fn measured_aggregation_sums_overlapping_peers() {
+        // 4 partitions, 2 ranks of 2. Partitions 0 and 1 (both rank 0)
+        // each send to partitions 2 and 3 (both rank 1): after mapping,
+        // all four streams land on the SAME peer rank and must sum.
+        let layout = HybridLayout::block(4, 2);
+        let mut parts = vec![CommStats::default(); 4];
+        parts[0].record_send(2, 100);
+        parts[0].record_send(3, 10);
+        parts[0].record_send(1, 999); // intra-rank: must vanish
+        parts[1].record_send(2, 1);
+        parts[1].record_send(3, 1);
+        parts[1].record_retries(2);
+        parts[2].record_send(0, 5);
+        parts[3].record_send(1, 7);
+        parts[3].record_stall(4);
+        let ranks = layout.aggregate_measured(&parts);
+        // Rank 0: 4 inter-rank messages, summed bytes, single peer.
+        assert_eq!(ranks[0].total_msgs(), 4);
+        assert_eq!(ranks[0].total_bytes(), 112);
+        assert_eq!(ranks[0].degree(), 1);
+        assert_eq!(ranks[0].faults().retries, 2);
+        // Rank 1: two messages back to rank 0, faults carried over.
+        assert_eq!(ranks[1].total_msgs(), 2);
+        assert_eq!(ranks[1].total_bytes(), 12);
+        assert_eq!(ranks[1].faults().stalls, 1);
+        assert_eq!(ranks[1].faults().stall_yields, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CommStats per partition")]
+    fn measured_aggregation_rejects_wrong_arity() {
+        let layout = HybridLayout::block(4, 2);
+        layout.aggregate_measured(&vec![CommStats::default(); 2]);
     }
 }

@@ -20,12 +20,20 @@
 //! messages from all threads of a rank pair are aggregated into a single
 //! master-thread message.
 
+//! [`runtime`] injects deterministic faults on demand: a seeded
+//! [`FaultPlan`] decides per message occurrence whether it is dropped
+//! (bounded retry-with-timeout), duplicated (sequence-number dedup),
+//! delayed/reordered (flush-on-block sender queues) or whether a rank
+//! stalls at a barrier — with the schedule, solver results and
+//! [`CommStats`] traces bit-identical across runs for a fixed seed.
+
 pub mod exchange;
 pub mod hybrid;
 pub mod runtime;
 pub mod stats;
 
+pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
 pub use exchange::{decompose, Decomposition, ExchangePlan};
 pub use hybrid::HybridLayout;
-pub use runtime::{run_ranks, Rank};
-pub use stats::CommStats;
+pub use runtime::{run_ranks, run_ranks_faulty, Rank};
+pub use stats::{CommStats, FaultCounters, WorldCommSummary};

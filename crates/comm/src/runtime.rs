@@ -1,15 +1,49 @@
-//! Ranks-as-threads message passing.
+//! Ranks-as-threads message passing with deterministic fault injection.
+//!
+//! Every message carries a per-`(from, to, tag)` sequence number. On a
+//! perfect interconnect that is pure overhead bookkeeping; under a
+//! [`FaultPlan`] it is what makes chaos survivable *and replayable*:
+//!
+//! * **drops** — the sender consults the plan for occurrence `seq` of its
+//!   stream and simulates a bounded retry-with-timeout protocol: each
+//!   dropped attempt records a retry, a saturated retry budget records a
+//!   timeout and escalates to the reliable fallback path, so the payload
+//!   still arrives exactly once;
+//! * **duplicates** — extra copies travel with the same sequence number
+//!   and are discarded by the receiver's dedup window;
+//! * **delays / reordering** — delayed messages linger in the sender's
+//!   queue for a plan-chosen number of send-slots (and are force-flushed
+//!   at every blocking point, so no deadlock is possible); receivers
+//!   reassemble streams in sequence order;
+//! * **barrier stalls** — a rank entering a barrier may burn a
+//!   plan-chosen number of scheduler yields first.
+//!
+//! All fault decisions are pure functions of `(fault seed, coordinates)`
+//! — never of thread timing — so the same `(seed, nranks)` pair yields a
+//! bit-identical fault schedule, solver result and [`CommStats`] trace on
+//! every run.
 
 use crate::stats::CommStats;
 use columbia_rt::channel::{unbounded, Receiver, Sender};
-use std::collections::{HashMap, VecDeque};
+use columbia_rt::fault::{FaultPlan, MessageAction};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
 
-/// A message in flight: `(from, tag, payload)`.
-type Message = (usize, u64, Vec<f64>);
+/// A message in flight: `(from, tag, seq, payload)`.
+type Message = (usize, u64, u64, Vec<f64>);
 
 /// Reserved tag space for collectives.
 const TAG_COLLECTIVE: u64 = u64::MAX - 1024;
+
+/// An outgoing message held back by an injected delay.
+struct DelayedMsg {
+    to: usize,
+    tag: u64,
+    seq: u64,
+    data: Vec<f64>,
+    duplicates: u32,
+    slots_left: u32,
+}
 
 /// Per-rank communication context handed to the rank body.
 pub struct Rank {
@@ -17,8 +51,20 @@ pub struct Rank {
     nranks: usize,
     tx: Vec<Sender<Message>>,
     rx: Receiver<Message>,
-    /// Out-of-order buffer keyed by `(from, tag)`.
-    pending: HashMap<(usize, u64), VecDeque<Vec<f64>>>,
+    /// Reorder buffer: per `(from, tag)` stream, payloads keyed by
+    /// sequence number (duplicates of a buffered or consumed sequence are
+    /// discarded on arrival).
+    pending: HashMap<(usize, u64), BTreeMap<u64, Vec<f64>>>,
+    /// Next sequence number to assign, per `(to, tag)` stream.
+    send_seq: HashMap<(usize, u64), u64>,
+    /// Next sequence number to deliver, per `(from, tag)` stream.
+    recv_next: HashMap<(usize, u64), u64>,
+    /// Outgoing messages held back by injected delays (flushed at every
+    /// blocking point).
+    delayed: VecDeque<DelayedMsg>,
+    /// Barrier entries so far (fault-schedule coordinate).
+    barrier_count: u64,
+    faults: Option<Arc<FaultPlan>>,
     barrier: Arc<Barrier>,
     stats: CommStats,
 }
@@ -46,31 +92,136 @@ impl Rank {
 
     fn send_raw(&mut self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.nranks, "rank {to} out of range");
-        self.stats.record_send(to, data.len() * 8);
-        self.tx[to]
-            .send((self.rank, tag, data))
-            .expect("peer rank hung up");
+        let seq_entry = self.send_seq.entry((to, tag)).or_insert(0);
+        let seq = *seq_entry;
+        *seq_entry += 1;
+
+        let action = match &self.faults {
+            Some(plan) => plan.message_action(self.rank, to, tag, seq),
+            None => MessageAction::NONE,
+        };
+        if action.dropped_attempts > 0 {
+            self.stats.record_retries(action.dropped_attempts as u64);
+            if action.timed_out {
+                self.stats.record_timeout();
+            }
+        }
+
+        let n_delayed_before = self.delayed.len();
+        if action.delay_slots > 0 {
+            self.stats.record_delay(action.delay_slots as u64);
+            self.delayed.push_back(DelayedMsg {
+                to,
+                tag,
+                seq,
+                data,
+                duplicates: action.duplicates,
+                slots_left: action.delay_slots,
+            });
+        } else {
+            self.push_wire(to, tag, seq, data, action.duplicates);
+        }
+        self.tick_delayed(n_delayed_before);
     }
 
-    /// Blocking receive of one message from `from` with `tag`. Messages from
-    /// other peers/tags arriving in between are buffered.
+    /// Physically enqueue one message (plus any injected duplicate
+    /// copies) on the destination's channel. Send-side statistics are
+    /// recorded only *after* the channel accepts the message, so a send
+    /// that panics on a hung-up peer leaves no phantom counts behind.
+    fn push_wire(&mut self, to: usize, tag: u64, seq: u64, data: Vec<f64>, duplicates: u32) {
+        let bytes = data.len() * 8;
+        for _ in 0..duplicates {
+            self.tx[to]
+                .send((self.rank, tag, seq, data.clone()))
+                .expect("peer rank hung up");
+        }
+        self.tx[to]
+            .send((self.rank, tag, seq, data))
+            .expect("peer rank hung up");
+        self.stats.record_send(to, bytes);
+        if duplicates > 0 {
+            self.stats.record_dup_sent(duplicates as u64);
+        }
+    }
+
+    /// Age the first `n` delayed messages by one send-slot and release the
+    /// ones whose delay expired (after the triggering send, which is what
+    /// reorders traffic).
+    fn tick_delayed(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        for d in self.delayed.iter_mut().take(n) {
+            d.slots_left -= 1;
+        }
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].slots_left == 0 {
+                let d = self.delayed.remove(i).unwrap();
+                self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Release every delayed message immediately. Called before any
+    /// blocking operation (recv, barrier, collectives) and at rank
+    /// teardown, which guarantees progress: a peer blocked on one of our
+    /// delayed messages unblocks no later than our next blocking point.
+    fn flush_delayed(&mut self) {
+        while let Some(d) = self.delayed.pop_front() {
+            self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates);
+        }
+    }
+
+    /// Blocking receive of one message from `from` with `tag`. Messages
+    /// from other peers/tags/sequence positions arriving in between are
+    /// buffered; duplicate copies are discarded.
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
-        if let Some(q) = self.pending.get_mut(&(from, tag)) {
-            if let Some(data) = q.pop_front() {
+        self.flush_delayed();
+        let key = (from, tag);
+        let next = *self.recv_next.entry(key).or_insert(0);
+        if let Some(q) = self.pending.get_mut(&key) {
+            if let Some(data) = q.remove(&next) {
+                *self.recv_next.get_mut(&key).unwrap() += 1;
                 return data;
             }
         }
         loop {
-            let (f, t, data) = self.rx.recv().expect("world shut down mid-recv");
-            if f == from && t == tag {
+            let (f, t, seq, data) = self.rx.recv().expect("world shut down mid-recv");
+            let stream = (f, t);
+            let expected = *self.recv_next.entry(stream).or_insert(0);
+            if seq < expected {
+                // Stale duplicate of an already-delivered message.
+                continue;
+            }
+            if stream == key && seq == next {
+                *self.recv_next.get_mut(&key).unwrap() += 1;
                 return data;
             }
-            self.pending.entry((f, t)).or_default().push_back(data);
+            // Out-of-order or foreign-stream message: buffer it. A
+            // duplicate of an already-buffered sequence is dropped by the
+            // or_insert.
+            self.pending.entry(stream).or_default().entry(seq).or_insert(data);
         }
     }
 
-    /// Synchronise all ranks.
-    pub fn barrier(&self) {
+    /// Synchronise all ranks (possibly stalling first, if the fault plan
+    /// says this rank hiccups here).
+    pub fn barrier(&mut self) {
+        self.flush_delayed();
+        let occurrence = self.barrier_count;
+        self.barrier_count += 1;
+        if let Some(plan) = &self.faults {
+            let yields = plan.barrier_stall(self.rank, occurrence);
+            if yields > 0 {
+                self.stats.record_stall(yields as u64);
+                for _ in 0..yields {
+                    std::thread::yield_now();
+                }
+            }
+        }
         self.barrier.wait();
     }
 
@@ -86,7 +237,9 @@ impl Rank {
 
     fn allreduce(&mut self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
         // Gather to rank 0, reduce, broadcast. O(P) but P is small here;
-        // the machine model charges log(P) as real MPI would.
+        // the machine model charges log(P) as real MPI would. The
+        // sequence-number protocol makes this (like every exchange)
+        // idempotent under duplication and stable under reordering.
         let tag = TAG_COLLECTIVE;
         if self.rank == 0 {
             let mut acc = value;
@@ -109,14 +262,43 @@ impl Rank {
         &self.stats
     }
 
-    /// Take and reset the statistics (e.g. per multigrid cycle).
+    /// Take and reset the statistics (e.g. per multigrid cycle). Flushes
+    /// the injected-delay queue first: a held-back message has already been
+    /// decided and counted as delayed, and its send must land in the trace
+    /// being taken — not leak into the next cycle's (or nobody's) ledger.
     pub fn take_stats(&mut self) -> CommStats {
+        self.flush_delayed();
         std::mem::take(&mut self.stats)
+    }
+
+    /// Teardown bookkeeping: release held-back messages, then synchronise
+    /// before any rank drops its receiver. The teardown barrier closes a
+    /// race that fault injection makes likely: a peer can consume an
+    /// injected duplicate copy, complete its body and drop its channel
+    /// while the sender is still pushing the redundant original — which
+    /// would turn a benign duplicate into a "peer rank hung up" panic (and
+    /// strand every other rank). With the barrier, every send strictly
+    /// precedes every receiver drop. Finally, check that no buffered
+    /// out-of-order message was silently abandoned (a leak that previously
+    /// vanished without trace).
+    fn finish(&mut self) {
+        self.flush_delayed();
+        self.barrier.wait();
+        debug_assert!(
+            self.pending.values().all(|q| q.is_empty()),
+            "rank {} exited with unconsumed out-of-order messages: {:?}",
+            self.rank,
+            self.pending
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&(from, tag), q)| (from, tag, q.len()))
+                .collect::<Vec<_>>()
+        );
     }
 }
 
-/// Run `nranks` rank bodies on OS threads; returns each body's result in
-/// rank order.
+/// Run `nranks` rank bodies on OS threads with no fault injection;
+/// returns each body's result in rank order.
 ///
 /// The body receives a mutable [`Rank`] context. Panics in any rank
 /// propagate after all threads complete or abort.
@@ -125,7 +307,30 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
+    run_ranks_faulty(nranks, None, body)
+}
+
+/// Run `nranks` rank bodies under an optional deterministic fault plan.
+///
+/// With `plan = None` (or a fault-free plan) this is byte-for-byte the
+/// perfect-interconnect runtime. With an active plan, sends are dropped /
+/// retried / duplicated / delayed and barriers stall exactly as the plan's
+/// seed dictates; results and [`CommStats`] traces remain bit-identical
+/// across runs for the same `(seed, nranks)`.
+pub fn run_ranks_faulty<T, F>(nranks: usize, plan: Option<Arc<FaultPlan>>, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
     assert!(nranks > 0);
+    if let Some(p) = &plan {
+        assert_eq!(
+            p.nranks(),
+            nranks,
+            "fault plan built for {} ranks, world has {nranks}",
+            p.nranks()
+        );
+    }
     let mut senders: Vec<Sender<Message>> = Vec::with_capacity(nranks);
     let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(nranks);
     for _ in 0..nranks {
@@ -135,12 +340,14 @@ where
     }
     let barrier = Arc::new(Barrier::new(nranks));
     let body = &body;
+    let plan = &plan;
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for (r, rx) in receivers.into_iter().enumerate() {
             let tx = senders.clone();
             let barrier = barrier.clone();
+            let faults = plan.clone();
             handles.push(scope.spawn(move || {
                 let mut ctx = Rank {
                     rank: r,
@@ -148,10 +355,17 @@ where
                     tx,
                     rx,
                     pending: HashMap::new(),
+                    send_seq: HashMap::new(),
+                    recv_next: HashMap::new(),
+                    delayed: VecDeque::new(),
+                    barrier_count: 0,
+                    faults,
                     barrier,
                     stats: CommStats::default(),
                 };
-                body(&mut ctx)
+                let out = body(&mut ctx);
+                ctx.finish();
+                out
             }));
         }
         handles
@@ -164,6 +378,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use columbia_rt::fault::FaultConfig;
 
     #[test]
     fn ring_pass_accumulates() {
@@ -260,5 +475,143 @@ mod tests {
             // After the barrier everyone must see all 4 increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
+    }
+
+    /// A messy mixed workload: ring pass, tagged cross-traffic, allreduce,
+    /// barrier. Used to compare fault-free and faulty executions.
+    fn chaos_workload(nranks: usize, plan: Option<Arc<FaultPlan>>) -> Vec<(f64, CommStats)> {
+        run_ranks_faulty(nranks, plan, |rank| {
+            let r = rank.rank();
+            let n = rank.nranks();
+            let next = (r + 1) % n;
+            let prev = (r + n - 1) % n;
+            let mut acc = 0.0;
+            for round in 0..6u64 {
+                rank.send(next, 7 + round % 2, vec![r as f64, round as f64]);
+                let got = rank.recv(prev, 7 + round % 2);
+                acc += got[0] * (round + 1) as f64 + got[1];
+            }
+            acc += rank.allreduce_sum(acc);
+            rank.barrier();
+            acc += rank.allreduce_max(r as f64);
+            (acc, rank.take_stats())
+        })
+    }
+
+    #[test]
+    fn faulty_run_is_bit_identical_across_runs() {
+        let plan = || {
+            Some(Arc::new(FaultPlan::new(
+                0xBAD_CAB1E,
+                4,
+                FaultConfig::severe(),
+            )))
+        };
+        let a = chaos_workload(4, plan());
+        let b = chaos_workload(4, plan());
+        for ((va, sa), (vb, sb)) in a.iter().zip(&b) {
+            assert_eq!(va.to_bits(), vb.to_bits(), "values diverged");
+            assert_eq!(sa, sb, "stats traces diverged");
+        }
+        // The severe plan actually exercised the fault paths.
+        let f: Vec<_> = a.iter().map(|(_, s)| *s.faults()).collect();
+        assert!(f.iter().any(|c| c.retries > 0), "no retries recorded");
+        assert!(f.iter().any(|c| c.dup_sent > 0), "no duplicates recorded");
+        assert!(f.iter().any(|c| c.delayed_msgs > 0), "no delays recorded");
+    }
+
+    #[test]
+    fn faults_do_not_change_delivered_values() {
+        let clean = chaos_workload(4, None);
+        let faulty = chaos_workload(
+            4,
+            Some(Arc::new(FaultPlan::new(99, 4, FaultConfig::severe()))),
+        );
+        for ((vc, _), (vf, _)) in clean.iter().zip(&faulty) {
+            assert_eq!(
+                vc.to_bits(),
+                vf.to_bits(),
+                "retry/dedup/reorder protocol must hide faults from payloads"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_matches_no_plan_exactly() {
+        let clean = chaos_workload(4, None);
+        for seed in [0u64, 7, 0xFEED] {
+            let plan = Arc::new(FaultPlan::new(seed, 4, FaultConfig::fault_free()));
+            let gated = chaos_workload(4, Some(plan));
+            for ((vc, sc), (vg, sg)) in clean.iter().zip(&gated) {
+                assert_eq!(vc.to_bits(), vg.to_bits());
+                assert_eq!(sc, sg, "zero-rate plan must leave the trace untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_and_reordered_sends_are_deduped() {
+        // Force heavy duplication + delay with zero drops: every payload
+        // must still arrive exactly once, in order.
+        let cfg = FaultConfig {
+            dup_rate: 1.0,
+            max_dups: 2,
+            delay_rate: 0.8,
+            max_delay_slots: 3,
+            ..FaultConfig::fault_free()
+        };
+        let plan = Arc::new(FaultPlan::new(3, 2, cfg));
+        let results = run_ranks_faulty(2, Some(plan), |rank| {
+            if rank.rank() == 0 {
+                for i in 0..20 {
+                    rank.send(1, 5, vec![i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..20).map(|_| rank.recv(0, 5)[0]).collect::<Vec<f64>>()
+            }
+        });
+        let expect: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(results[1], expect, "stream order broken by dup/delay");
+    }
+
+    #[test]
+    fn drops_are_retried_to_completion() {
+        let cfg = FaultConfig {
+            drop_rate: 0.9,
+            max_retries: 3,
+            ..FaultConfig::fault_free()
+        };
+        let plan = Arc::new(FaultPlan::new(17, 2, cfg));
+        let results = run_ranks_faulty(2, Some(plan), |rank| {
+            if rank.rank() == 0 {
+                for i in 0..30 {
+                    rank.send(1, 1, vec![i as f64]);
+                }
+                rank.take_stats()
+            } else {
+                for i in 0..30 {
+                    assert_eq!(rank.recv(0, 1)[0], i as f64);
+                }
+                rank.take_stats()
+            }
+        });
+        let f = results[0].faults();
+        assert!(f.retries > 0, "90% drop rate must trigger retries");
+        assert!(
+            f.timeouts > 0,
+            "0.9^3 per-message saturation must trigger timeouts"
+        );
+        // Every logical message was still delivered exactly once.
+        assert_eq!(results[0].total_msgs(), 30);
+    }
+
+    #[test]
+    fn mismatched_plan_world_size_panics() {
+        let plan = Arc::new(FaultPlan::fault_free(3));
+        let r = std::panic::catch_unwind(|| {
+            run_ranks_faulty(2, Some(plan), |_| ());
+        });
+        assert!(r.is_err());
     }
 }

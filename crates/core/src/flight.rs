@@ -300,7 +300,7 @@ impl SixDof {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::database::DatabaseEntry;
+    use crate::database::{CaseStatus, DatabaseEntry};
     use columbia_euler::Forces;
 
     /// Synthetic linear-aero database: drag = 0.1 + M^2/10, lift = 2 alpha,
@@ -320,6 +320,7 @@ mod tests {
                             moment: Vec3::new(0.0, 0.5 * d - a, 0.0),
                         },
                         orders: 5.0,
+                        status: CaseStatus::Converged,
                     });
                 }
             }
@@ -416,6 +417,7 @@ mod tests {
                 beta: 0.0,
                 forces: Forces::default(),
                 orders: 1.0,
+                status: CaseStatus::Converged,
             });
         }
         entries.push(DatabaseEntry {
@@ -425,6 +427,7 @@ mod tests {
             beta: 0.0,
             forces: Forces::default(),
             orders: 1.0,
+            status: CaseStatus::Converged,
         });
         AeroDatabase::from_entries(&entries);
     }

@@ -9,7 +9,10 @@
 use crate::level::{EulerLevel, RK5};
 use crate::state::{State5, NVARS5};
 use columbia_cartesian::{partition_cells, CartFace, CartMesh};
-use columbia_comm::{decompose, run_ranks, CommStats, Decomposition, Rank};
+use columbia_comm::{
+    decompose, run_ranks_faulty, CommStats, Decomposition, FaultPlan, Rank,
+};
+use std::sync::Arc;
 
 /// Per-rank local mesh + level.
 pub struct LocalEuler {
@@ -139,6 +142,21 @@ pub fn run_parallel_smoothing(
     nparts: usize,
     steps: usize,
 ) -> (Vec<State5>, f64, Vec<CommStats>) {
+    run_parallel_smoothing_faulty(mesh, fs, cfl, nparts, steps, None)
+}
+
+/// [`run_parallel_smoothing`] under an optional deterministic fault plan:
+/// message drops/duplicates/delays and barrier stalls are injected per the
+/// plan's seed, the retry/dedup/reorder protocol hides them from payloads,
+/// and the returned [`CommStats`] carry the fault-protocol counters.
+pub fn run_parallel_smoothing_faulty(
+    mesh: &CartMesh,
+    fs: State5,
+    cfl: f64,
+    nparts: usize,
+    steps: usize,
+    plan: Option<Arc<FaultPlan>>,
+) -> (Vec<State5>, f64, Vec<CommStats>) {
     let (decomp, locals) = build_local_levels(mesh, nparts, fs, cfl);
     let locals = std::sync::Mutex::new(
         locals
@@ -146,7 +164,7 @@ pub fn run_parallel_smoothing(
             .map(Some)
             .collect::<Vec<Option<LocalEuler>>>(),
     );
-    let results = run_ranks(nparts, |rank| {
+    let results = run_ranks_faulty(nparts, plan, |rank| {
         let mut local = locals.lock().unwrap()[rank.rank()]
             .take()
             .expect("local level already taken");

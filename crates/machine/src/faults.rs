@@ -1,0 +1,94 @@
+//! Fabric-derived fault severities for chaos runs.
+//!
+//! The interconnect model already knows how much worse each fabric behaves
+//! as a job spreads over nodes (latency gaps, bandwidth collapse,
+//! random-ring derates — paper §II/§VI). This module turns those same
+//! numbers into [`FaultConfig`] severities, so a chaos run over a
+//! simulated InfiniBand span injects measurably harsher faults than the
+//! same run over NUMAlink — mirroring the operational reality the paper's
+//! multi-day database fills had to survive.
+
+use crate::interconnect::Fabric;
+use columbia_rt::fault::FaultConfig;
+
+/// Dimensionless fault severity of `fabric` spanning `span_nodes` nodes,
+/// relative to intra-node NUMAlink (which scores 0): the base-2 log of the
+/// worst of the latency and bandwidth penalty ratios.
+pub fn fabric_severity(fabric: Fabric, span_nodes: usize) -> f64 {
+    let base = Fabric::NumaLink4;
+    let lat_ratio = fabric.latency(span_nodes) / base.latency(1);
+    let bw_ratio = base.bandwidth(1) / fabric.bandwidth(span_nodes);
+    lat_ratio.max(bw_ratio).log2().max(0.0)
+}
+
+/// Fault-injection severity for a run on `fabric` spanning `span_nodes`
+/// nodes. Rates scale with [`fabric_severity`]: an intra-node NUMAlink
+/// run is fault-free, a multi-node NUMAlink run is mild, multi-node
+/// InfiniBand is harsh, and the 10GigE fallback is harsher still.
+pub fn fabric_fault_config(fabric: Fabric, span_nodes: usize) -> FaultConfig {
+    let sev = fabric_severity(fabric, span_nodes);
+    FaultConfig {
+        drop_rate: (0.010 * sev).min(0.20),
+        dup_rate: (0.020 * sev).min(0.25),
+        max_dups: 1 + (sev as u32).min(2),
+        delay_rate: (0.080 * sev).min(0.50),
+        max_delay_slots: 1 + sev.ceil() as u32,
+        stall_rate: (0.015 * sev).min(0.20),
+        max_stall_yields: 4 * (1 + (sev as u32).min(4)),
+        max_retries: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_numalink_is_fault_free() {
+        assert_eq!(fabric_severity(Fabric::NumaLink4, 1), 0.0);
+        assert!(fabric_fault_config(Fabric::NumaLink4, 1).is_fault_free());
+    }
+
+    #[test]
+    fn severity_ranking_matches_the_interconnect_model() {
+        let nl = fabric_severity(Fabric::NumaLink4, 4);
+        let ib = fabric_severity(Fabric::InfiniBand, 4);
+        let ge = fabric_severity(Fabric::TenGigE, 4);
+        assert!(nl > 0.0, "multi-node NUMAlink should be mildly faulty");
+        assert!(ib > nl, "InfiniBand must inject harsher faults: {ib} vs {nl}");
+        assert!(ge > ib, "10GigE must be harshest: {ge} vs {ib}");
+    }
+
+    #[test]
+    fn configs_scale_with_severity_and_stay_bounded() {
+        let nl = fabric_fault_config(Fabric::NumaLink4, 4);
+        let ib = fabric_fault_config(Fabric::InfiniBand, 4);
+        let ge = fabric_fault_config(Fabric::TenGigE, 4);
+        assert!(!nl.is_fault_free());
+        assert!(ib.delay_rate > nl.delay_rate);
+        assert!(ib.drop_rate > nl.drop_rate);
+        assert!(ge.delay_rate >= ib.delay_rate);
+        assert!(ib.max_delay_slots > nl.max_delay_slots);
+        for c in [nl, ib, ge] {
+            assert!(c.drop_rate <= 0.20 && c.dup_rate <= 0.25);
+            assert!(c.delay_rate <= 0.50 && c.stall_rate <= 0.20);
+            assert!(c.max_retries >= 1);
+        }
+    }
+
+    columbia_rt::props! {
+        config: columbia_rt::props::Config::with_cases(32);
+
+        /// Severity is monotone in node span for every fabric, and the
+        /// derived rates are valid probabilities.
+        fn prop_fault_config_sane(span in 1usize..20) {
+            for f in [Fabric::NumaLink4, Fabric::InfiniBand, Fabric::TenGigE] {
+                let c = fabric_fault_config(f, span);
+                for r in [c.drop_rate, c.dup_rate, c.delay_rate, c.stall_rate] {
+                    assert!((0.0..=1.0).contains(&r), "rate {r} out of range");
+                }
+                assert!(fabric_severity(f, span + 1) >= fabric_severity(f, span) - 1e-12);
+            }
+        }
+    }
+}

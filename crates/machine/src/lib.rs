@@ -25,12 +25,14 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately catches NaNs
 
 pub mod columbia;
+pub mod faults;
 pub mod interconnect;
 pub mod model;
 pub mod profile;
 pub mod scaling;
 
 pub use columbia::MachineConfig;
+pub use faults::{fabric_fault_config, fabric_severity};
 pub use interconnect::{ib_rank_limit, Fabric};
 pub use model::{simulate_cycle, CycleBreakdown, RunConfig};
 pub use profile::{CycleProfile, IntergridProfile, LevelProfile};

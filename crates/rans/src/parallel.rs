@@ -18,7 +18,10 @@
 
 use crate::level::{RansLevel, SolverParams};
 use crate::state::{State, NVARS};
-use columbia_comm::{decompose, run_ranks, CommStats, Decomposition, Rank};
+use columbia_comm::{
+    decompose, run_ranks_faulty, CommStats, Decomposition, FaultPlan, Rank,
+};
+use std::sync::Arc;
 use columbia_mesh::{extract_lines, Edge, UnstructuredMesh};
 use columbia_partition::{
     contract_lines, expand_line_partition, partition_graph, PartitionConfig,
@@ -198,6 +201,20 @@ pub fn run_parallel_smoothing(
     nparts: usize,
     sweeps: usize,
 ) -> (Vec<State>, f64, Vec<CommStats>) {
+    run_parallel_smoothing_faulty(mesh, params, nparts, sweeps, None)
+}
+
+/// [`run_parallel_smoothing`] under an optional deterministic fault plan:
+/// message drops/duplicates/delays and barrier stalls are injected per the
+/// plan's seed, the retry/dedup/reorder protocol hides them from payloads,
+/// and the returned [`CommStats`] carry the fault-protocol counters.
+pub fn run_parallel_smoothing_faulty(
+    mesh: &UnstructuredMesh,
+    params: SolverParams,
+    nparts: usize,
+    sweeps: usize,
+    plan: Option<Arc<FaultPlan>>,
+) -> (Vec<State>, f64, Vec<CommStats>) {
     let part = partition_mesh_line_aware(mesh, nparts, params.line_threshold);
     let (decomp, locals) = build_local_levels(mesh, &part, nparts, params);
     let locals = std::sync::Mutex::new(
@@ -207,7 +224,7 @@ pub fn run_parallel_smoothing(
             .collect::<Vec<Option<LocalLevel>>>(),
     );
 
-    let results = run_ranks(nparts, |rank| {
+    let results = run_ranks_faulty(nparts, plan, |rank| {
         let mut local = locals.lock().unwrap()[rank.rank()]
             .take()
             .expect("local level already taken");

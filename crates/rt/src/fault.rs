@@ -1,0 +1,419 @@
+//! Seeded, stateless fault injection for the communication runtime.
+//!
+//! The Columbia workloads the paper describes run for days on a 10,240-CPU
+//! supercluster where slow links, stalled ranks and failed database cases
+//! are routine. To exercise that operational regime *reproducibly*, every
+//! fault decision here is a pure function of `(seed, coordinates)`:
+//!
+//! * [`FaultPlan::message_action`] decides, per `(from, to, tag, seq)`
+//!   message occurrence, how many send attempts are dropped, whether the
+//!   message is duplicated, and how many send-slots it is delayed;
+//! * [`FaultPlan::barrier_stall`] decides, per `(rank, occurrence)`,
+//!   whether a rank stalls entering a barrier;
+//! * [`CasePlan::fails`] decides, per `(case, attempt)`, whether a
+//!   database-fill case is poisoned.
+//!
+//! Because no shared mutable RNG is consulted, the schedule is independent
+//! of thread interleaving: the same `(fault_seed, nranks)` pair produces a
+//! bit-identical fault schedule — and therefore bit-identical solver
+//! results and `CommStats` traces — across runs. A failing chaos run is
+//! replayed by re-running with the same seed (see DESIGN.md "Fault
+//! model").
+
+use crate::rng::{derive_seed, Pcg32};
+
+/// Domain-separation salts so message, barrier and case streams never
+/// alias even when their integer coordinates coincide.
+const SALT_MESSAGE: u64 = 0x4D53_4721; // "MSG!"
+const SALT_BARRIER: u64 = 0x4241_5221; // "BAR!"
+const SALT_CASE: u64 = 0x4341_5345; // "CASE"
+
+/// Fault severity knobs. All rates are probabilities in `[0, 1]` applied
+/// independently per message / barrier / attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Per-attempt probability that a send attempt is dropped (the bounded
+    /// retry protocol then retries with a timeout).
+    pub drop_rate: f64,
+    /// Probability a delivered message is duplicated.
+    pub dup_rate: f64,
+    /// Maximum extra copies of a duplicated message.
+    pub max_dups: u32,
+    /// Probability a message is delayed in the sender's NIC queue.
+    pub delay_rate: f64,
+    /// Maximum delay, in subsequent send-slots, of a delayed message
+    /// (delayed messages are also flushed at every synchronisation point,
+    /// so delays reorder traffic without risking deadlock).
+    pub max_delay_slots: u32,
+    /// Probability a rank stalls entering a barrier.
+    pub stall_rate: f64,
+    /// Maximum stall length in scheduler yields.
+    pub max_stall_yields: u32,
+    /// Bounded retry budget for dropped messages; when every attempt drops
+    /// the protocol escalates to the reliable fallback path and records a
+    /// timeout.
+    pub max_retries: u32,
+}
+
+impl FaultConfig {
+    /// The perfect-interconnect configuration: every rate zero.
+    pub const fn fault_free() -> Self {
+        FaultConfig {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            max_dups: 1,
+            delay_rate: 0.0,
+            max_delay_slots: 4,
+            stall_rate: 0.0,
+            max_stall_yields: 16,
+            max_retries: 3,
+        }
+    }
+
+    /// Occasional delays and duplicates, rare drops — a healthy but busy
+    /// fabric (NUMAlink-class).
+    pub const fn mild() -> Self {
+        FaultConfig {
+            drop_rate: 0.02,
+            dup_rate: 0.05,
+            max_dups: 1,
+            delay_rate: 0.10,
+            max_delay_slots: 3,
+            stall_rate: 0.02,
+            max_stall_yields: 8,
+            max_retries: 3,
+        }
+    }
+
+    /// Frequent reordering, duplication and drops — a congested
+    /// multi-node InfiniBand-class fabric.
+    pub const fn severe() -> Self {
+        FaultConfig {
+            drop_rate: 0.15,
+            dup_rate: 0.20,
+            max_dups: 2,
+            delay_rate: 0.35,
+            max_delay_slots: 6,
+            stall_rate: 0.10,
+            max_stall_yields: 32,
+            max_retries: 4,
+        }
+    }
+
+    /// True when no fault of any kind can fire (the plan is a no-op).
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.dup_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.stall_rate == 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::fault_free()
+    }
+}
+
+/// What the fabric does to one message occurrence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageAction {
+    /// Send attempts dropped before one succeeds (each costs a retry).
+    pub dropped_attempts: u32,
+    /// True when every attempt within the retry budget dropped; the
+    /// runtime escalates to the reliable fallback path and records a
+    /// timeout, so the payload still arrives exactly once.
+    pub timed_out: bool,
+    /// Extra copies delivered (receivers deduplicate by sequence number).
+    pub duplicates: u32,
+    /// Send-slots the message lingers in the sender's queue (0 = sent
+    /// immediately).
+    pub delay_slots: u32,
+}
+
+impl MessageAction {
+    /// The no-fault action.
+    pub const NONE: MessageAction = MessageAction {
+        dropped_attempts: 0,
+        timed_out: false,
+        duplicates: 0,
+        delay_slots: 0,
+    };
+}
+
+/// A deterministic fault schedule for one world of `nranks` ranks.
+///
+/// Cheap to clone/share (`Arc` it across rank threads); all methods are
+/// `&self` and lock-free.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    nranks: usize,
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Build the schedule for `(seed, nranks)` under `config`.
+    pub fn new(seed: u64, nranks: usize, config: FaultConfig) -> Self {
+        FaultPlan {
+            seed,
+            nranks,
+            config,
+        }
+    }
+
+    /// A plan that injects nothing (useful as an explicit control arm).
+    pub fn fault_free(nranks: usize) -> Self {
+        FaultPlan::new(0, nranks, FaultConfig::fault_free())
+    }
+
+    /// The seed this schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// World size the schedule was built for.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The severity knobs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when the plan can never inject a fault; the runtime takes its
+    /// zero-overhead path.
+    pub fn is_fault_free(&self) -> bool {
+        self.config.is_fault_free()
+    }
+
+    /// Per-occurrence RNG: a SplitMix64 chain over the coordinates, so the
+    /// decision depends only on `(seed, from, to, tag, seq)`.
+    fn message_rng(&self, from: usize, to: usize, tag: u64, seq: u64) -> Pcg32 {
+        let mut s = derive_seed(self.seed ^ SALT_MESSAGE, from as u64);
+        s = derive_seed(s, to as u64);
+        s = derive_seed(s, tag);
+        s = derive_seed(s, seq);
+        Pcg32::seed_from_u64(s)
+    }
+
+    /// Fault decision for occurrence `seq` of the `(from, to, tag)` stream.
+    pub fn message_action(&self, from: usize, to: usize, tag: u64, seq: u64) -> MessageAction {
+        if self.config.is_fault_free() {
+            return MessageAction::NONE;
+        }
+        let mut rng = self.message_rng(from, to, tag, seq);
+        let c = &self.config;
+
+        // Bounded retry: sample a drop per attempt; if the whole budget
+        // drops, the reliable fallback path delivers the payload anyway.
+        let mut dropped = 0u32;
+        while dropped < c.max_retries && rng.gen_f64() < c.drop_rate {
+            dropped += 1;
+        }
+        let timed_out = dropped == c.max_retries && c.drop_rate > 0.0;
+
+        let duplicates = if c.dup_rate > 0.0 && rng.gen_f64() < c.dup_rate {
+            1 + rng.gen_below(c.max_dups.max(1) as u64) as u32
+        } else {
+            0
+        };
+        let delay_slots = if c.delay_rate > 0.0 && rng.gen_f64() < c.delay_rate {
+            1 + rng.gen_below(c.max_delay_slots.max(1) as u64) as u32
+        } else {
+            0
+        };
+        MessageAction {
+            dropped_attempts: dropped,
+            timed_out,
+            duplicates,
+            delay_slots,
+        }
+    }
+
+    /// Stall length (scheduler yields) for `rank`'s `occurrence`-th
+    /// barrier entry; 0 means no stall.
+    pub fn barrier_stall(&self, rank: usize, occurrence: u64) -> u32 {
+        let c = &self.config;
+        if c.stall_rate == 0.0 {
+            return 0;
+        }
+        let mut s = derive_seed(self.seed ^ SALT_BARRIER, rank as u64);
+        s = derive_seed(s, occurrence);
+        let mut rng = Pcg32::seed_from_u64(s);
+        if rng.gen_f64() < c.stall_rate {
+            1 + rng.gen_below(c.max_stall_yields.max(1) as u64) as u32
+        } else {
+            0
+        }
+    }
+}
+
+/// Deterministic per-case failure schedule for database fills.
+///
+/// `poisoned` cases fail every attempt (hardware gone, geometry broken);
+/// other cases fail each attempt independently with `transient_rate`
+/// (node hiccup, preempted job) and succeed on retry with probability
+/// `1 - transient_rate`.
+#[derive(Clone, Debug, Default)]
+pub struct CasePlan {
+    seed: u64,
+    /// Per-attempt transient failure probability for non-poisoned cases.
+    pub transient_rate: f64,
+    /// Case indices that fail on every attempt (quarantine targets).
+    pub poisoned: Vec<u64>,
+}
+
+impl CasePlan {
+    /// Schedule with only seeded transient failures.
+    pub fn transient(seed: u64, transient_rate: f64) -> Self {
+        CasePlan {
+            seed,
+            transient_rate,
+            poisoned: Vec::new(),
+        }
+    }
+
+    /// Mark `case` as permanently failing.
+    pub fn poison(mut self, case: u64) -> Self {
+        self.poisoned.push(case);
+        self
+    }
+
+    /// Does attempt `attempt` of case `case` fail?
+    pub fn fails(&self, case: u64, attempt: u32) -> bool {
+        if self.poisoned.contains(&case) {
+            return true;
+        }
+        if self.transient_rate == 0.0 {
+            return false;
+        }
+        let mut s = derive_seed(self.seed ^ SALT_CASE, case);
+        s = derive_seed(s, attempt as u64);
+        Pcg32::seed_from_u64(s).gen_f64() < self.transient_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(0xC0FFEE, 8, FaultConfig::severe());
+        let b = FaultPlan::new(0xC0FFEE, 8, FaultConfig::severe());
+        for from in 0..8 {
+            for to in 0..8 {
+                for seq in 0..16 {
+                    assert_eq!(
+                        a.message_action(from, to, 7, seq),
+                        b.message_action(from, to, 7, seq)
+                    );
+                }
+            }
+            for occ in 0..16 {
+                assert_eq!(a.barrier_stall(from, occ), b.barrier_stall(from, occ));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(1, 4, FaultConfig::severe());
+        let b = FaultPlan::new(2, 4, FaultConfig::severe());
+        let differs = (0..200).any(|seq| {
+            a.message_action(0, 1, 0, seq) != b.message_action(0, 1, 0, seq)
+        });
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn fault_free_plan_never_fires() {
+        let p = FaultPlan::fault_free(16);
+        assert!(p.is_fault_free());
+        for seq in 0..100 {
+            assert_eq!(p.message_action(3, 5, 11, seq), MessageAction::NONE);
+            assert_eq!(p.barrier_stall(seq as usize % 16, seq), 0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_config_never_fires_regardless_of_seed() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let p = FaultPlan::new(seed, 8, FaultConfig::fault_free());
+            for seq in 0..64 {
+                assert_eq!(p.message_action(1, 2, 3, seq), MessageAction::NONE);
+            }
+        }
+    }
+
+    #[test]
+    fn severe_plan_actually_injects_each_fault_kind() {
+        let p = FaultPlan::new(42, 4, FaultConfig::severe());
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        for seq in 0..500 {
+            let a = p.message_action(0, 1, 0, seq);
+            drops += a.dropped_attempts;
+            dups += a.duplicates;
+            delays += (a.delay_slots > 0) as u32;
+        }
+        assert!(drops > 0, "no drops injected");
+        assert!(dups > 0, "no duplicates injected");
+        assert!(delays > 0, "no delays injected");
+        let stalls = (0..200).filter(|&o| p.barrier_stall(1, o) > 0).count();
+        assert!(stalls > 0, "no barrier stalls injected");
+    }
+
+    #[test]
+    fn retry_budget_bounds_drops_and_flags_timeouts() {
+        let cfg = FaultConfig {
+            drop_rate: 1.0,
+            max_retries: 3,
+            ..FaultConfig::fault_free()
+        };
+        let p = FaultPlan::new(7, 2, cfg);
+        let a = p.message_action(0, 1, 0, 0);
+        assert_eq!(a.dropped_attempts, 3);
+        assert!(a.timed_out, "saturated retries must escalate to a timeout");
+    }
+
+    #[test]
+    fn streams_are_decorrelated_across_coordinates() {
+        let p = FaultPlan::new(9, 4, FaultConfig::severe());
+        // Identical seq but different (from,to,tag) should not produce an
+        // identical long action sequence.
+        let seq_a: Vec<_> = (0..64).map(|s| p.message_action(0, 1, 5, s)).collect();
+        let seq_b: Vec<_> = (0..64).map(|s| p.message_action(1, 0, 5, s)).collect();
+        let seq_c: Vec<_> = (0..64).map(|s| p.message_action(0, 1, 6, s)).collect();
+        assert_ne!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn case_plan_poisons_and_retries_deterministically() {
+        let plan = CasePlan::transient(11, 0.5).poison(3);
+        for attempt in 0..10 {
+            assert!(plan.fails(3, attempt), "poisoned case must always fail");
+        }
+        // Transient failures are deterministic per (case, attempt).
+        let plan2 = CasePlan::transient(11, 0.5).poison(3);
+        for case in 0..20 {
+            for attempt in 0..5 {
+                assert_eq!(plan.fails(case, attempt), plan2.fails(case, attempt));
+            }
+        }
+        // With rate 0.5 some attempts fail and some succeed.
+        let outcomes: Vec<bool> = (0..40).map(|c| plan.fails(c, 0)).collect();
+        assert!(outcomes.iter().any(|&f| f));
+        assert!(outcomes.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn zero_transient_rate_never_fails_unpoisoned_cases() {
+        let plan = CasePlan::transient(5, 0.0);
+        assert!((0..100).all(|c| !plan.fails(c, 0)));
+    }
+}

@@ -15,13 +15,18 @@
 //!   generation, fixed case counts and failure-seed replay (replaces
 //!   `proptest`);
 //! * [`bench`] — a micro-benchmark timing harness for the
-//!   `harness = false` bench targets (replaces `criterion`).
+//!   `harness = false` bench targets (replaces `criterion`);
+//! * [`fault`] — seeded, stateless fault schedules (message drop /
+//!   duplicate / delay / reorder, barrier stalls, database-case
+//!   poisoning) that the comm runtime injects deterministically.
 //!
 //! Everything here is plain `std`; the crate must never grow a dependency.
 
 pub mod bench;
 pub mod channel;
+pub mod fault;
 pub mod props;
 pub mod rng;
 
+pub use fault::{CasePlan, FaultConfig, FaultPlan, MessageAction};
 pub use rng::{derive_seed, splitmix64, Pcg32};

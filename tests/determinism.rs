@@ -6,8 +6,10 @@
 //! means identical output down to the last bit, different seed means a
 //! different (but equally valid) artifact.
 
+use columbia_comm::{run_ranks_faulty, FaultConfig, FaultPlan};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_partition::{graph::grid_graph, partition_graph, PartitionConfig};
+use std::sync::Arc;
 
 fn mesh_fingerprint(m: &columbia_mesh::UnstructuredMesh) -> Vec<u64> {
     // Bit-exact digest: every coordinate, volume and wall distance as raw
@@ -106,6 +108,138 @@ fn kway_partition_seed_changes_the_matching_order() {
     assert_eq!(a.len(), b.len());
     assert!(a.iter().all(|&p| p < 8) && b.iter().all(|&p| p < 8));
     assert_ne!(a, b, "different seeds should explore different matchings");
+}
+
+/// Parallel RANS under an explicit zero-fault plan matches the serial
+/// kernel at 2, 4 and 8 ranks — the fault plumbing adds nothing when every
+/// rate is zero, at any decomposition width.
+#[test]
+fn rans_parallel_matches_serial_under_zero_fault_plan() {
+    use columbia_rans::level::{RansLevel, SolverParams};
+    use columbia_rans::parallel::run_parallel_smoothing_faulty;
+    use columbia_rans::state::NVARS;
+
+    let m = wing_mesh(&WingMeshSpec {
+        ni: 16,
+        nj: 4,
+        nk: 10,
+        nk_bl: 5,
+        jitter: 0.0,
+        ..Default::default()
+    });
+    let params = SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    };
+    let mut serial = RansLevel::new(m.clone(), params);
+    serial.apply_bcs();
+    for _ in 0..3 {
+        serial.smooth_sweep();
+    }
+    let serial_rms = serial.residual_rms();
+
+    for nparts in [2usize, 4, 8] {
+        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
+        let (u, rms, stats) = run_parallel_smoothing_faulty(&m, params, nparts, 3, plan);
+        let mut max_diff = 0.0f64;
+        for (v, su) in serial.u.iter().enumerate() {
+            for k in 0..NVARS {
+                max_diff = max_diff.max((u[v][k] - su[k]).abs());
+            }
+        }
+        assert!(max_diff < 1e-8, "{nparts}-way RANS diverged: {max_diff}");
+        assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
+        assert!(stats.iter().all(|s| s.faults().is_clean()));
+
+        // And the parallel run itself is bitwise repeatable.
+        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
+        let (u2, rms2, stats2) = run_parallel_smoothing_faulty(&m, params, nparts, 3, plan);
+        let bits = |u: &[[f64; NVARS]]| -> Vec<u64> {
+            u.iter().flatten().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&u), bits(&u2), "{nparts}-way RANS not repeatable");
+        assert_eq!(rms.to_bits(), rms2.to_bits());
+        assert_eq!(stats, stats2);
+    }
+}
+
+/// Same contract for the Cartesian Euler solver at 2, 4 and 8 ranks.
+#[test]
+fn euler_parallel_matches_serial_under_zero_fault_plan() {
+    use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
+    use columbia_euler::level::EulerLevel;
+    use columbia_euler::parallel::run_parallel_smoothing_faulty;
+    use columbia_euler::state::{freestream5, NVARS5};
+    use columbia_mesh::Vec3;
+    use columbia_sfc::CurveKind;
+
+    let prof: Vec<(f64, f64)> = (0..=10)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / 10.0;
+            (-0.3 * t.cos(), 0.3 * t.sin())
+        })
+        .collect();
+    let geom = Geometry::new(&[TriMesh::body_of_revolution(&prof, 10)]);
+    let config = CutCellConfig {
+        min_level: 3,
+        max_level: 4,
+        origin: Vec3::new(-1.0, -1.0, -1.0),
+        size: 2.0,
+    };
+    let tree = build_octree(&geom, &config);
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+
+    let fs = freestream5(0.5, 0.0, 0.0);
+    let mut serial = EulerLevel::new(mesh.clone(), fs, 1.5);
+    for _ in 0..3 {
+        serial.rk_step();
+    }
+    let serial_rms = serial.residual_rms();
+
+    for nparts in [2usize, 4, 8] {
+        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
+        let (u, rms, stats) = run_parallel_smoothing_faulty(&mesh, fs, 1.5, nparts, 3, plan);
+        let mut max_diff = 0.0f64;
+        for (c, su) in serial.u.iter().enumerate() {
+            for k in 0..NVARS5 {
+                max_diff = max_diff.max((u[c][k] - su[k]).abs());
+            }
+        }
+        assert!(max_diff < 1e-9, "{nparts}-way Euler diverged: {max_diff}");
+        assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
+        assert!(stats.iter().all(|s| s.faults().is_clean()));
+    }
+}
+
+columbia_rt::props! {
+    config: columbia_rt::props::Config::with_cases(16);
+
+    /// A plan whose rates are all zero is indistinguishable from no plan
+    /// at all, whatever its seed: the fault layer's zero-overhead path is
+    /// genuinely zero-effect.
+    fn prop_zero_rate_plan_is_inert_for_any_seed(seed in 0u64..u64::MAX, nranks in 2usize..6) {
+        let workload = |plan: Option<Arc<FaultPlan>>| {
+            run_ranks_faulty(nranks, plan, |rank| {
+                let n = rank.nranks();
+                let me = rank.rank();
+                rank.send((me + 1) % n, 3, vec![me as f64 + 0.25]);
+                let got = rank.recv((me + n - 1) % n, 3)[0];
+                let total = rank.allreduce_sum(got);
+                rank.barrier();
+                (total, rank.take_stats())
+            })
+        };
+        let clean = workload(None);
+        let planned = workload(Some(Arc::new(FaultPlan::new(
+            seed,
+            nranks,
+            FaultConfig::fault_free(),
+        ))));
+        for ((vc, sc), (vp, sp)) in clean.iter().zip(&planned) {
+            assert_eq!(vc.to_bits(), vp.to_bits(), "seed {seed} changed a payload");
+            assert_eq!(sc, sp, "seed {seed} changed the comm trace");
+        }
+    }
 }
 
 #[test]

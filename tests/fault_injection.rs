@@ -1,0 +1,305 @@
+//! Chaos-hardening acceptance suite for the deterministic fault layer.
+//!
+//! Three claims are locked in here (plus a golden-trace replay through the
+//! machine model):
+//!
+//! 1. **Replayable chaos** — the same `(fault seed, nranks)` produces a
+//!    bit-identical fault schedule, solver output and [`CommStats`] trace
+//!    (including the retry counters) on every run;
+//! 2. **Fills survive poison** — a database fill with an injected
+//!    always-failing case completes, quarantines exactly that case, and
+//!    reports it in the returned entries;
+//! 3. **Collectives hide faults** — duplication, reordering and simulated
+//!    drops never change the values collectives deliver.
+//!
+//! The CI fault matrix drives this suite over seeds and severities via
+//! `COLUMBIA_FAULT_SEED` / `COLUMBIA_FAULT_SEVERITY`.
+
+use columbia_comm::{run_ranks_faulty, CommStats, FaultConfig, FaultPlan, WorldCommSummary};
+use columbia_core::{CartAnalysis, CaseStatus, DatabaseFill, DatabaseSpec, FillPolicy};
+use columbia_machine::{fabric_fault_config, Fabric};
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_rans::level::{RansLevel, SolverParams};
+use columbia_rans::parallel::run_parallel_smoothing_faulty;
+use columbia_rans::state::NVARS;
+use columbia_rt::fault::CasePlan;
+use std::sync::Arc;
+
+fn rans_mesh() -> columbia_mesh::UnstructuredMesh {
+    wing_mesh(&WingMeshSpec {
+        ni: 16,
+        nj: 4,
+        nk: 10,
+        nk_bl: 5,
+        jitter: 0.0,
+        ..Default::default()
+    })
+}
+
+fn rans_params() -> SolverParams {
+    SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    }
+}
+
+/// Fault seed for this run: `COLUMBIA_FAULT_SEED` (decimal or 0x-hex) or a
+/// fixed default.
+fn env_seed() -> u64 {
+    match std::env::var("COLUMBIA_FAULT_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).expect("bad COLUMBIA_FAULT_SEED")
+            } else {
+                s.parse().expect("bad COLUMBIA_FAULT_SEED")
+            }
+        }
+        Err(_) => 0xC01D_FA17,
+    }
+}
+
+/// Fault severity for this run: `COLUMBIA_FAULT_SEVERITY` in
+/// {mild, severe}, default mild.
+fn env_config() -> FaultConfig {
+    match std::env::var("COLUMBIA_FAULT_SEVERITY").as_deref() {
+        Ok("severe") => FaultConfig::severe(),
+        Ok("mild") | Err(_) => FaultConfig::mild(),
+        Ok(other) => panic!("bad COLUMBIA_FAULT_SEVERITY {other:?} (use mild|severe)"),
+    }
+}
+
+fn state_bits(u: &[[f64; NVARS]]) -> Vec<u64> {
+    u.iter().flatten().map(|v| v.to_bits()).collect()
+}
+
+/// Acceptance (a): same fault seed ⇒ bit-identical solver output and
+/// communication trace, retry counters included. Honors the CI matrix
+/// environment knobs.
+#[test]
+fn same_fault_seed_is_bit_identical_across_runs() {
+    let mesh = rans_mesh();
+    let (seed, config) = (env_seed(), env_config());
+    let run = || {
+        let plan = Arc::new(FaultPlan::new(seed, 4, config));
+        run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan))
+    };
+    let (ua, rmsa, sa) = run();
+    let (ub, rmsb, sb) = run();
+    assert_eq!(state_bits(&ua), state_bits(&ub), "solver states diverged");
+    assert_eq!(rmsa.to_bits(), rmsb.to_bits(), "residuals diverged");
+    assert_eq!(sa, sb, "comm traces diverged (msg or fault counters)");
+    // And the payloads match the fault-free run exactly: the protocol hides
+    // the injected chaos from the solver.
+    let clean_plan = Arc::new(FaultPlan::fault_free(4));
+    let (uc, rmsc, sc) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(clean_plan));
+    assert_eq!(state_bits(&ua), state_bits(&uc), "faults leaked into payloads");
+    assert_eq!(rmsa.to_bits(), rmsc.to_bits());
+    assert!(sc.iter().all(|s| s.faults().is_clean()));
+}
+
+/// The severe profile actually walks every fault path — and stays
+/// deterministic while doing so.
+#[test]
+fn severe_chaos_exercises_retry_dup_and_delay_paths() {
+    let mesh = rans_mesh();
+    let plan = || Arc::new(FaultPlan::new(0xBAD_CAB1E, 4, FaultConfig::severe()));
+    let (ua, _, sa) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan()));
+    let (ub, _, sb) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan()));
+    assert_eq!(state_bits(&ua), state_bits(&ub));
+    assert_eq!(sa, sb);
+    let world = WorldCommSummary::from_ranks(&sa);
+    assert!(world.faults.retries > 0, "no retries recorded: {:?}", world.faults);
+    assert!(world.faults.dup_sent > 0, "no duplicates recorded");
+    assert!(world.faults.delayed_msgs > 0, "no delays recorded");
+}
+
+/// Acceptance (b): a fill with an injected always-failing case completes,
+/// quarantines exactly that case, and reports it in the entries.
+#[test]
+fn poisoned_fill_case_is_quarantined_and_reported() {
+    let analysis = CartAnalysis::default().resolution(3, 4);
+    let fill = DatabaseFill::new(analysis, |defl| {
+        let mut fin = columbia_cartesian::TriMesh::cuboid(
+            columbia_mesh::Vec3::new(0.1, -0.1, -0.4),
+            columbia_mesh::Vec3::new(0.5, 0.1, 0.4),
+        );
+        fin.rotate(2, columbia_mesh::Vec3::ZERO, defl);
+        columbia_cartesian::Geometry::new(&[fin])
+    });
+    let spec = DatabaseSpec {
+        deflections: vec![0.0],
+        machs: vec![0.5, 2.0],
+        alphas: vec![0.0],
+        betas: vec![0.0],
+        cycles: 10,
+    };
+    let policy = FillPolicy {
+        max_attempts: 3,
+        chaos: Some(CasePlan::transient(1, 0.0).poison(1)), // case 1 = mach 2.0
+    };
+    let db = fill.run_with_policy(&spec, 2, &policy);
+    assert_eq!(db.len(), spec.ncases(), "fill aborted instead of completing");
+    for e in &db {
+        if e.mach == 2.0 {
+            match &e.status {
+                CaseStatus::Quarantined { attempts, reason } => {
+                    assert_eq!(*attempts, 3);
+                    assert!(reason.contains("injected"));
+                }
+                s => panic!("poisoned case not quarantined: {s:?}"),
+            }
+        } else {
+            assert_eq!(e.status, CaseStatus::Converged, "healthy case affected");
+            assert!(e.forces.force.x.is_finite());
+        }
+    }
+}
+
+/// Acceptance (c): collectives converge to the fault-free answer under
+/// heavy duplication and reordering (and simulated drops).
+#[test]
+fn collectives_converge_under_duplication_and_reordering() {
+    let workload = |plan: Option<Arc<FaultPlan>>| -> Vec<(f64, CommStats)> {
+        run_ranks_faulty(5, plan, |rank| {
+            let r = rank.rank() as f64;
+            let mut acc = rank.allreduce_sum(r * 1.25 + 0.5);
+            acc += rank.allreduce_max(acc * (r + 1.0));
+            rank.barrier();
+            acc += rank.allreduce_sum(1.0 / (r + 1.0));
+            (acc, rank.take_stats())
+        })
+    };
+    let clean = workload(None);
+    let cfg = FaultConfig {
+        dup_rate: 0.9,
+        max_dups: 3,
+        delay_rate: 0.7,
+        max_delay_slots: 4,
+        drop_rate: 0.4,
+        max_retries: 3,
+        ..FaultConfig::fault_free()
+    };
+    for seed in [1u64, 42, 0xD00F] {
+        let chaotic = workload(Some(Arc::new(FaultPlan::new(seed, 5, cfg))));
+        for ((vc, sc), (vf, sf)) in clean.iter().zip(&chaotic) {
+            assert_eq!(
+                vc.to_bits(),
+                vf.to_bits(),
+                "collective result changed under chaos (seed {seed})"
+            );
+            // Same message/byte ledger as the clean run: injected copies
+            // and retries are accounted separately in the fault counters.
+            assert_eq!(sf.total_msgs(), sc.total_msgs());
+            assert_eq!(sf.total_bytes(), sc.total_bytes());
+        }
+        let world = WorldCommSummary::from_ranks(
+            &chaotic.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+        );
+        assert!(world.faults.dup_sent > 0 && world.faults.delayed_msgs > 0);
+    }
+}
+
+/// Satellite: golden-trace replay. A recorded chaos `CommStats` snapshot,
+/// replayed through the interconnect model, must preserve the paper's
+/// fabric ranking — NUMAlink prices below InfiniBand below 10GigE — with
+/// and without the injected delay faults, and the fault term must cost
+/// extra time on every fabric.
+#[test]
+fn golden_trace_fabric_ranking_holds_under_delay_faults() {
+    // Record the trace under the InfiniBand-derived severity (the machine
+    // layer supplies the fault profile; the comm layer executes it).
+    let config = fabric_fault_config(Fabric::InfiniBand, 4);
+    assert!(config.delay_rate > 0.0, "IB severity must inject delays");
+    let plan = Arc::new(FaultPlan::new(0x90_1D, 4, config));
+    let stats = run_ranks_faulty(4, Some(plan), |rank| {
+        let n = rank.nranks();
+        let me = rank.rank();
+        for round in 0..8u64 {
+            rank.send((me + 1) % n, round, vec![me as f64; 16]);
+            rank.recv((me + n - 1) % n, round);
+        }
+        rank.allreduce_sum(me as f64);
+        rank.take_stats()
+    });
+    let world = WorldCommSummary::from_ranks(&stats);
+    assert!(world.faults.delayed_msgs > 0, "trace recorded no delay faults");
+
+    // Replay: price the measured per-rank maxima on each fabric at span 4;
+    // each injected delay slot stalls the wire for one extra latency.
+    let span = 4;
+    let price = |fabric: Fabric, with_faults: bool| -> f64 {
+        let lat = fabric.latency(span);
+        let bw = fabric.bandwidth(span);
+        let base = world.max_msgs_per_rank as f64 * lat + world.max_bytes_per_rank as f64 / bw;
+        let fault_term = if with_faults {
+            (world.faults.delay_slots + world.faults.retries) as f64 * lat
+        } else {
+            0.0
+        };
+        base + fault_term
+    };
+    for faulty in [false, true] {
+        let nl = price(Fabric::NumaLink4, faulty);
+        let ib = price(Fabric::InfiniBand, faulty);
+        let ge = price(Fabric::TenGigE, faulty);
+        assert!(
+            nl < ib && ib < ge,
+            "fabric ranking broken (faults={faulty}): NL {nl} IB {ib} GE {ge}"
+        );
+    }
+    for fabric in [Fabric::NumaLink4, Fabric::InfiniBand, Fabric::TenGigE] {
+        assert!(
+            price(fabric, true) > price(fabric, false),
+            "injected delays must cost wall-clock on {fabric:?}"
+        );
+    }
+}
+
+columbia_rt::props! {
+    config: columbia_rt::props::Config::with_cases(12);
+
+    /// Any seed with every fault rate at zero reproduces the fault-free
+    /// comm trace exactly — the plan machinery itself is free of side
+    /// effects.
+    fn prop_zero_rate_plan_reproduces_fault_free_trace(seed in 0u64..u64::MAX) {
+        let workload = |plan: Option<Arc<FaultPlan>>| {
+            run_ranks_faulty(3, plan, |rank| {
+                let n = rank.nranks();
+                let me = rank.rank();
+                rank.send((me + 1) % n, 9, vec![me as f64, 2.0 * me as f64]);
+                let got = rank.recv((me + n - 1) % n, 9);
+                let s = rank.allreduce_sum(got[0] + got[1]);
+                rank.barrier();
+                (s, rank.take_stats())
+            })
+        };
+        let clean = workload(None);
+        let gated = workload(Some(Arc::new(FaultPlan::new(seed, 3, FaultConfig::fault_free()))));
+        for ((vc, sc), (vg, sg)) in clean.iter().zip(&gated) {
+            assert_eq!(vc.to_bits(), vg.to_bits());
+            assert_eq!(sc, sg, "zero-rate plan perturbed the trace (seed {seed})");
+        }
+    }
+}
+
+// Re-exercise the serial RANS reference here so the suite stays honest if
+// the parallel driver's fault-free path ever drifts from the serial kernel.
+#[test]
+fn faulty_driver_with_no_plan_matches_serial_reference() {
+    let mesh = rans_mesh();
+    let mut serial = RansLevel::new(mesh.clone(), rans_params());
+    serial.apply_bcs();
+    for _ in 0..2 {
+        serial.smooth_sweep();
+    }
+    let (u, _, stats) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, None);
+    let mut max_diff = 0.0f64;
+    for (v, su) in serial.u.iter().enumerate() {
+        for k in 0..NVARS {
+            max_diff = max_diff.max((u[v][k] - su[k]).abs());
+        }
+    }
+    assert!(max_diff < 1e-8, "no-plan faulty driver diverged: {max_diff}");
+    assert!(stats.iter().all(|s| s.faults().is_clean()));
+}
