@@ -1,0 +1,49 @@
+//! Regenerate the paper-style scaling report: per-level comm breakdowns
+//! over the NSU3D CPU counts, the fabric comparison, and measured
+//! (traced-runtime) per-level message attribution plus chaos overhead.
+//!
+//! Usage:
+//!   scaling_report [--measured] [--json PATH]
+//!
+//! `--measured` re-derives the workload profile from live solver runs;
+//! `--json PATH` additionally writes the full report as deterministic JSON
+//! (two runs with the same seed are byte-identical).
+
+use columbia_bench::report::{per_level_table, scaling_report, MeasuredSpec};
+use columbia_machine::{MachineConfig, NSU3D_CPU_COUNTS};
+use columbia_rt::trace::ClockMode;
+
+fn main() {
+    let profile = columbia_bench::nsu3d_profile(columbia_bench::use_measured());
+    let machine = MachineConfig::columbia_vortex();
+    let spec = MeasuredSpec::default();
+
+    columbia_bench::header(
+        "scaling report",
+        "per-level comm fractions, fabric comparison, chaos overhead",
+    );
+    let report = scaling_report(
+        &profile,
+        &machine,
+        &NSU3D_CPU_COUNTS,
+        &spec,
+        ClockMode::Logical,
+    );
+    println!("profile: {}", profile.name);
+    println!();
+    print!("{}", per_level_table(&report));
+    println!();
+    println!(
+        "shape check: coarse-level comm fraction grows monotonically with CPUs \
+         (the paper's coarse-grid communication wall)"
+    );
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json requires a path");
+            std::fs::write(&path, report.render_pretty()).expect("write report");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!   ghost-surface laws, measured inter-grid locality, then rescaled to
 //!   paper size.
 
+pub mod report;
+
 use columbia_machine::{paper_cart3d_25m, paper_nsu3d_72m, CycleProfile};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_mg::CycleParams;

@@ -1,0 +1,415 @@
+//! Deterministic scaling reports: the paper's per-level breakdown tables
+//! as machine-checkable JSON.
+//!
+//! Three sections, mirroring how the paper argues (Tables 3-5, Figures
+//! 16-19):
+//!
+//! * **model** — [`simulate_cycle`] per-level compute/comm breakdowns over
+//!   the requested CPU counts; the coarse-grid communication wall shows up
+//!   as a comm fraction that grows monotonically with CPU count;
+//! * **fabric** — NUMAlink vs InfiniBand at 2 OpenMP threads per rank
+//!   (the configuration that respects the IB rank limit);
+//! * **measured** — counters from real traced runs of the parallel RANS
+//!   solver: per-level message attribution from [`RankTrace`] ledgers and
+//!   chaos (fault-injection) overhead against the clean control arm.
+//!
+//! Determinism contract: every number in the report derives from either a
+//! pure machine-model function or a monotone event counter (plus integer
+//! ratios thereof), so two runs with the same seed render *byte-identical*
+//! JSON. This is asserted by `tests/trace_report.rs`.
+
+use columbia_comm::{FaultConfig, FaultPlan, RankTrace};
+use columbia_machine::{simulate_cycle, CycleProfile, Fabric, MachineConfig, RunConfig};
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_rans::parallel::run_parallel_smoothing_traced;
+use columbia_rans::{ParallelMg, SolverParams};
+use columbia_rt::trace::{ClockMode, Tracer};
+use columbia_rt::Json;
+use columbia_mg::CycleParams;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Parameters of the measured (traced-runtime) section. Small by default so
+/// the report regenerates in seconds on a laptop.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredSpec {
+    /// Target points of the wing mesh the traced runs use.
+    pub points: usize,
+    /// Ranks in the traced runs.
+    pub nparts: usize,
+    /// Multigrid levels in the traced solve.
+    pub nlevels: usize,
+    /// W-cycles of the traced solve.
+    pub cycles: usize,
+    /// Smoothing sweeps of the chaos comparison runs.
+    pub sweeps: usize,
+    /// Fault-plan seed of the chaos arm.
+    pub seed: u64,
+}
+
+impl Default for MeasuredSpec {
+    fn default() -> Self {
+        MeasuredSpec {
+            points: 2500,
+            nparts: 4,
+            nlevels: 3,
+            cycles: 2,
+            sweeps: 3,
+            seed: 42,
+        }
+    }
+}
+
+fn solver_params() -> SolverParams {
+    SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    }
+}
+
+fn report_mesh(points: usize) -> columbia_mesh::UnstructuredMesh {
+    wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(points)
+    })
+}
+
+/// Per-level compute/comm breakdown of `profile` on `machine` across
+/// `cpu_counts` (pure-MPI NUMAlink runs — the paper's Tables 3-5 layout).
+pub fn model_scaling_section(
+    profile: &CycleProfile,
+    machine: &MachineConfig,
+    cpu_counts: &[usize],
+) -> Json {
+    let mut rows = Vec::new();
+    for &n in cpu_counts {
+        let run = RunConfig::mpi(n, Fabric::NumaLink4);
+        match simulate_cycle(profile, machine, &run) {
+            Ok(b) => {
+                let levels = Json::arr(b.per_level.iter().enumerate().map(|(l, &(c, m))| {
+                    Json::obj([
+                        ("level", Json::UInt(l as u64)),
+                        ("compute_s", Json::Num(c)),
+                        ("comm_s", Json::Num(m)),
+                        ("comm_fraction", Json::Num(m / (c + m))),
+                    ])
+                }));
+                let (cc, cm) = *b.per_level.last().expect("profile has levels");
+                rows.push(Json::obj([
+                    ("ncpus", Json::UInt(n as u64)),
+                    ("seconds", Json::Num(b.seconds)),
+                    ("compute_s", Json::Num(b.compute_seconds)),
+                    ("comm_s", Json::Num(b.comm_seconds)),
+                    ("intergrid_s", Json::Num(b.intergrid_seconds)),
+                    (
+                        "comm_fraction",
+                        Json::Num(
+                            (b.comm_seconds + b.intergrid_seconds)
+                                / (b.compute_seconds + b.comm_seconds + b.intergrid_seconds),
+                        ),
+                    ),
+                    ("coarse_comm_fraction", Json::Num(cm / (cc + cm))),
+                    ("levels", levels),
+                ]));
+            }
+            Err(e) => rows.push(Json::obj([
+                ("ncpus", Json::UInt(n as u64)),
+                ("error", Json::Str(e.to_string())),
+            ])),
+        }
+    }
+    Json::arr(rows)
+}
+
+/// NUMAlink-vs-InfiniBand cycle times at 2 OpenMP threads per rank.
+pub fn fabric_section(
+    profile: &CycleProfile,
+    machine: &MachineConfig,
+    cpu_counts: &[usize],
+) -> Json {
+    let price = |n: usize, fabric: Fabric| {
+        match simulate_cycle(profile, machine, &RunConfig::hybrid(n, fabric, 2)) {
+            Ok(b) => Json::Num(b.seconds),
+            Err(_) => Json::Null,
+        }
+    };
+    Json::arr(cpu_counts.iter().map(|&n| {
+        let nl = price(n, Fabric::NumaLink4);
+        let ib = price(n, Fabric::InfiniBand);
+        let slowdown = match (&nl, &ib) {
+            (Json::Num(a), Json::Num(b)) => Json::Num(b / a),
+            _ => Json::Null,
+        };
+        Json::obj([
+            ("ncpus", Json::UInt(n as u64)),
+            ("numalink_s", nl),
+            ("infiniband_s", ib),
+            ("ib_slowdown", slowdown),
+        ])
+    }))
+}
+
+fn aggregate_levels(traces: &[RankTrace]) -> BTreeMap<usize, (u64, u64)> {
+    let mut agg: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    for t in traces {
+        for (&l, s) in &t.per_level {
+            let e = agg.entry(l).or_insert((0, 0));
+            e.0 += s.total_msgs();
+            e.1 += s.total_bytes();
+        }
+    }
+    agg
+}
+
+/// Per-level message attribution measured from a real traced multigrid
+/// solve: the runtime counterpart of the model's per-level table.
+pub fn measured_levels_section(spec: &MeasuredSpec) -> Json {
+    let mesh = report_mesh(spec.points);
+    let pmg = ParallelMg::new(&mesh, solver_params(), spec.nparts, spec.nlevels);
+    let mut tracer = Tracer::logical();
+    let (history, traces) =
+        pmg.solve_traced(&CycleParams::default(), 4.0, spec.cycles, &mut tracer);
+    let agg = aggregate_levels(&traces);
+    let total_msgs: u64 = agg.values().map(|&(m, _)| m).sum();
+    let levels = Json::arr(agg.iter().map(|(&l, &(msgs, bytes))| {
+        Json::obj([
+            ("level", Json::UInt(l as u64)),
+            ("sends", Json::UInt(msgs)),
+            ("send_bytes", Json::UInt(bytes)),
+            (
+                "msg_fraction",
+                Json::Num(msgs as f64 / total_msgs.max(1) as f64),
+            ),
+        ])
+    }));
+    Json::obj([
+        ("ranks", Json::UInt(spec.nparts as u64)),
+        ("cycles", Json::UInt(history.residuals.len() as u64)),
+        ("total_sends", Json::UInt(total_msgs)),
+        ("levels", levels),
+    ])
+}
+
+/// Chaos overhead: the same smoothing run under a clean plan and under the
+/// severe fault configuration, compared counter-by-counter. Every value is
+/// a monotone event counter from the deterministic fault schedule, so the
+/// section is byte-stable across runs with the same seed.
+pub fn chaos_section(spec: &MeasuredSpec) -> Json {
+    let mesh = report_mesh(spec.points);
+    let arm = |plan: Option<Arc<FaultPlan>>| {
+        let mut tracer = Tracer::logical();
+        let (_, _, traces) = run_parallel_smoothing_traced(
+            &mesh,
+            solver_params(),
+            spec.nparts,
+            spec.sweeps,
+            plan,
+            &mut tracer,
+        );
+        let mut total = columbia_comm::CommStats::default();
+        for t in &traces {
+            total.merge(&t.stats);
+        }
+        total
+    };
+    let clean = arm(None);
+    let chaotic = arm(Some(Arc::new(FaultPlan::new(
+        spec.seed,
+        spec.nparts,
+        FaultConfig::severe(),
+    ))));
+    let counters = |s: &columbia_comm::CommStats| {
+        Json::obj(
+            s.counter_pairs()
+                .into_iter()
+                .map(|(k, v)| (k, Json::UInt(v))),
+        )
+    };
+    let f = chaotic.faults();
+    let extra = f.retries + f.dup_sent;
+    Json::obj([
+        ("seed", Json::UInt(spec.seed)),
+        ("clean", counters(&clean)),
+        ("chaotic", counters(&chaotic)),
+        (
+            "extra_wire_messages",
+            Json::UInt(extra),
+        ),
+        (
+            "wire_message_overhead",
+            Json::Num(extra as f64 / clean.total_msgs().max(1) as f64),
+        ),
+    ])
+}
+
+/// Assemble the full scaling report.
+///
+/// `mode` is recorded in the header: [`ClockMode::Logical`] is the
+/// byte-reproducible test mode; [`ClockMode::Wall`] marks a report whose
+/// traced runs also carried wall-clock spans (not byte-comparable).
+pub fn scaling_report(
+    profile: &CycleProfile,
+    machine: &MachineConfig,
+    cpu_counts: &[usize],
+    spec: &MeasuredSpec,
+    mode: ClockMode,
+) -> Json {
+    Json::obj([
+        ("schema", Json::Str("columbia-scaling-report/1".into())),
+        ("clock", Json::Str(mode.label().into())),
+        ("profile", Json::Str(profile.name.clone())),
+        (
+            "cpu_counts",
+            Json::arr(cpu_counts.iter().map(|&n| Json::UInt(n as u64))),
+        ),
+        (
+            "model",
+            model_scaling_section(profile, machine, cpu_counts),
+        ),
+        ("fabric", fabric_section(profile, machine, cpu_counts)),
+        ("measured_levels", measured_levels_section(spec)),
+        ("chaos", chaos_section(spec)),
+    ])
+}
+
+/// Render the model section as the paper's per-level breakdown table:
+/// one row per CPU count, comm fraction per level plus totals.
+pub fn per_level_table(report: &Json) -> String {
+    let rows = match report.get("model") {
+        Some(Json::Arr(rows)) => rows,
+        _ => return String::from("(no model section)\n"),
+    };
+    let nlev = rows
+        .iter()
+        .filter_map(|r| match r.get("levels") {
+            Some(Json::Arr(ls)) => Some(ls.len()),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}  {:>9}  {:>7}", "CPUs", "cycle(s)", "comm%"));
+    for l in 0..nlev {
+        out.push_str(&format!("  {:>7}", format!("L{l}%")));
+    }
+    out.push('\n');
+    let pct = |j: Option<&Json>| match j {
+        Some(Json::Num(x)) => format!("{:.1}", 100.0 * x),
+        _ => String::from("-"),
+    };
+    for r in rows {
+        let ncpus = match r.get("ncpus") {
+            Some(Json::UInt(n)) => *n,
+            _ => continue,
+        };
+        if let Some(Json::Str(e)) = r.get("error") {
+            out.push_str(&format!("{ncpus:>6}  infeasible: {e}\n"));
+            continue;
+        }
+        let secs = match r.get("seconds") {
+            Some(Json::Num(s)) => format!("{s:.3}"),
+            _ => String::from("-"),
+        };
+        out.push_str(&format!(
+            "{:>6}  {:>9}  {:>7}",
+            ncpus,
+            secs,
+            pct(r.get("comm_fraction"))
+        ));
+        if let Some(Json::Arr(levels)) = r.get("levels") {
+            for lv in levels {
+                out.push_str(&format!("  {:>7}", pct(lv.get("comm_fraction"))));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columbia_machine::{paper_nsu3d_72m, NSU3D_CPU_COUNTS};
+
+    #[test]
+    fn coarse_comm_fraction_grows_with_cpu_count() {
+        let machine = MachineConfig::columbia_vortex();
+        let profile = paper_nsu3d_72m();
+        let section = model_scaling_section(&profile, &machine, &NSU3D_CPU_COUNTS);
+        let rows = match &section {
+            Json::Arr(rows) => rows,
+            _ => panic!("not an array"),
+        };
+        assert_eq!(rows.len(), NSU3D_CPU_COUNTS.len());
+        let mut prev = -1.0;
+        for r in rows {
+            let f = match r.get("coarse_comm_fraction") {
+                Some(Json::Num(x)) => *x,
+                other => panic!("missing coarse_comm_fraction: {other:?}"),
+            };
+            assert!(
+                f > prev,
+                "coarse comm fraction must grow with CPUs: {f} after {prev}"
+            );
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        // The coarse-grid wall: at 2008 CPUs the coarsest level is
+        // communication-dominated even though the whole cycle is not.
+        assert!(prev > 0.5, "coarsest level should be comm-bound: {prev}");
+    }
+
+    #[test]
+    fn per_level_table_renders_every_cpu_count() {
+        let machine = MachineConfig::columbia_vortex();
+        let profile = paper_nsu3d_72m();
+        let spec = MeasuredSpec {
+            points: 900,
+            nparts: 2,
+            cycles: 1,
+            sweeps: 1,
+            ..Default::default()
+        };
+        let report = scaling_report(
+            &profile,
+            &machine,
+            &[128, 2008],
+            &spec,
+            ClockMode::Logical,
+        );
+        let table = per_level_table(&report);
+        assert!(table.contains("128"), "{table}");
+        assert!(table.contains("2008"), "{table}");
+        assert!(table.contains("L5%"), "{table}");
+        // Report header is well-formed.
+        assert_eq!(
+            report.get("schema").unwrap().render(),
+            "\"columbia-scaling-report/1\""
+        );
+        assert_eq!(report.get("clock").unwrap().render(), "\"logical\"");
+    }
+
+    #[test]
+    fn chaos_section_reports_fault_overhead() {
+        let spec = MeasuredSpec {
+            points: 900,
+            nparts: 2,
+            sweeps: 2,
+            ..Default::default()
+        };
+        let j = chaos_section(&spec);
+        let clean = j.get("clean").unwrap();
+        let chaotic = j.get("chaotic").unwrap();
+        // The clean arm must be fault-free, the chaotic arm must not be.
+        assert!(clean.get("fault.retries").is_none() || clean.get("fault.retries") == Some(&Json::UInt(0)));
+        let sends = match chaotic.get("comm.sends") {
+            Some(Json::UInt(n)) => *n,
+            _ => panic!("missing sends"),
+        };
+        assert!(sends > 0);
+        match j.get("extra_wire_messages") {
+            Some(Json::UInt(n)) => assert!(*n > 0, "severe plan should inject faults"),
+            other => panic!("missing extra_wire_messages: {other:?}"),
+        }
+    }
+}

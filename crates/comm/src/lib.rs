@@ -35,5 +35,5 @@ pub mod stats;
 pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
 pub use exchange::{decompose, Decomposition, ExchangePlan};
 pub use hybrid::HybridLayout;
-pub use runtime::{run_ranks, run_ranks_faulty, Rank};
+pub use runtime::{run_ranks, run_ranks_faulty, run_ranks_traced, Rank, RankTrace};
 pub use stats::{CommStats, FaultCounters, WorldCommSummary};

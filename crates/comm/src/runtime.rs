@@ -26,8 +26,9 @@
 use crate::stats::CommStats;
 use columbia_rt::channel::{unbounded, Receiver, Sender};
 use columbia_rt::fault::{FaultPlan, MessageAction};
+use columbia_rt::trace::{SpanKey, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 
 /// A message in flight: `(from, tag, seq, payload)`.
 type Message = (usize, u64, u64, Vec<f64>);
@@ -43,6 +44,10 @@ struct DelayedMsg {
     data: Vec<f64>,
     duplicates: u32,
     slots_left: u32,
+    /// Multigrid-level context at the original `send` call: a held-back
+    /// message belongs to the level that sent it, not the level whose
+    /// blocking point happens to flush it.
+    level: Option<usize>,
 }
 
 /// Per-rank communication context handed to the rank body.
@@ -67,6 +72,45 @@ pub struct Rank {
     faults: Option<Arc<FaultPlan>>,
     barrier: Arc<Barrier>,
     stats: CommStats,
+    /// Multigrid-level context stack (innermost last): while non-empty,
+    /// every comm event is additionally attributed to the top level's
+    /// ledger in `per_level`.
+    level_stack: Vec<usize>,
+    /// Per-level attribution of the same events `stats` totals.
+    per_level: BTreeMap<usize, CommStats>,
+}
+
+/// Everything a rank's comm ledger holds at teardown: the residual global
+/// stats (whatever `take_stats` has not already handed out, including sends
+/// performed by the teardown flush itself) plus the per-level attribution.
+///
+/// Handing this to the caller from [`run_ranks_traced`] closes a silent
+/// under-count: previously a `Rank` dropped without `take_stats` discarded
+/// its whole send ledger, and even a well-behaved driver lost any delayed
+/// sends flushed after its last `take_stats`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankTrace {
+    pub rank: usize,
+    /// Residual global ledger (empty if the body drained it at the very
+    /// end and teardown flushed nothing).
+    pub stats: CommStats,
+    /// Per-multigrid-level ledgers, keyed by level index.
+    pub per_level: BTreeMap<usize, CommStats>,
+}
+
+impl RankTrace {
+    /// Record this rank's ledgers into a tracer: a `comm` span keyed by
+    /// rank with the residual counters, one `comm_level` child per level.
+    pub fn record_to(&self, tracer: &mut Tracer) {
+        tracer.scoped(SpanKey::new("comm").rank(self.rank), |t| {
+            self.stats.record_to(t);
+            for (&level, stats) in &self.per_level {
+                t.scoped(SpanKey::new("comm_level").rank(self.rank).level(level), |t| {
+                    stats.record_to(t);
+                });
+            }
+        });
+    }
 }
 
 impl Rank {
@@ -78,6 +122,37 @@ impl Rank {
     /// Total number of ranks.
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Push a multigrid-level context: until the matching
+    /// [`Rank::exit_level`], every send/recv/barrier/fault event is also
+    /// attributed to `level`'s ledger. Contexts nest (recursive cycles);
+    /// attribution goes to the innermost.
+    pub fn enter_level(&mut self, level: usize) {
+        self.level_stack.push(level);
+    }
+
+    /// Pop the innermost level context.
+    pub fn exit_level(&mut self) {
+        self.level_stack.pop();
+    }
+
+    /// The innermost active level context, if any.
+    pub fn current_level(&self) -> Option<usize> {
+        self.level_stack.last().copied()
+    }
+
+    /// Ledger of events attributed to the innermost context at the time
+    /// they occurred, per level.
+    pub fn level_stats(&self) -> &BTreeMap<usize, CommStats> {
+        &self.per_level
+    }
+
+    fn level_ledger(&mut self) -> Option<&mut CommStats> {
+        match self.level_stack.last() {
+            Some(&l) => Some(self.per_level.entry(l).or_default()),
+            None => None,
+        }
     }
 
     /// Non-blocking send of a packed buffer to `to` with a user `tag`.
@@ -95,21 +170,32 @@ impl Rank {
         let seq_entry = self.send_seq.entry((to, tag)).or_insert(0);
         let seq = *seq_entry;
         *seq_entry += 1;
+        let level = self.current_level();
 
         let action = match &self.faults {
             Some(plan) => plan.message_action(self.rank, to, tag, seq),
             None => MessageAction::NONE,
         };
         if action.dropped_attempts > 0 {
-            self.stats.record_retries(action.dropped_attempts as u64);
+            let n = action.dropped_attempts as u64;
+            self.stats.record_retries(n);
             if action.timed_out {
                 self.stats.record_timeout();
+            }
+            if let Some(s) = self.level_ledger() {
+                s.record_retries(n);
+                if action.timed_out {
+                    s.record_timeout();
+                }
             }
         }
 
         let n_delayed_before = self.delayed.len();
         if action.delay_slots > 0 {
             self.stats.record_delay(action.delay_slots as u64);
+            if let Some(s) = self.level_ledger() {
+                s.record_delay(action.delay_slots as u64);
+            }
             self.delayed.push_back(DelayedMsg {
                 to,
                 tag,
@@ -117,9 +203,10 @@ impl Rank {
                 data,
                 duplicates: action.duplicates,
                 slots_left: action.delay_slots,
+                level,
             });
         } else {
-            self.push_wire(to, tag, seq, data, action.duplicates);
+            self.push_wire(to, tag, seq, data, action.duplicates, level);
         }
         self.tick_delayed(n_delayed_before);
     }
@@ -128,7 +215,17 @@ impl Rank {
     /// copies) on the destination's channel. Send-side statistics are
     /// recorded only *after* the channel accepts the message, so a send
     /// that panics on a hung-up peer leaves no phantom counts behind.
-    fn push_wire(&mut self, to: usize, tag: u64, seq: u64, data: Vec<f64>, duplicates: u32) {
+    /// `level` is the multigrid context of the *originating* send call
+    /// (delayed messages keep theirs across the flush).
+    fn push_wire(
+        &mut self,
+        to: usize,
+        tag: u64,
+        seq: u64,
+        data: Vec<f64>,
+        duplicates: u32,
+        level: Option<usize>,
+    ) {
         let bytes = data.len() * 8;
         for _ in 0..duplicates {
             self.tx[to]
@@ -141,6 +238,13 @@ impl Rank {
         self.stats.record_send(to, bytes);
         if duplicates > 0 {
             self.stats.record_dup_sent(duplicates as u64);
+        }
+        if let Some(l) = level {
+            let s = self.per_level.entry(l).or_default();
+            s.record_send(to, bytes);
+            if duplicates > 0 {
+                s.record_dup_sent(duplicates as u64);
+            }
         }
     }
 
@@ -158,7 +262,7 @@ impl Rank {
         while i < self.delayed.len() {
             if self.delayed[i].slots_left == 0 {
                 let d = self.delayed.remove(i).unwrap();
-                self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates);
+                self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates, d.level);
             } else {
                 i += 1;
             }
@@ -171,7 +275,7 @@ impl Rank {
     /// delayed messages unblocks no later than our next blocking point.
     fn flush_delayed(&mut self) {
         while let Some(d) = self.delayed.pop_front() {
-            self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates);
+            self.push_wire(d.to, d.tag, d.seq, d.data, d.duplicates, d.level);
         }
     }
 
@@ -185,7 +289,7 @@ impl Rank {
         if let Some(q) = self.pending.get_mut(&key) {
             if let Some(data) = q.remove(&next) {
                 *self.recv_next.get_mut(&key).unwrap() += 1;
-                return data;
+                return self.deliver(data);
             }
         }
         loop {
@@ -198,7 +302,7 @@ impl Rank {
             }
             if stream == key && seq == next {
                 *self.recv_next.get_mut(&key).unwrap() += 1;
-                return data;
+                return self.deliver(data);
             }
             // Out-of-order or foreign-stream message: buffer it. A
             // duplicate of an already-buffered sequence is dropped by the
@@ -207,16 +311,35 @@ impl Rank {
         }
     }
 
+    /// Count one logical delivery. Recvs are recorded here — at delivery —
+    /// never per channel pull: pull order depends on thread timing, the
+    /// sequence of `recv()` returns does not.
+    fn deliver(&mut self, data: Vec<f64>) -> Vec<f64> {
+        let bytes = data.len() * 8;
+        self.stats.record_recv(bytes);
+        if let Some(s) = self.level_ledger() {
+            s.record_recv(bytes);
+        }
+        data
+    }
+
     /// Synchronise all ranks (possibly stalling first, if the fault plan
     /// says this rank hiccups here).
     pub fn barrier(&mut self) {
         self.flush_delayed();
         let occurrence = self.barrier_count;
         self.barrier_count += 1;
+        self.stats.record_barrier();
+        if let Some(s) = self.level_ledger() {
+            s.record_barrier();
+        }
         if let Some(plan) = &self.faults {
             let yields = plan.barrier_stall(self.rank, occurrence);
             if yields > 0 {
                 self.stats.record_stall(yields as u64);
+                if let Some(s) = self.level_ledger() {
+                    s.record_stall(yields as u64);
+                }
                 for _ in 0..yields {
                     std::thread::yield_now();
                 }
@@ -271,6 +394,12 @@ impl Rank {
         std::mem::take(&mut self.stats)
     }
 
+    /// Take and reset the per-level attribution ledgers.
+    pub fn take_level_stats(&mut self) -> BTreeMap<usize, CommStats> {
+        self.flush_delayed();
+        std::mem::take(&mut self.per_level)
+    }
+
     /// Teardown bookkeeping: release held-back messages, then synchronise
     /// before any rank drops its receiver. The teardown barrier closes a
     /// race that fault injection makes likely: a peer can consume an
@@ -280,8 +409,12 @@ impl Rank {
     /// strand every other rank). With the barrier, every send strictly
     /// precedes every receiver drop. Finally, check that no buffered
     /// out-of-order message was silently abandoned (a leak that previously
-    /// vanished without trace).
-    fn finish(&mut self) {
+    /// vanished without trace), and hand back whatever is left in the
+    /// ledgers — the caller decides whether to sink it. Before this
+    /// existed, a body that never called `take_stats` (or whose teardown
+    /// flush released delayed sends *after* its last `take_stats`) simply
+    /// lost those counts.
+    fn finish(&mut self) -> RankTrace {
         self.flush_delayed();
         self.barrier.wait();
         debug_assert!(
@@ -294,6 +427,11 @@ impl Rank {
                 .map(|(&(from, tag), q)| (from, tag, q.len()))
                 .collect::<Vec<_>>()
         );
+        RankTrace {
+            rank: self.rank,
+            stats: std::mem::take(&mut self.stats),
+            per_level: std::mem::take(&mut self.per_level),
+        }
     }
 }
 
@@ -322,6 +460,26 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
+    run_ranks_traced(nranks, plan, body).0
+}
+
+/// Like [`run_ranks_faulty`], but additionally returns each rank's
+/// teardown [`RankTrace`] in rank order: the residual comm ledger
+/// (everything `take_stats` did not hand out, including sends released by
+/// the teardown flush) plus the per-level attribution built up via
+/// [`Rank::enter_level`].
+///
+/// The trace vector is indexed by rank id, so its content is independent
+/// of thread completion order — deterministic whenever the workload is.
+pub fn run_ranks_traced<T, F>(
+    nranks: usize,
+    plan: Option<Arc<FaultPlan>>,
+    body: F,
+) -> (Vec<T>, Vec<RankTrace>)
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
     assert!(nranks > 0);
     if let Some(p) = &plan {
         assert_eq!(
@@ -341,8 +499,12 @@ where
     let barrier = Arc::new(Barrier::new(nranks));
     let body = &body;
     let plan = &plan;
+    // Teardown sink, slot per rank: ledgers land by rank id, never by
+    // completion order.
+    let sink: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..nranks).map(|_| None).collect());
+    let sink = &sink;
 
-    std::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
         for (r, rx) in receivers.into_iter().enumerate() {
             let tx = senders.clone();
@@ -362,9 +524,12 @@ where
                     faults,
                     barrier,
                     stats: CommStats::default(),
+                    level_stack: Vec::new(),
+                    per_level: BTreeMap::new(),
                 };
                 let out = body(&mut ctx);
-                ctx.finish();
+                let trace = ctx.finish();
+                sink.lock().expect("trace sink poisoned")[r] = Some(trace);
                 out
             }));
         }
@@ -372,7 +537,14 @@ where
             .into_iter()
             .map(|h| h.join().expect("rank panicked"))
             .collect()
-    })
+    });
+    let traces = sink
+        .lock()
+        .expect("trace sink poisoned")
+        .iter_mut()
+        .map(|slot| slot.take().expect("rank finished without sinking its trace"))
+        .collect();
+    (results, traces)
 }
 
 #[cfg(test)]
@@ -604,6 +776,132 @@ mod tests {
         );
         // Every logical message was still delivered exactly once.
         assert_eq!(results[0].total_msgs(), 30);
+    }
+
+    #[test]
+    fn recvs_and_barriers_are_counted_at_delivery() {
+        let results = run_ranks(2, |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, vec![0.0; 10]);
+            } else {
+                rank.recv(0, 3);
+            }
+            rank.barrier();
+            rank.take_stats()
+        });
+        assert_eq!(results[0].total_recvs(), 0);
+        assert_eq!(results[1].total_recvs(), 1);
+        assert_eq!(results[1].total_recv_bytes(), 80);
+        assert_eq!(results[0].barriers(), 1);
+        assert_eq!(results[1].barriers(), 1);
+    }
+
+    #[test]
+    fn level_context_attributes_traffic() {
+        let (_, traces) = run_ranks_traced(2, None, |rank| {
+            let peer = 1 - rank.rank();
+            rank.enter_level(0);
+            rank.send(peer, 1, vec![0.0; 4]);
+            rank.recv(peer, 1);
+            rank.enter_level(2); // nested: innermost wins
+            rank.send(peer, 2, vec![0.0; 2]);
+            rank.recv(peer, 2);
+            rank.exit_level();
+            rank.exit_level();
+            rank.send(peer, 3, vec![0.0]); // no context: global only
+            rank.recv(peer, 3);
+        });
+        for t in &traces {
+            assert_eq!(t.stats.total_msgs(), 3, "global ledger counts all");
+            assert_eq!(t.per_level.len(), 2);
+            assert_eq!(t.per_level[&0].total_msgs(), 1);
+            assert_eq!(t.per_level[&0].total_bytes(), 32);
+            assert_eq!(t.per_level[&0].total_recvs(), 1);
+            assert_eq!(t.per_level[&2].total_msgs(), 1);
+            assert_eq!(t.per_level[&2].total_bytes(), 16);
+        }
+    }
+
+    #[test]
+    fn teardown_trace_captures_untaken_ledger() {
+        // Body never calls take_stats: before the teardown sink existed
+        // this ledger evaporated with the Rank.
+        let (_, traces) = run_ranks_traced(2, None, |rank| {
+            let peer = 1 - rank.rank();
+            rank.send(peer, 9, vec![1.0, 2.0]);
+            rank.recv(peer, 9);
+        });
+        for t in &traces {
+            assert_eq!(t.stats.total_msgs(), 1);
+            assert_eq!(t.stats.total_bytes(), 16);
+            assert_eq!(t.stats.total_recvs(), 1);
+        }
+    }
+
+    #[test]
+    fn teardown_trace_captures_delayed_sends_flushed_after_take_stats() {
+        // Force every send into the delay queue, then take_stats *before*
+        // the blocking point that flushes it... except take_stats itself
+        // flushes. So instead: queue a delayed send as the very last
+        // action after take_stats — only the teardown flush releases it.
+        let cfg = FaultConfig {
+            delay_rate: 1.0,
+            max_delay_slots: 50,
+            ..FaultConfig::fault_free()
+        };
+        let plan = Arc::new(FaultPlan::new(5, 2, cfg));
+        let ((), ref traces) = {
+            let (r, t) = run_ranks_traced(2, Some(plan), |rank| {
+                if rank.rank() == 0 {
+                    let taken = rank.take_stats();
+                    assert_eq!(taken.total_msgs(), 0);
+                    // This send is delayed; nothing blocks after it, so
+                    // only Rank::finish releases it onto the wire.
+                    rank.send(1, 4, vec![7.0; 3]);
+                } else {
+                    assert_eq!(rank.recv(0, 4), vec![7.0; 3]);
+                }
+            });
+            (r.into_iter().next().unwrap(), t.clone())
+        };
+        assert_eq!(
+            traces[0].stats.total_msgs(),
+            1,
+            "teardown-flushed send must land in the rank trace, not vanish"
+        );
+        assert_eq!(traces[0].stats.faults().delayed_msgs, 1);
+    }
+
+    #[test]
+    fn rank_traces_are_deterministic_and_recordable() {
+        let run = || {
+            let plan = Some(Arc::new(FaultPlan::new(11, 4, FaultConfig::severe())));
+            run_ranks_traced(4, plan, |rank| {
+                let n = rank.nranks();
+                let me = rank.rank();
+                for level in 0..3usize {
+                    rank.enter_level(level);
+                    rank.send((me + 1) % n, level as u64, vec![me as f64; level + 1]);
+                    rank.recv((me + n - 1) % n, level as u64);
+                    rank.exit_level();
+                }
+                rank.barrier();
+            })
+            .1
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "rank traces must be bit-identical across runs");
+        // And they serialize deterministically through the trace layer.
+        let render = |traces: &[RankTrace]| {
+            let mut t = Tracer::logical();
+            for rt in traces {
+                rt.record_to(&mut t);
+            }
+            t.finish().to_json().render()
+        };
+        assert_eq!(render(&a), render(&b));
+        assert!(render(&a).contains("comm.sends"));
     }
 
     #[test]

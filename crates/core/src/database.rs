@@ -13,6 +13,7 @@ use crate::cart_analysis::CartAnalysis;
 use columbia_cartesian::Geometry;
 use columbia_euler::Forces;
 use columbia_rt::fault::CasePlan;
+use columbia_rt::trace::{SpanKey, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Parameter grid of a database fill.
@@ -189,6 +190,43 @@ impl DatabaseFill {
             out.extend(entries);
         }
         out
+    }
+
+    /// [`DatabaseFill::run_with_policy`] recording the fill into `tracer`:
+    /// a `database_fill` span with outcome totals, one `case` child span
+    /// per global case id carrying its attempt count, outcome and
+    /// convergence gauge.
+    ///
+    /// Case spans are recorded serially from the ordered entry list
+    /// *after* the threaded fill (output order is global-case-id order by
+    /// construction), so the trace is deterministic for any thread count.
+    pub fn run_with_policy_traced(
+        &self,
+        spec: &DatabaseSpec,
+        threads_per_config: usize,
+        policy: &FillPolicy,
+        tracer: &mut Tracer,
+    ) -> Vec<DatabaseEntry> {
+        let entries = self.run_with_policy(spec, threads_per_config, policy);
+        tracer.scoped(SpanKey::new("database_fill"), |t| {
+            t.add("cases", entries.len() as u64);
+            for (id, e) in entries.iter().enumerate() {
+                let (outcome, attempts) = match &e.status {
+                    CaseStatus::Converged => ("converged", 1),
+                    CaseStatus::Recovered { attempts } => ("recovered", *attempts),
+                    CaseStatus::Quarantined { attempts, .. } => ("quarantined", *attempts),
+                };
+                t.scoped(SpanKey::new("case").case_id(id), |t| {
+                    t.add(outcome, 1);
+                    t.add("attempts", attempts as u64);
+                    t.gauge("orders_reduced", e.orders);
+                });
+                // Fill-level rollups of the same outcomes.
+                t.add(outcome, 1);
+                t.add("attempts", attempts as u64);
+            }
+        });
+        entries
     }
 
     /// Re-run a single case on demand ("virtual database": it is often
@@ -410,6 +448,44 @@ mod tests {
             "statuses: {:?}",
             a.iter().map(|e| e.status.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn traced_fill_reports_outcomes_independent_of_thread_count() {
+        let (fill, spec) = tiny_fill();
+        let policy = FillPolicy {
+            max_attempts: 2,
+            chaos: Some(CasePlan::transient(11, 0.0).poison(3)),
+        };
+        let run = |threads: usize| {
+            let mut tracer = Tracer::logical();
+            fill.run_with_policy_traced(&spec, threads, &policy, &mut tracer);
+            tracer.finish()
+        };
+        let mut t2 = run(2);
+        let mut t1 = run(1);
+        // Outcome spans are keyed by global case id, so the trace shape is
+        // identical whatever the thread count. Gauges are excluded: the
+        // cut-cell solver is deterministic to roundoff, not to the ulp
+        // (same caveat as the `rerun` test tolerance).
+        fn scrub(spans: &mut [columbia_rt::trace::Span]) {
+            for s in spans {
+                s.gauges.clear();
+                scrub(&mut s.children);
+            }
+        }
+        scrub(&mut t2.spans);
+        scrub(&mut t1.spans);
+        assert_eq!(t2.to_json().render(), t1.to_json().render());
+        let fill_span = t2.find("database_fill").unwrap();
+        assert_eq!(fill_span.counters["cases"], 4);
+        assert_eq!(fill_span.counters["quarantined"], 1);
+        assert_eq!(fill_span.counters["converged"], 3);
+        // Quarantined case 3 consumed its whole budget: 3 + 2 attempts.
+        assert_eq!(fill_span.counters["attempts"], 5);
+        assert_eq!(fill_span.children.len(), 4);
+        assert_eq!(fill_span.children[3].key.case_id, Some(3));
+        assert_eq!(fill_span.children[3].counters["quarantined"], 1);
     }
 
     #[test]

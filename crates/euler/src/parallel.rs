@@ -10,8 +10,10 @@ use crate::level::{EulerLevel, RK5};
 use crate::state::{State5, NVARS5};
 use columbia_cartesian::{partition_cells, CartFace, CartMesh};
 use columbia_comm::{
-    decompose, run_ranks_faulty, CommStats, Decomposition, FaultPlan, Rank,
+    decompose, run_ranks_faulty, run_ranks_traced, CommStats, Decomposition, FaultPlan, Rank,
+    RankTrace,
 };
+use columbia_rt::trace::{SpanKey, Tracer};
 use std::sync::Arc;
 
 /// Per-rank local mesh + level.
@@ -191,6 +193,58 @@ pub fn run_parallel_smoothing_faulty(
     (u, rms, stats)
 }
 
+/// [`run_parallel_smoothing_faulty`] with full observability: per-rank
+/// teardown ledgers come back as [`RankTrace`]s and the run is recorded
+/// into `tracer` under an `euler_smoothing` span — residual as a gauge,
+/// one `comm` child span per rank.
+pub fn run_parallel_smoothing_traced(
+    mesh: &CartMesh,
+    fs: State5,
+    cfl: f64,
+    nparts: usize,
+    steps: usize,
+    plan: Option<Arc<FaultPlan>>,
+    tracer: &mut Tracer,
+) -> (Vec<State5>, f64, Vec<RankTrace>) {
+    let (decomp, locals) = build_local_levels(mesh, nparts, fs, cfl);
+    let locals = std::sync::Mutex::new(
+        locals
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<LocalEuler>>>(),
+    );
+    let (results, traces) = run_ranks_traced(nparts, plan, |rank| {
+        let mut local = locals.lock().unwrap()[rank.rank()]
+            .take()
+            .expect("local level already taken");
+        for _ in 0..steps {
+            parallel_rk_step(&mut local, &decomp, rank);
+        }
+        let rms = parallel_residual_rms(&mut local, &decomp, rank);
+        let owned: Vec<(u32, State5)> = (0..local.n_owned)
+            .map(|c| (local.local_to_global[c], local.level.u[c]))
+            .collect();
+        (owned, rms)
+    });
+    let mut u = vec![[0.0; NVARS5]; mesh.ncells()];
+    let mut rms = 0.0;
+    for (owned, r) in results {
+        for (g, v) in owned {
+            u[g as usize] = v;
+        }
+        rms = r;
+    }
+    tracer.scoped(SpanKey::new("euler_smoothing"), |t| {
+        t.add("rk_steps", steps as u64);
+        t.add("ranks", nparts as u64);
+        t.gauge("residual_rms", rms);
+        for tr in &traces {
+            tr.record_to(t);
+        }
+    });
+    (u, rms, traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +292,25 @@ mod tests {
             assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
             assert!(stats.iter().any(|s| s.total_msgs() > 0));
         }
+    }
+
+    #[test]
+    fn traced_smoothing_matches_untraced() {
+        let mesh = sphere_mesh();
+        let fs = freestream5(0.5, 0.0, 0.0);
+        let (u, rms, stats) = run_parallel_smoothing(&mesh, fs, 1.5, 2, 2);
+        let mut tracer = Tracer::logical();
+        let (ut, rmst, traces) =
+            run_parallel_smoothing_traced(&mesh, fs, 1.5, 2, 2, None, &mut tracer);
+        assert_eq!(rms.to_bits(), rmst.to_bits());
+        let bits = |u: &[State5]| u.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&u), bits(&ut));
+        for (s, tr) in stats.iter().zip(&traces) {
+            assert_eq!(s, &tr.stats);
+        }
+        let trace = tracer.finish();
+        assert!(trace.find("euler_smoothing").is_some());
+        assert!(trace.counter_total("comm.sends") > 0);
     }
 
     #[test]

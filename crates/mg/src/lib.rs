@@ -11,6 +11,15 @@
 //! scalability at high CPU counts.
 //!
 //! Levels are solver-specific and implement [`MultigridLevel`].
+//!
+//! Every driver has a `_traced` variant that records the cycle structure
+//! into a `columbia_rt::trace::Tracer`: one span per cycle, one child span
+//! per level *visit* (so a W-cycle's `2^l` coarse revisits are individually
+//! visible), with sweep counts as counters and residuals as gauges. The
+//! untraced entry points delegate to the traced ones with a disabled
+//! tracer — one code path, zero overhead when off.
+
+use columbia_rt::trace::{SpanKey, Tracer};
 
 /// Multigrid cycle type (paper Figure 4).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -70,28 +79,55 @@ impl Default for CycleParams {
 
 /// Execute one full multigrid cycle over `levels` (index 0 = finest).
 pub fn fas_cycle<L: MultigridLevel>(levels: &mut [L], params: &CycleParams) {
-    assert!(!levels.is_empty());
-    cycle_recursive(levels, params);
+    fas_cycle_traced(levels, params, &mut Tracer::disabled());
 }
 
-fn cycle_recursive<L: MultigridLevel>(levels: &mut [L], params: &CycleParams) {
+/// [`fas_cycle`] recording the cycle structure: a `mg_level` span per level
+/// *visit* (coarse W-cycle revisits appear individually), `smooth_sweeps` /
+/// `restrictions` / `prolongations` counters on each.
+pub fn fas_cycle_traced<L: MultigridLevel>(
+    levels: &mut [L],
+    params: &CycleParams,
+    tracer: &mut Tracer,
+) {
+    assert!(!levels.is_empty());
+    cycle_recursive(levels, params, tracer, 0);
+}
+
+fn cycle_recursive<L: MultigridLevel>(
+    levels: &mut [L],
+    params: &CycleParams,
+    tracer: &mut Tracer,
+    depth: usize,
+) {
     if levels.len() == 1 {
-        levels[0].smooth(params.coarse_sweeps);
+        tracer.scoped(SpanKey::new("mg_level").level(depth), |t| {
+            levels[0].smooth(params.coarse_sweeps);
+            t.add("smooth_sweeps", params.coarse_sweeps as u64);
+        });
         return;
     }
     let (fine_slice, rest) = levels.split_at_mut(1);
     let fine = &mut fine_slice[0];
+    tracer.begin(SpanKey::new("mg_level").level(depth));
     fine.smooth(params.pre_sweeps);
+    tracer.add("smooth_sweeps", params.pre_sweeps as u64);
     fine.restrict_into(&mut rest[0]);
+    tracer.add("restrictions", 1);
+    tracer.end();
     let visits = match params.cycle {
         CycleType::V => 1,
         CycleType::W => 2,
     };
     for _ in 0..visits {
-        cycle_recursive(rest, params);
+        cycle_recursive(rest, params, tracer, depth + 1);
     }
-    fine.prolong_from(&rest[0]);
-    fine.smooth(params.post_sweeps);
+    tracer.scoped(SpanKey::new("mg_level").level(depth), |t| {
+        fine.prolong_from(&rest[0]);
+        t.add("prolongations", 1);
+        fine.smooth(params.post_sweeps);
+        t.add("smooth_sweeps", params.post_sweeps as u64);
+    });
 }
 
 /// Convergence history of a multigrid solve.
@@ -137,14 +173,31 @@ pub fn solve_to_tolerance<L: MultigridLevel>(
     tol: f64,
     max_cycles: usize,
 ) -> ConvergenceHistory {
+    solve_to_tolerance_traced(levels, params, tol, max_cycles, &mut Tracer::disabled())
+}
+
+/// [`solve_to_tolerance`] with one `cycle` span per multigrid cycle
+/// (indexed by cycle number, residual recorded as a gauge) wrapping the
+/// per-level-visit spans of [`fas_cycle_traced`].
+pub fn solve_to_tolerance_traced<L: MultigridLevel>(
+    levels: &mut [L],
+    params: &CycleParams,
+    tol: f64,
+    max_cycles: usize,
+    tracer: &mut Tracer,
+) -> ConvergenceHistory {
     let mut history = ConvergenceHistory::default();
     history.residuals.push(levels[0].residual_norm());
-    for _ in 0..max_cycles {
+    for i in 0..max_cycles {
         if *history.residuals.last().unwrap() <= tol {
             break;
         }
-        fas_cycle(levels, params);
-        history.residuals.push(levels[0].residual_norm());
+        tracer.begin(SpanKey::new("cycle").cycle(i));
+        fas_cycle_traced(levels, params, tracer);
+        let r = levels[0].residual_norm();
+        tracer.gauge("residual_rms", r);
+        tracer.end();
+        history.residuals.push(r);
     }
     history
 }
@@ -337,6 +390,42 @@ mod tests {
     fn level_visit_counts_match_paper() {
         assert_eq!(level_visits(6, CycleType::W), vec![1, 2, 4, 8, 16, 32]);
         assert_eq!(level_visits(4, CycleType::V), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn traced_cycle_exposes_w_cycle_revisits() {
+        let nlevels = 4;
+        let mut mg = build_hierarchy(64, nlevels);
+        let mut tracer = Tracer::logical();
+        let hist =
+            solve_to_tolerance_traced(&mut mg, &CycleParams::default(), 0.0, 2, &mut tracer);
+        assert_eq!(hist.cycles(), 2);
+        let trace = tracer.finish();
+        assert_eq!(trace.spans.len(), 2, "one span per cycle");
+        let cycle = &trace.spans[0];
+        assert_eq!(cycle.key.name, "cycle");
+        assert_eq!(cycle.key.cycle, Some(0));
+        assert!(cycle.gauges.contains_key("residual_rms"));
+        // Span count per level matches the paper's visit accounting:
+        // 2 spans per non-coarsest visit (pre+restrict, prolong+post),
+        // 1 per coarsest visit.
+        let visits = level_visits(nlevels, CycleType::W);
+        for (l, &v) in visits.iter().enumerate() {
+            let n = cycle
+                .children
+                .iter()
+                .filter(|s| s.key.name == "mg_level" && s.key.level == Some(l))
+                .count();
+            let expect = if l == nlevels - 1 { v } else { 2 * v };
+            assert_eq!(n, expect, "level {l} span count");
+        }
+        // And the traced solve is identical to the untraced one.
+        let mut plain = build_hierarchy(64, nlevels);
+        let hist2 = solve_to_tolerance(&mut plain, &CycleParams::default(), 0.0, 2);
+        assert_eq!(
+            hist.residuals.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            hist2.residuals.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 use crate::level::{RansLevel, SolverParams};
 use crate::state::{State, NVARS};
 use columbia_comm::{
-    decompose, run_ranks_faulty, CommStats, Decomposition, FaultPlan, Rank,
+    decompose, run_ranks_faulty, run_ranks_traced, CommStats, Decomposition, FaultPlan, Rank,
+    RankTrace,
 };
+use columbia_rt::trace::{SpanKey, Tracer};
 use std::sync::Arc;
 use columbia_mesh::{extract_lines, Edge, UnstructuredMesh};
 use columbia_partition::{
@@ -256,6 +258,63 @@ pub fn run_parallel_smoothing_faulty(
     (global_u, rms, stats)
 }
 
+/// [`run_parallel_smoothing_faulty`] with full observability: per-rank
+/// teardown ledgers come back as [`RankTrace`]s (nothing is lost to the
+/// drop-without-`take_stats` path) and the run is recorded into `tracer`
+/// under a `rans_smoothing` span — residual as a gauge, one `comm` child
+/// span per rank.
+pub fn run_parallel_smoothing_traced(
+    mesh: &UnstructuredMesh,
+    params: SolverParams,
+    nparts: usize,
+    sweeps: usize,
+    plan: Option<Arc<FaultPlan>>,
+    tracer: &mut Tracer,
+) -> (Vec<State>, f64, Vec<RankTrace>) {
+    let part = partition_mesh_line_aware(mesh, nparts, params.line_threshold);
+    let (decomp, locals) = build_local_levels(mesh, &part, nparts, params);
+    let locals = std::sync::Mutex::new(
+        locals
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<LocalLevel>>>(),
+    );
+
+    let (results, traces) = run_ranks_traced(nparts, plan, |rank| {
+        let mut local = locals.lock().unwrap()[rank.rank()]
+            .take()
+            .expect("local level already taken");
+        local.level.apply_bcs();
+        decomp.plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut local.level.u);
+        for _ in 0..sweeps {
+            parallel_sweep(&mut local, &decomp, rank);
+        }
+        let rms = parallel_residual_rms(&mut local, &decomp, rank);
+        let owned_u: Vec<(u32, State)> = (0..local.n_owned)
+            .map(|i| (local.local_to_global[i], local.level.u[i]))
+            .collect();
+        (owned_u, rms)
+    });
+
+    let mut global_u = vec![[0.0; NVARS]; mesh.nvertices()];
+    let mut rms = 0.0;
+    for (owned, r) in results {
+        for (g, u) in owned {
+            global_u[g as usize] = u;
+        }
+        rms = r;
+    }
+    tracer.scoped(SpanKey::new("rans_smoothing"), |t| {
+        t.add("sweeps", sweeps as u64);
+        t.add("ranks", nparts as u64);
+        t.gauge("residual_rms", rms);
+        for tr in &traces {
+            tr.record_to(t);
+        }
+    });
+    (global_u, rms, traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +368,26 @@ mod tests {
             // Communication actually happened.
             assert!(stats.iter().any(|s| s.total_msgs() > 0));
         }
+    }
+
+    #[test]
+    fn traced_smoothing_matches_untraced_and_loses_no_counts() {
+        let m = mesh();
+        let (u, rms, stats) = run_parallel_smoothing(&m, params(), 2, 2);
+        let mut tracer = Tracer::logical();
+        let (ut, rmst, traces) =
+            run_parallel_smoothing_traced(&m, params(), 2, 2, None, &mut tracer);
+        assert_eq!(rms.to_bits(), rmst.to_bits());
+        let bits = |u: &[State]| u.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&u), bits(&ut));
+        // The teardown ledger carries exactly what take_stats saw.
+        for (s, tr) in stats.iter().zip(&traces) {
+            assert_eq!(s, &tr.stats);
+        }
+        let trace = tracer.finish();
+        let span = trace.find("rans_smoothing").unwrap();
+        assert!(span.gauges.contains_key("residual_rms"));
+        assert!(trace.counter_total("comm.sends") > 0);
     }
 
     #[test]

@@ -15,10 +15,11 @@
 use crate::level::{RansLevel, SolverParams};
 use crate::parallel::{build_local_levels, parallel_sweep, partition_mesh_line_aware, LocalLevel};
 use crate::state::{pressure, NVARS};
-use columbia_comm::{run_ranks, CommStats, Decomposition, Rank};
+use columbia_comm::{run_ranks_traced, CommStats, Decomposition, Rank, RankTrace};
 use columbia_mesh::{agglomerate_hierarchy, BoundaryKind, UnstructuredMesh};
 use columbia_mg::{ConvergenceHistory, CycleParams, CycleType};
 use columbia_partition::match_levels;
+use columbia_rt::trace::{SpanKey, Tracer};
 use std::sync::Mutex;
 
 /// Packed restriction entry: `vol * u` (6), fine residual (6) — the fine
@@ -205,11 +206,28 @@ impl ParallelMg {
     /// Run `max_cycles` W-/V-cycles in parallel; returns the residual
     /// history (identical on every rank) and per-rank comm statistics.
     pub fn solve(
-        mut self,
+        self,
         cp: &CycleParams,
         cfl: f64,
         max_cycles: usize,
     ) -> (ConvergenceHistory, Vec<CommStats>) {
+        let (history, traces) = self.solve_traced(cp, cfl, max_cycles, &mut Tracer::disabled());
+        (history, traces.into_iter().map(|t| t.stats).collect())
+    }
+
+    /// [`ParallelMg::solve`] with full observability: every rank runs under
+    /// a multigrid-level context (sweeps attributed to their level,
+    /// restriction/prolongation traffic to the *coarse* level of the pair —
+    /// the intergrid cost the paper charges against coarse grids), and the
+    /// complete teardown ledgers come back as [`RankTrace`]s. The ledgers
+    /// are also recorded into `tracer` under an `mg_solve` span.
+    pub fn solve_traced(
+        mut self,
+        cp: &CycleParams,
+        cfl: f64,
+        max_cycles: usize,
+        tracer: &mut Tracer,
+    ) -> (ConvergenceHistory, Vec<RankTrace>) {
         let nparts = self.nparts;
         // Move each rank's column of levels into a per-rank bundle.
         let mut bundles: Vec<Option<Vec<LocalLevel>>> = (0..nparts).map(|_| Some(Vec::new())).collect();
@@ -222,35 +240,47 @@ impl ParallelMg {
         let decomps = &self.decomps;
         let transfers = &self.transfers;
 
-        let results = run_ranks(nparts, |rank| {
+        let (results, traces) = run_ranks_traced(nparts, None, |rank| {
             let mut levels = bundles.lock().unwrap()[rank.rank()]
                 .take()
                 .expect("bundle already taken");
             for (l, lv) in levels.iter_mut().enumerate() {
+                rank.enter_level(l);
                 lv.level.cfl_now = cfl;
                 lv.level.apply_bcs();
                 decomps[l].plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut lv.level.u);
+                rank.exit_level();
             }
             let mut history = ConvergenceHistory::default();
+            rank.enter_level(0);
             history
                 .residuals
                 .push(level_residual_rms(&mut levels[0], &decomps[0], rank, 900));
+            rank.exit_level();
             for _cycle in 0..max_cycles {
                 mg_recurse(&mut levels, decomps, transfers, cp, 0, rank);
+                rank.enter_level(0);
                 history
                     .residuals
                     .push(level_residual_rms(&mut levels[0], &decomps[0], rank, 901));
+                rank.exit_level();
             }
-            (history, rank.take_stats())
+            // No take_stats: the teardown sink hands the whole ledger back.
+            history
         });
 
-        let mut stats = Vec::with_capacity(nparts);
-        let mut history = ConvergenceHistory::default();
-        for (h, s) in results {
-            history = h;
-            stats.push(s);
-        }
-        (history, stats)
+        let history = results.into_iter().next_back().unwrap_or_default();
+        tracer.scoped(SpanKey::new("mg_solve"), |t| {
+            t.add("cycles", history.cycles() as u64);
+            t.gauge("orders_reduced", history.orders_reduced());
+            if let Some(&r) = history.residuals.last() {
+                t.gauge("final_residual_rms", r);
+            }
+            for tr in &traces {
+                tr.record_to(t);
+            }
+        });
+        (history, traces)
     }
 }
 
@@ -292,16 +322,24 @@ fn mg_recurse(
 ) {
     let last = levels.len() - 1;
     if l == last {
+        rank.enter_level(l);
         for _ in 0..cp.coarse_sweeps {
             let (head, _) = levels.split_at_mut(l + 1);
             parallel_sweep(&mut head[l], &decomps[l], rank);
         }
+        rank.exit_level();
         return;
     }
+    rank.enter_level(l);
     for _ in 0..cp.pre_sweeps {
         parallel_sweep(&mut levels[l], &decomps[l], rank);
     }
+    rank.exit_level();
+    // Intergrid transfers are charged to the coarse level of the pair —
+    // the same attribution the paper's per-level tables use.
+    rank.enter_level(l + 1);
     parallel_restrict(levels, decomps, transfers, l, rank);
+    rank.exit_level();
     let visits = match cp.cycle {
         CycleType::V => 1,
         CycleType::W => 2,
@@ -309,10 +347,14 @@ fn mg_recurse(
     for _ in 0..visits {
         mg_recurse(levels, decomps, transfers, cp, l + 1, rank);
     }
+    rank.enter_level(l + 1);
     parallel_prolong(levels, decomps, transfers, l, rank);
+    rank.exit_level();
+    rank.enter_level(l);
     for _ in 0..cp.post_sweeps {
         parallel_sweep(&mut levels[l], &decomps[l], rank);
     }
+    rank.exit_level();
 }
 
 /// Distributed FAS restriction `l -> l+1`.
@@ -576,6 +618,37 @@ mod tests {
         }
         // Inter-grid messages actually flowed.
         assert!(stats.iter().any(|s| s.total_msgs() > 0));
+    }
+
+    #[test]
+    fn traced_solve_attributes_traffic_per_level() {
+        let m = mesh();
+        let nlevels = {
+            let pmg = ParallelMg::new(&m, params(), 3, 3);
+            pmg.nlevels()
+        };
+        let run = || {
+            let pmg = ParallelMg::new(&m, params(), 3, 3);
+            let mut tracer = Tracer::logical();
+            let (h, traces) = pmg.solve_traced(&CycleParams::default(), 4.0, 2, &mut tracer);
+            (h, traces, tracer.finish().to_json().render())
+        };
+        let (h, traces, json) = run();
+        assert!(h.cycles() == 2);
+        for tr in &traces {
+            // Every level has an attributed ledger, and it's all attributed:
+            // no send escaped the level contexts.
+            assert_eq!(tr.per_level.len(), nlevels, "rank {}", tr.rank);
+            let attributed: u64 = tr.per_level.values().map(|s| s.total_msgs()).sum();
+            assert_eq!(attributed, tr.stats.total_msgs(), "rank {}", tr.rank);
+            // Smoothing happens on every level, so every level communicates.
+            assert!(tr.per_level.values().all(|s| s.total_msgs() > 0));
+        }
+        // Byte-identical across runs, structure intact.
+        let (_, _, json2) = run();
+        assert_eq!(json, json2, "traced solve must be deterministic");
+        assert!(json.contains("\"mg_solve\""));
+        assert!(json.contains("\"comm_level\""));
     }
 
     #[test]

@@ -15,9 +15,10 @@ use columbia_partition::{
     contract_lines, expand_line_partition, match_levels, partition_graph, PartitionConfig,
     PartitionQuality,
 };
+use columbia_rt::trace::{SpanKey, Tracer};
 
 /// Surface-law fit: `ghosts_per_part = coeff * q^exponent`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SurfaceLaw {
     /// Prefactor.
     pub coeff: f64,
@@ -25,6 +26,74 @@ pub struct SurfaceLaw {
     pub exponent: f64,
     /// Largest communication degree observed while fitting.
     pub max_degree: f64,
+    /// How the fit was obtained (samples used, skips, fallback reason).
+    pub provenance: FitProvenance,
+}
+
+/// Provenance of a [`SurfaceLaw`] fit: which of the requested part counts
+/// actually contributed regression points, and why the fit fell back to the
+/// canonical law if it did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FitProvenance {
+    /// Part counts the caller asked for.
+    pub parts_requested: usize,
+    /// Part counts skipped because the level is too small
+    /// (`p < 2` or `p * 4 > nvertices`).
+    pub parts_skipped_small: usize,
+    /// Partitions that produced no ghost vertices and so contributed
+    /// nothing to the regression.
+    pub parts_zero_ghosts: usize,
+    /// Regression points actually used.
+    pub samples_used: usize,
+    /// `None` for a genuine least-squares fit; otherwise the reason the
+    /// canonical 3-D law was substituted.
+    pub fallback: Option<FitFallback>,
+}
+
+/// Reason a surface-law fit fell back to the canonical `6 q^(2/3)` law.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FitFallback {
+    /// Fewer than two usable regression points survived the skips.
+    TooFewSamples,
+    /// The regression matrix was singular (all samples at one abscissa).
+    DegenerateRegression,
+}
+
+impl FitFallback {
+    /// Stable label used in trace counters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FitFallback::TooFewSamples => "too_few_samples",
+            FitFallback::DegenerateRegression => "degenerate_regression",
+        }
+    }
+}
+
+impl FitProvenance {
+    /// Record the fit outcome on `tracer` as a `surface_fit` span for
+    /// `level`, so skipped part counts and fallbacks are visible instead of
+    /// silently discarded.
+    pub fn record_to(&self, tracer: &mut Tracer, level: usize, law: &SurfaceLaw) {
+        tracer.begin(SpanKey::new("surface_fit").level(level));
+        tracer.add("fit.parts_requested", self.parts_requested as u64);
+        tracer.add("fit.parts_skipped_small", self.parts_skipped_small as u64);
+        tracer.add("fit.parts_zero_ghosts", self.parts_zero_ghosts as u64);
+        tracer.add("fit.samples_used", self.samples_used as u64);
+        match self.fallback {
+            None => tracer.add("fit.fallback.none", 1),
+            Some(f) => {
+                let name = match f {
+                    FitFallback::TooFewSamples => "fit.fallback.too_few_samples",
+                    FitFallback::DegenerateRegression => "fit.fallback.degenerate_regression",
+                };
+                tracer.add(name, 1);
+            }
+        }
+        tracer.gauge("fit.coeff", law.coeff);
+        tracer.gauge("fit.exponent", law.exponent);
+        tracer.gauge("fit.max_degree", law.max_degree);
+        tracer.end();
+    }
 }
 
 /// Fit the ghost-surface law of a mesh level by partitioning its
@@ -38,8 +107,13 @@ pub fn fit_surface_law(solver: &RansSolver, level: usize, parts: &[usize]) -> Su
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut max_degree = 0.0f64;
+    let mut prov = FitProvenance {
+        parts_requested: parts.len(),
+        ..FitProvenance::default()
+    };
     for &p in parts {
         if p < 2 || p * 4 > lvl.nvertices() {
+            prov.parts_skipped_small += 1;
             continue;
         }
         let lp = partition_graph(&lc.contracted, p, &PartitionConfig::default());
@@ -50,15 +124,20 @@ pub fn fit_surface_law(solver: &RansSolver, level: usize, parts: &[usize]) -> Su
         if mean_ghosts > 0.0 {
             xs.push(mean_pts.ln());
             ys.push(mean_ghosts.ln());
+        } else {
+            prov.parts_zero_ghosts += 1;
         }
         max_degree = max_degree.max(q.max_comm_degree() as f64);
     }
+    prov.samples_used = xs.len();
     if xs.len() < 2 {
         // Too small to fit: fall back to the canonical 3-D law.
+        prov.fallback = Some(FitFallback::TooFewSamples);
         return SurfaceLaw {
             coeff: 6.0,
             exponent: 2.0 / 3.0,
             max_degree: max_degree.max(18.0),
+            provenance: prov,
         };
     }
     // Least squares on ln y = ln c + e ln x.
@@ -69,6 +148,7 @@ pub fn fit_surface_law(solver: &RansSolver, level: usize, parts: &[usize]) -> Su
     let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
     let denom = n * sxx - sx * sx;
     let (coeff, exponent) = if denom.abs() < 1e-12 {
+        prov.fallback = Some(FitFallback::DegenerateRegression);
         (6.0, 2.0 / 3.0)
     } else {
         let e = (n * sxy - sx * sy) / denom;
@@ -79,6 +159,7 @@ pub fn fit_surface_law(solver: &RansSolver, level: usize, parts: &[usize]) -> Su
         coeff,
         exponent,
         max_degree: max_degree.max(1.0),
+        provenance: prov,
     }
 }
 
@@ -134,6 +215,30 @@ pub fn measure_profile(
     target_points: f64,
     name: &str,
 ) -> CycleProfile {
+    measure_profile_traced(
+        solver,
+        cycle,
+        parts,
+        match_parts,
+        target_points,
+        name,
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`measure_profile`] with the fit provenance and per-level FLOP counts
+/// recorded on `tracer` instead of dropped.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_profile_traced(
+    solver: &mut RansSolver,
+    cycle: &CycleParams,
+    parts: &[usize],
+    match_parts: usize,
+    target_points: f64,
+    name: &str,
+    tracer: &mut Tracer,
+) -> CycleProfile {
+    tracer.begin(SpanKey::new("profile_measure"));
     // FLOP measurement over one cycle.
     for lvl in solver.levels.iter_mut() {
         lvl.flops.take();
@@ -153,7 +258,13 @@ pub fn measure_profile(
         })
         .collect();
 
+    for (l, f) in flops_per_point.iter().enumerate() {
+        tracer.add("profile.flops", solver.levels[l].flops.total());
+        tracer.gauge(&format!("profile.flops_per_point.level{l}"), *f);
+    }
+
     let law = fit_surface_law(solver, 0, parts);
+    law.provenance.record_to(tracer, 0, &law);
     let scale = target_points / solver.levels[0].nvertices() as f64;
 
     // Exchanges per visit: each smoothing sweep needs gradient add+copy,
@@ -195,6 +306,8 @@ pub fn measure_profile(
         })
         .collect();
 
+    tracer.add("profile.levels", nlev as u64);
+    tracer.end();
     CycleProfile {
         name: name.to_string(),
         levels,
@@ -234,6 +347,54 @@ mod tests {
         );
         assert!(law.coeff > 0.1, "coeff {}", law.coeff);
         assert!(law.max_degree >= 2.0);
+    }
+
+    #[test]
+    fn fit_provenance_reports_skips_and_fallback() {
+        let s = solver(12000, 1);
+        // Healthy fit: every requested count usable, no fallback.
+        let law = fit_surface_law(&s, 0, &[4, 8, 16, 32]);
+        assert_eq!(law.provenance.parts_requested, 4);
+        assert_eq!(law.provenance.parts_skipped_small, 0);
+        assert_eq!(law.provenance.samples_used, 4);
+        assert_eq!(law.provenance.fallback, None);
+
+        // Oversized part counts are skipped (p * 4 > nvertices) and the
+        // fallback reason is recorded instead of silently dropped.
+        let n = s.levels[0].nvertices();
+        let law = fit_surface_law(&s, 0, &[n, 2 * n]);
+        assert_eq!(law.provenance.parts_requested, 2);
+        assert_eq!(law.provenance.parts_skipped_small, 2);
+        assert_eq!(law.provenance.samples_used, 0);
+        assert_eq!(law.provenance.fallback, Some(FitFallback::TooFewSamples));
+        assert_eq!(law.provenance.fallback.unwrap().label(), "too_few_samples");
+        assert!((law.exponent - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_profile_traced_surfaces_fit_provenance() {
+        let mut s = solver(4000, 2);
+        let mut tracer = Tracer::logical();
+        let p = measure_profile_traced(
+            &mut s,
+            &CycleParams::default(),
+            &[4, 8, 16],
+            8,
+            72.0e6,
+            "traced",
+            &mut tracer,
+        );
+        p.validate().unwrap();
+        let trace = tracer.finish();
+        let span = trace.find("profile_measure").expect("profile span");
+        let fit = span
+            .children
+            .iter()
+            .find(|c| c.key.name == "surface_fit")
+            .expect("surface_fit child span");
+        assert_eq!(fit.counters.get("fit.parts_requested"), Some(&3));
+        assert!(fit.gauges.contains_key("fit.exponent"));
+        assert!(span.counters.get("profile.flops").copied().unwrap_or(0) > 0);
     }
 
     #[test]

@@ -18,15 +18,25 @@
 //!   `harness = false` bench targets (replaces `criterion`);
 //! * [`fault`] — seeded, stateless fault schedules (message drop /
 //!   duplicate / delay / reorder, barrier stalls, database-case
-//!   poisoning) that the comm runtime injects deterministically.
+//!   poisoning) that the comm runtime injects deterministically;
+//! * [`trace`] — deterministic observability: hierarchical spans keyed by
+//!   logical position (rank, level, cycle, case id) with a logical
+//!   event-count clock in test mode and wall time in bench mode, plus
+//!   typed counters (replaces nothing — closes the instrumentation gap);
+//! * [`json`] — a byte-stable JSON writer for trace and scaling reports
+//!   (replaces `serde_json` where a repo would normally reach for it).
 //!
 //! Everything here is plain `std`; the crate must never grow a dependency.
 
 pub mod bench;
 pub mod channel;
 pub mod fault;
+pub mod json;
 pub mod props;
 pub mod rng;
+pub mod trace;
 
 pub use fault::{CasePlan, FaultConfig, FaultPlan, MessageAction};
+pub use json::Json;
 pub use rng::{derive_seed, splitmix64, Pcg32};
+pub use trace::{ClockMode, Span, SpanKey, Trace, Tracer};

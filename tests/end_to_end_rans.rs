@@ -15,14 +15,22 @@ fn params() -> SolverParams {
     }
 }
 
+/// `COLUMBIA_SLOW_TESTS=1` (set in CI) runs the paper-scale variants; the
+/// default keeps the suite fast on a laptop without losing coverage of any
+/// code path — only mesh size and cycle counts shrink.
+fn slow_tests() -> bool {
+    std::env::var_os("COLUMBIA_SLOW_TESTS").is_some_and(|v| v != "0")
+}
+
 #[test]
 fn mesh_to_converged_multigrid_solution() {
+    let (points, max_cycles) = if slow_tests() { (8_000, 50) } else { (4_000, 40) };
     let mesh = wing_mesh(&WingMeshSpec {
         jitter: 0.0,
-        ..WingMeshSpec::with_target_points(8_000)
+        ..WingMeshSpec::with_target_points(points)
     });
     let mut solver = RansSolver::new(mesh, params(), 5);
-    let h = solver.solve(&CycleParams::default(), 1e-11, 50);
+    let h = solver.solve(&CycleParams::default(), 1e-11, max_cycles);
     assert!(
         h.orders_reduced() > 4.0,
         "pipeline failed to converge: {} orders",
@@ -36,10 +44,12 @@ fn mesh_to_converged_multigrid_solution() {
 
 #[test]
 fn w_cycle_beats_v_cycle_on_larger_mesh() {
+    let points = if slow_tests() { 8_000 } else { 3_000 };
     let mesh = wing_mesh(&WingMeshSpec {
         jitter: 0.0,
-        ..WingMeshSpec::with_target_points(8_000)
+        ..WingMeshSpec::with_target_points(points)
     });
+    let cycles = if slow_tests() { 15 } else { 10 };
     let mut v = RansSolver::new(mesh.clone(), params(), 4);
     let mut w = RansSolver::new(mesh, params(), 4);
     let hv = v.solve(
@@ -48,7 +58,7 @@ fn w_cycle_beats_v_cycle_on_larger_mesh() {
             ..Default::default()
         },
         0.0,
-        15,
+        cycles,
     );
     let hw = w.solve(
         &CycleParams {
@@ -56,7 +66,7 @@ fn w_cycle_beats_v_cycle_on_larger_mesh() {
             ..Default::default()
         },
         0.0,
-        15,
+        cycles,
     );
     // The paper uses W exclusively for robustness/speed; allow a narrow
     // tolerance since V can tie on easy cases.
