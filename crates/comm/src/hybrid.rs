@@ -32,17 +32,21 @@ impl HybridLayout {
     /// assignment over a locality-ordered partition vector is the standard
     /// choice.
     ///
+    /// Uneven layouts are first-class: when `threads_per_rank` does not
+    /// divide `nparts`, the **last rank absorbs the remainder** (the paper's
+    /// own runs were uneven — e.g. 508 OpenMP threads on 512-CPU nodes).
+    /// With fewer partitions than threads per rank, everything lands on one
+    /// rank (pure OpenMP).
+    ///
     /// # Panics
-    /// If `nparts` is not a multiple of `threads_per_rank`.
+    /// If `threads_per_rank` or `nparts` is zero.
     pub fn block(nparts: usize, threads_per_rank: usize) -> Self {
-        assert!(threads_per_rank > 0);
-        assert_eq!(
-            nparts % threads_per_rank,
-            0,
-            "nparts must divide evenly into ranks"
-        );
-        let nranks = nparts / threads_per_rank;
-        let part_to_rank = (0..nparts).map(|p| p / threads_per_rank).collect();
+        assert!(threads_per_rank > 0, "threads_per_rank must be positive");
+        assert!(nparts > 0, "layout needs at least one partition");
+        let nranks = (nparts / threads_per_rank).max(1);
+        let part_to_rank = (0..nparts)
+            .map(|p| (p / threads_per_rank).min(nranks - 1))
+            .collect();
         HybridLayout {
             nranks,
             threads_per_rank,
@@ -118,6 +122,7 @@ impl HybridLayout {
                 out[rp].record_sends(rq, msgs, bytes);
             }
             out[rp].absorb_faults(s.faults());
+            out[rp].absorb_pool(s.pool());
         }
         out
     }
@@ -226,9 +231,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divide evenly")]
-    fn uneven_layout_panics() {
-        HybridLayout::block(5, 2);
+    fn uneven_layout_last_rank_absorbs_remainder() {
+        // 5 partitions, 2 threads/rank: 2 ranks, the last takes 3 parts.
+        let layout = HybridLayout::block(5, 2);
+        assert_eq!(layout.nranks, 2);
+        assert_eq!(layout.part_to_rank, vec![0, 0, 1, 1, 1]);
+        // Fewer partitions than threads per rank degenerates to one rank.
+        let tiny = HybridLayout::block(3, 4);
+        assert_eq!(tiny.nranks, 1);
+        assert_eq!(tiny.part_to_rank, vec![0, 0, 0]);
+        // Aggregation works over the uneven mapping: a chain of 10 vertices
+        // in 5 partitions of 2 has rank boundaries only at the 1|2 cut.
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let part: Vec<u32> = (0..10u32).map(|v| v / 2).collect();
+        let d = decompose(10, &part, 5, &edges);
+        let stats = layout.aggregate(&d, 8);
+        assert_eq!(stats[0].total_msgs(), 1);
+        assert_eq!(stats[1].total_msgs(), 1);
+        assert!(layout.shared_memory_fraction(&d) > 0.5);
     }
 
     #[test]

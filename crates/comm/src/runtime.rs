@@ -22,19 +22,56 @@
 //! — never of thread timing — so the same `(seed, nranks)` pair yields a
 //! bit-identical fault schedule, solver result and [`CommStats`] trace on
 //! every run.
+//!
+//! Two hot-path mechanisms keep the steady state allocation-free and
+//! deterministic at once:
+//!
+//! * **buffer pool** — payloads checked out with [`Rank::buffer`] and
+//!   returned with [`Rank::recycle`] are kept in buckets keyed by
+//!   `(peer, exact capacity)` — the moral equivalent of MPI persistent
+//!   requests, one set of recycled buffers per neighbour. Per-peer keying
+//!   is what makes the zero-miss steady state *provable*: both ends of a
+//!   peer pair run the identical exchange sequence with symmetric sizes,
+//!   so their per-peer pools stay mirror images — every buffer sent to a
+//!   peer is answered by one of the same capacity — and after the warm-up
+//!   cycle every checkout finds a fit. Misses allocate exactly the
+//!   requested capacity and injected duplicate copies preserve the
+//!   original's capacity, so every pool hit/miss is a function of the
+//!   logical program order, never of thread timing;
+//! * **epochs** — every [`Rank::barrier`] is a quiescence point: each
+//!   message sent before it must be received before it. The barrier
+//!   drains the channel (dropping stale duplicate copies of the closing
+//!   epoch), retires the whole per-stream dedup/reorder bookkeeping and
+//!   restarts sequence numbering, so the maps stay bounded over
+//!   arbitrarily long fills. Messages carry their epoch so a fast peer's
+//!   next-epoch traffic is never confused with the retiring streams.
 
 use crate::stats::CommStats;
-use columbia_rt::channel::{unbounded, Receiver, Sender};
+use columbia_rt::channel::{unbounded, Receiver, Sender, TryRecvError};
 use columbia_rt::fault::{FaultPlan, MessageAction};
 use columbia_rt::trace::{SpanKey, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Barrier, Mutex};
 
-/// A message in flight: `(from, tag, seq, payload)`.
-type Message = (usize, u64, u64, Vec<f64>);
+/// A message in flight: `(from, tag, seq, epoch, payload)`.
+type Message = (usize, u64, u64, u64, Vec<f64>);
 
 /// Reserved tag space for collectives.
 const TAG_COLLECTIVE: u64 = u64::MAX - 1024;
+
+/// Non-blocking channel polls before a receive parks on the blocking
+/// path. Halo peers usually answer within the spin window, skipping the
+/// mutex/condvar round-trip entirely; a straggler costs one park.
+const SPIN_PULLS: usize = 64;
+
+/// Within the spin window, polls that busy-wait (`spin_loop`) before the
+/// remainder downgrade to `yield_now`. On an oversubscribed host — more
+/// ranks than cores — a waiting receiver holds the very CPU its peer
+/// needs to produce the message, so pure busy-waiting parks almost every
+/// time; yielding hands the core to the sender and the message is
+/// usually there on the next poll, skipping the condvar park/wake
+/// round-trip entirely.
+const SPIN_FAST: usize = 8;
 
 /// An outgoing message held back by an injected delay.
 struct DelayedMsg {
@@ -69,6 +106,12 @@ pub struct Rank {
     delayed: VecDeque<DelayedMsg>,
     /// Barrier entries so far (fault-schedule coordinate).
     barrier_count: u64,
+    /// Current epoch: bumped after every barrier, stamped on every
+    /// outgoing message. Sequence numbers restart per epoch.
+    epoch: u64,
+    /// Recycled payload buffers, bucketed by `(peer, exact capacity)`
+    /// (LIFO within a bucket so the hottest buffer stays cache-warm).
+    pool: BTreeMap<(usize, usize), Vec<Vec<f64>>>,
     faults: Option<Arc<FaultPlan>>,
     barrier: Arc<Barrier>,
     stats: CommStats,
@@ -155,6 +198,92 @@ impl Rank {
         }
     }
 
+    /// Check out an empty payload buffer for traffic with `peer`, with
+    /// capacity at least `n`: the smallest pooled bucket for that peer
+    /// that fits (pool hit), else a fresh *exact*-capacity allocation
+    /// (pool miss).
+    ///
+    /// Pools are per peer because that makes the zero-miss fixed point an
+    /// invariant rather than an accident: both ends of a pair perform the
+    /// same pair ops in the same order with symmetric sizes, so the two
+    /// per-peer pools evolve as mirror images (identical multisets pick
+    /// identical best-fit capacities, and each send is answered by a
+    /// buffer of the same capacity). During warm-up the pool only grows
+    /// (a hit circulates back, a miss adds its exact size), so by cycle
+    /// two every request in the sequence has a resident fit. A shared
+    /// pool has no such guarantee — a near-fit buffer drifts to another
+    /// peer and its home request misses forever.
+    pub fn buffer(&mut self, peer: usize, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // Exact-capacity fast path: misses allocate exact capacities and
+        // steady state re-requests the same sizes, so one tree probe
+        // answers almost every checkout. Buckets are never retired when
+        // they drain — the empty `Vec` (and its spine) stays resident, so
+        // the ping-pong refill on the next `recycle` is push-into-capacity
+        // rather than a fresh bucket allocation.
+        let hit = match self.pool.get_mut(&(peer, n)) {
+            Some(bucket) if !bucket.is_empty() => bucket.pop(),
+            _ => self
+                .pool
+                .range_mut((peer, n)..=(peer, usize::MAX))
+                .find_map(|(_, bucket)| bucket.pop()),
+        };
+        if let Some(mut buf) = hit {
+            buf.clear();
+            self.stats.record_pool_hit();
+            if let Some(s) = self.level_ledger() {
+                s.record_pool_hit();
+            }
+            buf
+        } else {
+            self.stats.record_pool_miss();
+            if let Some(s) = self.level_ledger() {
+                s.record_pool_miss();
+            }
+            Vec::with_capacity(n)
+        }
+    }
+
+    /// Return a payload buffer delivered from `peer` (or checked out for
+    /// it) to that peer's pool. Only buffers obtained at *logical*
+    /// program points (a `recv` return, a local checkout) may come back
+    /// here — never a stale duplicate copy, whose observation depends on
+    /// thread timing.
+    pub fn recycle(&mut self, peer: usize, buf: Vec<f64>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        self.stats.record_pool_recycled();
+        if let Some(s) = self.level_ledger() {
+            s.record_pool_recycled();
+        }
+        self.pool.entry((peer, cap)).or_default().push(buf);
+    }
+
+    /// Number of buffers currently parked in the pool (test hook).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.values().map(|b| b.len()).sum()
+    }
+
+    /// Record one coalesced message carrying `fields` fields (called by
+    /// the multi-field exchange paths).
+    pub fn record_coalesced(&mut self, fields: u64) {
+        self.stats.record_coalesced(fields);
+        if let Some(s) = self.level_ledger() {
+            s.record_coalesced(fields);
+        }
+    }
+
+    /// Sizes of the per-stream bookkeeping maps
+    /// `(send_seq, recv_next, pending)` — test hook for the barrier-point
+    /// compaction guarantee.
+    pub fn stream_state_sizes(&self) -> (usize, usize, usize) {
+        (self.send_seq.len(), self.recv_next.len(), self.pending.len())
+    }
+
     /// Non-blocking send of a packed buffer to `to` with a user `tag`.
     ///
     /// # Panics
@@ -228,12 +357,18 @@ impl Rank {
     ) {
         let bytes = data.len() * 8;
         for _ in 0..duplicates {
+            // Duplicate copies preserve the original's *capacity*, not
+            // just its contents: which physical copy a receiver ends up
+            // delivering is timing-dependent, and the capacity-keyed pool
+            // must see the same buffer either way.
+            let mut copy = Vec::with_capacity(data.capacity());
+            copy.extend_from_slice(&data);
             self.tx[to]
-                .send((self.rank, tag, seq, data.clone()))
+                .send((self.rank, tag, seq, self.epoch, copy))
                 .expect("peer rank hung up");
         }
         self.tx[to]
-            .send((self.rank, tag, seq, data))
+            .send((self.rank, tag, seq, self.epoch, data))
             .expect("peer rank hung up");
         self.stats.record_send(to, bytes);
         if duplicates > 0 {
@@ -279,6 +414,21 @@ impl Rank {
         }
     }
 
+    /// Pull one raw message off the channel: spin briefly on the
+    /// non-blocking path (halo peers usually answer within the spin
+    /// window), then park on the blocking receive.
+    fn pull_message(&mut self) -> Message {
+        for pull in 0..SPIN_PULLS {
+            match self.rx.try_recv() {
+                Ok(m) => return m,
+                Err(TryRecvError::Empty) if pull < SPIN_FAST => std::hint::spin_loop(),
+                Err(TryRecvError::Empty) => std::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => panic!("world shut down mid-recv"),
+            }
+        }
+        self.rx.recv().expect("world shut down mid-recv")
+    }
+
     /// Blocking receive of one message from `from` with `tag`. Messages
     /// from other peers/tags/sequence positions arriving in between are
     /// buffered; duplicate copies are discarded.
@@ -288,16 +438,28 @@ impl Rank {
         let next = *self.recv_next.entry(key).or_insert(0);
         if let Some(q) = self.pending.get_mut(&key) {
             if let Some(data) = q.remove(&next) {
+                if q.is_empty() {
+                    // Fully drained reorder buffer: retire the entry so
+                    // `pending` stays proportional to the streams that are
+                    // actually out of order right now.
+                    self.pending.remove(&key);
+                }
                 *self.recv_next.get_mut(&key).unwrap() += 1;
                 return self.deliver(data);
             }
         }
         loop {
-            let (f, t, seq, data) = self.rx.recv().expect("world shut down mid-recv");
+            let (f, t, seq, ep, data) = self.pull_message();
+            // Senders cannot outrun us past a barrier (the barrier waits
+            // for everyone), and the barrier drain consumes the previous
+            // epoch wholesale, so mid-recv traffic is always current.
+            debug_assert_eq!(ep, self.epoch, "cross-epoch message outside a barrier drain");
             let stream = (f, t);
             let expected = *self.recv_next.entry(stream).or_insert(0);
             if seq < expected {
-                // Stale duplicate of an already-delivered message.
+                // Stale duplicate of an already-delivered message. Never
+                // recycled: whether we observe it here or the barrier
+                // drain swallows it depends on thread timing.
                 continue;
             }
             if stream == key && seq == next {
@@ -325,6 +487,14 @@ impl Rank {
 
     /// Synchronise all ranks (possibly stalling first, if the fault plan
     /// says this rank hiccups here).
+    ///
+    /// The barrier is also a **quiescence point**: every message sent
+    /// before it must have been received before it. In exchange, the
+    /// per-stream dedup/reorder bookkeeping is retired wholesale and
+    /// sequence numbering restarts, so long fills that keep inventing
+    /// fresh `(peer, tag)` streams stay bounded. A message a rank sends
+    /// before a barrier that its peer only receives after it is a
+    /// protocol violation and panics with the offending streams.
     pub fn barrier(&mut self) {
         self.flush_delayed();
         let occurrence = self.barrier_count;
@@ -346,6 +516,62 @@ impl Rank {
             }
         }
         self.barrier.wait();
+        self.drain_and_compact();
+    }
+
+    /// Post-barrier stream compaction. The barrier's happens-before edge
+    /// guarantees everything sent to us before it is already in our
+    /// channel, so one non-blocking drain sees the complete closing
+    /// epoch: stale duplicate copies are dropped here instead of haunting
+    /// the restarted sequence space, an undelivered *non*-duplicate is a
+    /// quiescence violation and panics, and a fast peer's next-epoch
+    /// traffic (it may clear the barrier and resume sending while we
+    /// drain) is stashed and re-buffered after the reset. The drained set
+    /// is deterministic — all pre-barrier sends minus all pre-barrier
+    /// deliveries — even though the interleaving that put it there is not.
+    fn drain_and_compact(&mut self) {
+        let mut stashed: Vec<Message> = Vec::new();
+        let mut violations: Vec<(usize, u64, u64, u64)> = Vec::new();
+        // Empty and Disconnected both end the drain.
+        while let Ok((f, t, seq, ep, data)) = self.rx.try_recv() {
+            if ep == self.epoch {
+                let expected = self.recv_next.get(&(f, t)).copied().unwrap_or(0);
+                if seq >= expected {
+                    violations.push((f, t, seq, expected));
+                }
+                // else: stale duplicate of a delivered message.
+                drop(data);
+            } else {
+                debug_assert_eq!(
+                    ep,
+                    self.epoch + 1,
+                    "message skipped an epoch (from {f}, tag {t})"
+                );
+                stashed.push((f, t, seq, ep, data));
+            }
+        }
+        for (&(f, t), q) in self.pending.iter() {
+            let expected = self.recv_next.get(&(f, t)).copied().unwrap_or(0);
+            for &seq in q.keys() {
+                violations.push((f, t, seq, expected));
+            }
+        }
+        if !violations.is_empty() {
+            violations.sort_unstable();
+            panic!(
+                "rank {} entered a barrier with undelivered messages — the barrier retires \
+                 per-stream bookkeeping, so every message must be received in the epoch it \
+                 was sent. Undelivered (from, tag, seq, next_expected): {:?}",
+                self.rank, violations
+            );
+        }
+        self.pending.clear();
+        self.recv_next.clear();
+        self.send_seq.clear();
+        self.epoch += 1;
+        for (f, t, seq, _ep, data) in stashed {
+            self.pending.entry((f, t)).or_default().entry(seq).or_insert(data);
+        }
     }
 
     /// Sum `value` across all ranks (everyone receives the total).
@@ -363,6 +589,20 @@ impl Rank {
         // the machine model charges log(P) as real MPI would. The
         // sequence-number protocol makes this (like every exchange)
         // idempotent under duplication and stable under reordering.
+        //
+        // Tag-reuse audit: every collective reuses the same
+        // `(TAG_COLLECTIVE, TAG_COLLECTIVE + 1)` pair, so interleaved
+        // collectives (e.g. back-to-back norms on different multigrid
+        // levels) share streams. They cannot cross: each rank
+        // participates in every collective in the same program order, so
+        // occurrence k of the gather stream on rank 0 is exactly
+        // collective k on every rank, and the per-stream sequence numbers
+        // pair contribution k with reduction k even when duplicated or
+        // reordered copies arrive in between. A rank *skipping* a
+        // collective would desynchronise the pairing — but it would
+        // equally deadlock the gather itself; nothing new is risked by
+        // the shared tags. The interleaving stress test below locks this
+        // in under heavy duplication + reorder faults.
         let tag = TAG_COLLECTIVE;
         if self.rank == 0 {
             let mut acc = value;
@@ -521,6 +761,8 @@ where
                     recv_next: HashMap::new(),
                     delayed: VecDeque::new(),
                     barrier_count: 0,
+                    epoch: 0,
+                    pool: BTreeMap::new(),
                     faults,
                     barrier,
                     stats: CommStats::default(),
@@ -902,6 +1144,159 @@ mod tests {
         };
         assert_eq!(render(&a), render(&b));
         assert!(render(&a).contains("comm.sends"));
+    }
+
+    #[test]
+    fn buffer_pool_recycles_by_peer_and_capacity() {
+        run_ranks(1, |rank| {
+            let b = rank.buffer(0, 10);
+            assert_eq!(b.capacity(), 10, "misses must allocate exactly");
+            rank.recycle(0, b);
+            // Best fit: a smaller request reuses the 10-capacity buffer...
+            let b2 = rank.buffer(0, 4);
+            assert_eq!(b2.capacity(), 10);
+            assert!(b2.is_empty(), "recycled buffers come back cleared");
+            rank.recycle(0, b2);
+            // ...a larger one cannot and allocates fresh.
+            let b3 = rank.buffer(0, 11);
+            assert_eq!(b3.capacity(), 11);
+            rank.recycle(0, b3);
+            assert_eq!(rank.pooled_buffers(), 2);
+            // Pools never cross peers: peer 1's request misses even though
+            // peer 0 has a fitting bucket parked.
+            let b4 = rank.buffer(1, 4);
+            assert_eq!(b4.capacity(), 4);
+            rank.recycle(1, b4);
+            assert_eq!(rank.pooled_buffers(), 3);
+            // Zero-size requests and returns bypass the pool silently.
+            assert_eq!(rank.buffer(0, 0).capacity(), 0);
+            rank.recycle(0, Vec::new());
+            let s = rank.take_stats();
+            assert_eq!(s.pool().hits, 1);
+            assert_eq!(s.pool().misses, 3);
+            assert_eq!(s.pool().recycled, 4);
+        });
+    }
+
+    #[test]
+    fn pooled_payloads_round_trip_through_sends() {
+        // A recycled buffer's capacity survives the wire: the receiver
+        // recycles what the sender checked out, and the second cycle is
+        // all hits on both sides.
+        let stats = run_ranks(2, |rank| {
+            let peer = 1 - rank.rank();
+            for _ in 0..3 {
+                let mut buf = rank.buffer(peer, 8);
+                buf.extend_from_slice(&[rank.rank() as f64; 8]);
+                rank.send(peer, 4, buf);
+                let got = rank.recv(peer, 4);
+                assert_eq!(got[0], peer as f64);
+                rank.recycle(peer, got);
+            }
+            rank.take_stats()
+        });
+        for s in &stats {
+            assert_eq!(s.pool().misses, 1, "only the first checkout allocates");
+            assert_eq!(s.pool().hits, 2);
+            assert_eq!(s.pool().recycled, 3);
+        }
+    }
+
+    #[test]
+    fn stream_bookkeeping_is_bounded_across_cycles() {
+        // A long fill that keeps inventing fresh tags: without the
+        // barrier-point compaction, send_seq/recv_next grow one entry per
+        // (peer, tag) forever — 200 entries by the end of this loop. The
+        // dup/delay faults make sure the drain also swallows stale
+        // duplicate copies parked in the channel at the barrier.
+        let cfg = FaultConfig {
+            dup_rate: 0.8,
+            max_dups: 2,
+            delay_rate: 0.6,
+            max_delay_slots: 3,
+            ..FaultConfig::fault_free()
+        };
+        let plan = Arc::new(FaultPlan::new(21, 3, cfg));
+        let maxima = run_ranks_faulty(3, Some(plan), |rank| {
+            let n = rank.nranks();
+            let me = rank.rank();
+            let mut worst = (0usize, 0usize, 0usize);
+            for cycle in 0..50u64 {
+                for t in 0..4u64 {
+                    let tag = cycle * 16 + t; // never reused
+                    rank.send((me + 1) % n, tag, vec![me as f64, cycle as f64]);
+                    let got = rank.recv((me + n - 1) % n, tag);
+                    assert_eq!(got[1], cycle as f64);
+                }
+                rank.barrier();
+                let (a, b, c) = rank.stream_state_sizes();
+                worst = (worst.0.max(a), worst.1.max(b), worst.2.max(c));
+            }
+            worst
+        });
+        for (send_seq, recv_next, pending) in maxima {
+            assert!(send_seq <= 8, "send_seq map not bounded: {send_seq}");
+            assert!(recv_next <= 8, "recv_next map not bounded: {recv_next}");
+            assert!(pending <= 8, "pending map not bounded: {pending}");
+        }
+    }
+
+    #[test]
+    fn interleaved_collectives_never_cross_streams_under_faults() {
+        // Satellite audit for the shared collective tag pair: interleave
+        // sums and maxes under heavy duplication + reordering and check
+        // every rank sees every result, in order, bit-exact.
+        let cfg = FaultConfig {
+            dup_rate: 0.9,
+            max_dups: 3,
+            delay_rate: 0.8,
+            max_delay_slots: 5,
+            ..FaultConfig::fault_free()
+        };
+        for seed in [2u64, 77, 0xABCD] {
+            let plan = Arc::new(FaultPlan::new(seed, 4, cfg));
+            let results = run_ranks_faulty(4, Some(plan), |rank| {
+                let r = rank.rank() as f64;
+                let mut out = Vec::new();
+                for round in 0..12 {
+                    let x = round as f64 + r;
+                    out.push(rank.allreduce_sum(x));
+                    out.push(rank.allreduce_max(x * 0.5));
+                    out.push(rank.allreduce_sum(-x));
+                }
+                out
+            });
+            let mut expect = Vec::new();
+            for round in 0..12 {
+                let sum: f64 = (0..4).map(|r| round as f64 + r as f64).sum();
+                let max = (0..4)
+                    .map(|r| (round as f64 + r as f64) * 0.5)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let nsum: f64 = (0..4).map(|r| -(round as f64 + r as f64)).sum();
+                expect.extend([sum, max, nsum]);
+            }
+            for (r, got) in results.iter().enumerate() {
+                let gb: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+                let eb: Vec<u64> = expect.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, eb, "rank {r} crossed collective streams (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn undelivered_message_at_barrier_panics_with_diagnostics() {
+        // Both ranks violate quiescence symmetrically (a one-sided
+        // violation would strand the innocent rank at the teardown
+        // barrier once the guilty thread is down).
+        run_ranks(2, |rank| {
+            let peer = 1 - rank.rank();
+            rank.send(peer, 6, vec![1.0]);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rank.barrier()))
+                .expect_err("quiescence violation must panic");
+            let msg = err.downcast_ref::<String>().expect("panic carries a message");
+            assert!(msg.contains("undelivered"), "{msg}");
+            assert!(msg.contains("6, 0, 0"), "stream coordinates missing: {msg}");
+        });
     }
 
     #[test]

@@ -102,9 +102,12 @@ pub fn parallel_rk_step(local: &mut LocalEuler, decomp: &Decomposition, rank: &m
         let tag = 100 + 10 * stage as u64;
         plan.exchange_copy::<NVARS5>(rank, tag, &mut lvl.u);
         lvl.accumulate_residual();
-        plan.exchange_add::<NVARS5>(rank, tag + 1, &mut lvl.res);
+        // Ghost residuals and spectral radii ride ONE coalesced message
+        // per peer (5 + 1 values per exchanged cell); `lam_as_blocks`
+        // only snapshots `lam`, so hoisting it past the residual add
+        // changes no accumulated bit.
         let mut lam = lvl.lam_as_blocks();
-        plan.exchange_add::<1>(rank, tag + 2, &mut lam);
+        plan.exchange_add2::<NVARS5, 1>(rank, tag + 1, &mut lvl.res, &mut lam);
         lvl.set_lam_from_blocks(&lam);
         lvl.finalize_residual();
         lvl.apply_stage(alpha);

@@ -8,10 +8,14 @@
 //! kernel phases with packed ghost exchanges:
 //!
 //! 1. gradient accumulation → add ghosts to owners → copy back,
-//! 2. flux accumulation → add ghost residuals to owners,
-//! 3. implicit-diagonal accumulation → add ghost blocks to owners → copy,
-//! 4. local line/point solves (lines are rank-local by construction),
-//! 5. state update → copy owners to ghosts.
+//! 2. flux + implicit-diagonal accumulation → one **coalesced** add per
+//!    peer carrying ghost residuals and diagonal blocks together
+//!    (`ExchangePlan::exchange_add2`) → copy diagonal blocks back,
+//! 3. local line/point solves (lines are rank-local by construction),
+//! 4. state update → copy owners to ghosts.
+//!
+//! All exchange payloads are recycled through the rank's buffer pool, so
+//! the steady-state sweep performs no payload allocations.
 //!
 //! The result is bitwise-equivalent to the serial solver up to floating
 //! point summation order; tests check parity to tight tolerances.
@@ -151,13 +155,17 @@ pub fn parallel_sweep(local: &mut LocalLevel, decomp: &Decomposition, rank: &mut
     lvl.finalize_gradients();
     plan.exchange_copy::<9>(rank, 11, lvl.grad_mut());
     lvl.accumulate_fluxes();
-    plan.exchange_add::<NVARS>(rank, 12, &mut lvl.res);
-    lvl.finalize_residual();
 
-    // Implicit diagonal with exchanges.
+    // Residual + implicit-diagonal ghost contributions travel in ONE
+    // coalesced message per peer (6 + 37 values per exchanged vertex).
+    // `accumulate_diagonal`/`pack_diag` read only the state and edge
+    // coefficients — never the residual — so hoisting them before
+    // `finalize_residual` leaves every accumulated value bit-identical
+    // to the per-field schedule.
     lvl.accumulate_diagonal();
     let mut dbuf = lvl.pack_diag();
-    plan.exchange_add::<37>(rank, 13, &mut dbuf);
+    plan.exchange_add2::<NVARS, 37>(rank, 12, &mut lvl.res, &mut dbuf);
+    lvl.finalize_residual();
     plan.exchange_copy::<37>(rank, 14, &mut dbuf);
     lvl.unpack_diag(&dbuf);
     lvl.finalize_diagonal();

@@ -393,9 +393,12 @@ fn parallel_restrict(
     let mut acc_u = vec![[0.0f64; NVARS]; nc];
     let mut acc_r = vec![[0.0f64; NVARS]; nc];
 
-    // Send packed (vol*u, r, vol) per remote coarse rank.
+    // Send packed (vol*u, r, vol) per remote coarse rank. Payloads come
+    // from the rank's pool, sized for the wider (restrict) direction so
+    // restriction and prolongation ping-pong one recycled buffer per
+    // peer pair.
     for (peer, pairs) in &sched.sends[p] {
-        let mut buf = Vec::with_capacity(pairs.len() * RESTRICT_WIDTH);
+        let mut buf = rank.buffer(*peer, RESTRICT_WIDTH.max(NVARS) * pairs.len());
         for pr in pairs {
             let v = pr.fine_local as usize;
             let vol = fine.level.mesh.volumes[v];
@@ -422,7 +425,12 @@ fn parallel_restrict(
     // Receive remote contributions.
     for (peer, targets) in &sched.recvs[p] {
         let buf = rank.recv(*peer, tag + 3);
-        assert_eq!(buf.len(), targets.len() * RESTRICT_WIDTH);
+        assert_eq!(
+            buf.len(),
+            targets.len() * RESTRICT_WIDTH,
+            "rank {p}: restriction buffer size mismatch from peer {peer} on tag {}",
+            tag + 3
+        );
         for (i, &cl) in targets.iter().enumerate() {
             let base = i * RESTRICT_WIDTH;
             let c = cl as usize;
@@ -431,6 +439,7 @@ fn parallel_restrict(
                 acc_r[c][k] += buf[base + NVARS + k];
             }
         }
+        rank.recycle(*peer, buf);
     }
 
     // Coarse state = volume-weighted average (coarse volume is the exact
@@ -498,9 +507,11 @@ fn parallel_prolong(
     };
 
     // Remote: the coarse side sends one 6-vector per fine vertex in the
-    // agreed order (reverse direction of the restriction lists).
+    // agreed order (reverse direction of the restriction lists). The
+    // pooled request is sized for the wider restrict direction so the
+    // buffer received during restriction is reused here.
     for (peer, targets) in &sched.recvs[p] {
-        let mut buf = Vec::with_capacity(targets.len() * NVARS);
+        let mut buf = rank.buffer(*peer, RESTRICT_WIDTH.max(NVARS) * targets.len());
         for &cl in targets {
             let corr = corr_of(cl as usize);
             buf.extend_from_slice(&corr);
@@ -540,12 +551,17 @@ fn parallel_prolong(
     }
     for (peer, pairs) in &sched.sends[p] {
         let buf = rank.recv(*peer, tag);
-        assert_eq!(buf.len(), pairs.len() * NVARS);
+        assert_eq!(
+            buf.len(),
+            pairs.len() * NVARS,
+            "rank {p}: prolongation buffer size mismatch from peer {peer} on tag {tag}"
+        );
         for (i, pr) in pairs.iter().enumerate() {
             let mut corr = [0.0; NVARS];
             corr.copy_from_slice(&buf[i * NVARS..(i + 1) * NVARS]);
             apply(&mut fine.level, pr.fine_local as usize, &corr);
         }
+        rank.recycle(*peer, buf);
     }
     fine.level.apply_bcs();
     decomps[l].plans[p].exchange_copy::<NVARS>(rank, tag + 1, &mut fine.level.u);
