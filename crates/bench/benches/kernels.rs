@@ -82,7 +82,9 @@ fn bench_partitioner(c: &mut Bench) {
 }
 
 fn bench_mesh_algorithms(c: &mut Bench) {
-    use columbia_mesh::{agglomerate, extract_lines, reverse_cuthill_mckee, wing_mesh, WingMeshSpec};
+    use columbia_mesh::{
+        agglomerate, extract_lines, reverse_cuthill_mckee, wing_mesh, WingMeshSpec,
+    };
     let mut g = c.benchmark_group("mesh");
     g.sample_size(10);
     let mesh = wing_mesh(&WingMeshSpec {

@@ -3,11 +3,11 @@
 //! cells/minute on a 1.5 GHz Itanium2). Runs on the columbia-rt harness.
 
 use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
-use columbia_rt::bench::{black_box, Bench, Throughput};
 use columbia_euler::{EulerLevel, EulerParams, EulerSolver};
 use columbia_mesh::{wing_mesh, Vec3, WingMeshSpec};
 use columbia_mg::CycleParams;
 use columbia_rans::{RansLevel, RansSolver, SolverParams};
+use columbia_rt::bench::{black_box, Bench, Throughput};
 use columbia_sfc::CurveKind;
 
 fn rans_params() -> SolverParams {

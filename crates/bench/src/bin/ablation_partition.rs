@@ -9,7 +9,10 @@ use columbia_partition::{match_levels, partition_graph, PartitionConfig, Partiti
 use columbia_rans::{RansSolver, SolverParams};
 
 fn main() {
-    header("Ablation", "independent vs nested multigrid level partitioning");
+    header(
+        "Ablation",
+        "independent vs nested multigrid level partitioning",
+    );
     let mesh = wing_mesh(&WingMeshSpec {
         jitter: 0.0,
         ..WingMeshSpec::with_target_points(16_000)
@@ -43,7 +46,12 @@ fn main() {
     }
     let nested: Vec<u32> = votes
         .iter()
-        .map(|m| m.iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(&p, _)| p).unwrap_or(0))
+        .map(|m| {
+            m.iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(&p, _)| p)
+                .unwrap_or(0)
+        })
         .collect();
     let qn = PartitionQuality::measure(&coarse.mesh.dual_graph(), &nested, k);
     let aligned_nested: f64 = map
@@ -53,14 +61,23 @@ fn main() {
         .count() as f64
         / map.len() as f64;
 
-    println!("{:<14}{:>14}{:>12}{:>16}", "strategy", "coarse imbal.", "edge cut", "aligned transfer");
     println!(
-        "{:<14}{:>14.3}{:>12.0}{:>15.1}%",
-        "independent", qi.imbalance, qi.edge_cut, aligned * 100.0
+        "{:<14}{:>14}{:>12}{:>16}",
+        "strategy", "coarse imbal.", "edge cut", "aligned transfer"
     );
     println!(
         "{:<14}{:>14.3}{:>12.0}{:>15.1}%",
-        "nested", qn.imbalance, qn.edge_cut, aligned_nested * 100.0
+        "independent",
+        qi.imbalance,
+        qi.edge_cut,
+        aligned * 100.0
+    );
+    println!(
+        "{:<14}{:>14.3}{:>12.0}{:>15.1}%",
+        "nested",
+        qn.imbalance,
+        qn.edge_cut,
+        aligned_nested * 100.0
     );
     println!("\nexpected: nested aligns transfers perfectly but pays in coarse-level\nbalance and cut; independent+matching balances the level (the paper's\nfinding that intra-level partitioning dominates).");
 }

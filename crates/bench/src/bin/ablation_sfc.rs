@@ -25,7 +25,10 @@ fn main() {
         size: 2.0,
     };
     let tree = build_octree(&geom, &config);
-    println!("{:<10}{:>10}{:>22}{:>22}", "curve", "cells", "parts=16 ghosts/part", "parts=64 ghosts/part");
+    println!(
+        "{:<10}{:>10}{:>22}{:>22}",
+        "curve", "cells", "parts=16 ghosts/part", "parts=64 ghosts/part"
+    );
     for curve in [CurveKind::Morton, CurveKind::Hilbert] {
         let mesh = extract_mesh(&tree, &geom, curve, 0.1);
         let (g16, d16) = measure_ghosts(&mesh, 16);

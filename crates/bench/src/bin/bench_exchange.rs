@@ -119,7 +119,9 @@ fn run_micro(entries: usize, pooled: bool) -> f64 {
     // partition 0 owns vertices 0..entries, partition 1 the rest, with one
     // edge per boundary row.
     let n = 2 * entries;
-    let edges: Vec<(u32, u32)> = (0..entries as u32).map(|i| (i, i + entries as u32)).collect();
+    let edges: Vec<(u32, u32)> = (0..entries as u32)
+        .map(|i| (i, i + entries as u32))
+        .collect();
     let part: Vec<u32> = (0..n).map(|v| (v >= entries) as u32).collect();
     let decomp = Arc::new(decompose(n, &part, 2, &edges));
     let start = Instant::now();

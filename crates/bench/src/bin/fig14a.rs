@@ -73,7 +73,11 @@ fn main() {
         print!("{:>14}", format!("{n}-level"));
     }
     println!();
-    let len = histories.iter().map(|(_, h)| h.residuals.len()).max().unwrap();
+    let len = histories
+        .iter()
+        .map(|(_, h)| h.residuals.len())
+        .max()
+        .unwrap();
     for c in (0..len).step_by(5) {
         print!("{c:>8}");
         for (_, h) in &histories {

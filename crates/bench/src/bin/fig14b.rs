@@ -7,9 +7,7 @@
 //! 2008 CPUs.
 
 use columbia_bench::{header, nsu3d_profile, use_measured};
-use columbia_machine::{
-    simulate_cycle, Fabric, MachineConfig, RunConfig, NSU3D_CPU_COUNTS,
-};
+use columbia_machine::{simulate_cycle, Fabric, MachineConfig, RunConfig, NSU3D_CPU_COUNTS};
 
 fn main() {
     header(

@@ -27,7 +27,10 @@ fn main() {
     }
     let baseline = RunConfig::mpi(128, Fabric::NumaLink4).spread_over(4);
     let cases: Vec<(String, RunConfig)> = [
-        ("NUMAlink, 1 OMP thread", RunConfig::mpi(128, Fabric::NumaLink4).spread_over(4)),
+        (
+            "NUMAlink, 1 OMP thread",
+            RunConfig::mpi(128, Fabric::NumaLink4).spread_over(4),
+        ),
         (
             "NUMAlink, 2 OMP threads",
             RunConfig::hybrid(128, Fabric::NumaLink4, 2).spread_over(4),

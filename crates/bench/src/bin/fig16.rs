@@ -13,10 +13,16 @@ use columbia_machine::NSU3D_CPU_COUNTS;
 
 fn main() {
     let p = nsu3d_profile(use_measured());
-    header("Figure 16(a)", "single-grid scalability, NUMAlink vs InfiniBand");
+    header(
+        "Figure 16(a)",
+        "single-grid scalability, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p.truncated(1, true), &NSU3D_CPU_COUNTS);
     println!();
-    header("Figure 16(b)", "six-level multigrid scalability, NUMAlink vs InfiniBand");
+    header(
+        "Figure 16(b)",
+        "six-level multigrid scalability, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p, &NSU3D_CPU_COUNTS);
     println!("\npaper shape: (a) all series within a few percent, superlinear;\n(b) InfiniBand collapses at >1000 CPUs while NUMAlink stays near-ideal.");
 }

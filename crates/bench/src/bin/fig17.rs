@@ -11,9 +11,15 @@ use columbia_machine::NSU3D_CPU_COUNTS;
 
 fn main() {
     let p = nsu3d_profile(use_measured());
-    header("Figure 17(a)", "two-level multigrid, NUMAlink vs InfiniBand");
+    header(
+        "Figure 17(a)",
+        "two-level multigrid, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p.truncated(2, true), &NSU3D_CPU_COUNTS);
     println!();
-    header("Figure 17(b)", "three-level multigrid, NUMAlink vs InfiniBand");
+    header(
+        "Figure 17(b)",
+        "three-level multigrid, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p.truncated(3, true), &NSU3D_CPU_COUNTS);
 }

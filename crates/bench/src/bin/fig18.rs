@@ -6,9 +6,15 @@ use columbia_machine::NSU3D_CPU_COUNTS;
 
 fn main() {
     let p = nsu3d_profile(use_measured());
-    header("Figure 18(a)", "four-level multigrid, NUMAlink vs InfiniBand");
+    header(
+        "Figure 18(a)",
+        "four-level multigrid, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p.truncated(4, true), &NSU3D_CPU_COUNTS);
     println!();
-    header("Figure 18(b)", "five-level multigrid, NUMAlink vs InfiniBand");
+    header(
+        "Figure 18(b)",
+        "five-level multigrid, NUMAlink vs InfiniBand",
+    );
     fabric_comparison_table(&p.truncated(5, true), &NSU3D_CPU_COUNTS);
 }

@@ -8,10 +8,15 @@
 //! 2.4 TFLOP/s.
 
 use columbia_bench::{cart3d_profile, header, use_measured};
-use columbia_machine::{cart3d_node_span, simulate_cycle, Fabric, MachineConfig, RunConfig, CART3D_CPU_COUNTS};
+use columbia_machine::{
+    cart3d_node_span, simulate_cycle, Fabric, MachineConfig, RunConfig, CART3D_CPU_COUNTS,
+};
 
 fn main() {
-    header("Figure 21", "Cart3D multigrid vs single grid, NUMAlink, 32-2016 CPUs");
+    header(
+        "Figure 21",
+        "Cart3D multigrid vs single grid, NUMAlink, 32-2016 CPUs",
+    );
     let p = cart3d_profile(use_measured());
     let single = p.truncated(1, true);
     let machine = MachineConfig::columbia_vortex();
@@ -22,8 +27,18 @@ fn main() {
     let mut rmg = None;
     let mut rsg = None;
     for &n in &CART3D_CPU_COUNTS {
-        let mg = simulate_cycle(&p, &machine, &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n))).unwrap();
-        let sg = simulate_cycle(&single, &machine, &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n))).unwrap();
+        let mg = simulate_cycle(
+            &p,
+            &machine,
+            &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n)),
+        )
+        .unwrap();
+        let sg = simulate_cycle(
+            &single,
+            &machine,
+            &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n)),
+        )
+        .unwrap();
         let m0 = *rmg.get_or_insert(mg.seconds);
         let s0 = *rsg.get_or_insert(sg.seconds);
         println!(

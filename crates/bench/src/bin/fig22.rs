@@ -7,19 +7,33 @@
 //! drop across 4 nodes; InfiniBand cannot exceed 1524 MPI ranks (eq. 1).
 
 use columbia_bench::{cart3d_profile, header, use_measured};
-use columbia_machine::{cart3d_node_span, simulate_cycle, Fabric, MachineConfig, RunConfig, CART3D_CPU_COUNTS};
+use columbia_machine::{
+    cart3d_node_span, simulate_cycle, Fabric, MachineConfig, RunConfig, CART3D_CPU_COUNTS,
+};
 
 fn main() {
     header("Figure 22", "Cart3D multigrid: NUMAlink vs InfiniBand");
     let p = cart3d_profile(use_measured());
     let machine = MachineConfig::columbia_vortex();
-    println!("{:<10}{:>14}{:>14}{:>10}", "CPUs", "NUMAlink", "InfiniBand", "nodes");
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}",
+        "CPUs", "NUMAlink", "InfiniBand", "nodes"
+    );
     let mut rn = None;
     let mut ri = None;
     for &n in &CART3D_CPU_COUNTS {
-        let nl = simulate_cycle(&p, &machine, &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n))).unwrap();
+        let nl = simulate_cycle(
+            &p,
+            &machine,
+            &RunConfig::mpi(n, Fabric::NumaLink4).spread_over(cart3d_node_span(n)),
+        )
+        .unwrap();
         let n0 = *rn.get_or_insert(nl.seconds);
-        let ib = simulate_cycle(&p, &machine, &RunConfig::mpi(n, Fabric::InfiniBand).spread_over(cart3d_node_span(n)));
+        let ib = simulate_cycle(
+            &p,
+            &machine,
+            &RunConfig::mpi(n, Fabric::InfiniBand).spread_over(cart3d_node_span(n)),
+        );
         let ibs = match &ib {
             Ok(b) => {
                 let i0 = *ri.get_or_insert(b.seconds);

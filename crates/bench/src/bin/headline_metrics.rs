@@ -5,9 +5,7 @@
 //! coarsening ratio, mesh-generation rate, and the 10^9-point projection.
 
 use columbia_bench::{cart3d_profile, header, nsu3d_profile, use_measured};
-use columbia_machine::{
-    ib_rank_limit, simulate_cycle, Fabric, MachineConfig, RunConfig,
-};
+use columbia_machine::{ib_rank_limit, simulate_cycle, Fabric, MachineConfig, RunConfig};
 
 fn row(name: &str, paper: &str, ours: String) {
     println!("{name:<52}{paper:>14}{ours:>14}");
@@ -29,8 +27,16 @@ fn main() {
     // NSU3D cycle times.
     let b128 = nl(&p6, 128);
     let b2008 = nl(&p6, 2008);
-    row("NSU3D 6-level cycle @128 CPUs (s)", "31.3", format!("{:.1}", b128.seconds));
-    row("NSU3D 6-level cycle @2008 CPUs (s)", "1.95", format!("{:.2}", b2008.seconds));
+    row(
+        "NSU3D 6-level cycle @128 CPUs (s)",
+        "31.3",
+        format!("{:.1}", b128.seconds),
+    );
+    row(
+        "NSU3D 6-level cycle @2008 CPUs (s)",
+        "1.95",
+        format!("{:.2}", b2008.seconds),
+    );
     row(
         "NSU3D 6-level speedup @2008 (ideal 128 base)",
         "2044",
@@ -110,7 +116,11 @@ fn main() {
     );
 
     // Hardware laws.
-    row("InfiniBand MPI rank limit, 4 nodes", "1524", format!("{}", ib_rank_limit(4)));
+    row(
+        "InfiniBand MPI rank limit, 4 nodes",
+        "1524",
+        format!("{}", ib_rank_limit(4)),
+    );
     row(
         "Hybrid efficiency, 2 OMP threads (%)",
         "98.4",

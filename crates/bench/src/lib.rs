@@ -50,6 +50,7 @@ pub fn nsu3d_profile(measured: bool) -> CycleProfile {
         16,
         72.0e6,
         "NSU3D 72M-pt (measured, rescaled)",
+        &mut columbia_comm::ExecContext::default(),
     )
 }
 

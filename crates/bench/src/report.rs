@@ -18,14 +18,14 @@
 //! ratios thereof), so two runs with the same seed render *byte-identical*
 //! JSON. This is asserted by `tests/trace_report.rs`.
 
-use columbia_comm::{FaultConfig, FaultPlan, RankTrace};
+use columbia_comm::{ExecContext, FaultConfig, FaultPlan, RankTrace};
 use columbia_machine::{simulate_cycle, CycleProfile, Fabric, MachineConfig, RunConfig};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
-use columbia_rans::parallel::run_parallel_smoothing_traced;
-use columbia_rans::{ParallelMg, SolverParams};
-use columbia_rt::trace::{ClockMode, Tracer};
-use columbia_rt::Json;
 use columbia_mg::CycleParams;
+use columbia_rans::parallel::run_parallel_smoothing;
+use columbia_rans::{ParallelMg, SolverParams};
+use columbia_rt::trace::ClockMode;
+use columbia_rt::Json;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -127,11 +127,13 @@ pub fn fabric_section(
     machine: &MachineConfig,
     cpu_counts: &[usize],
 ) -> Json {
-    let price = |n: usize, fabric: Fabric| {
-        match simulate_cycle(profile, machine, &RunConfig::hybrid(n, fabric, 2)) {
-            Ok(b) => Json::Num(b.seconds),
-            Err(_) => Json::Null,
-        }
+    let price = |n: usize, fabric: Fabric| match simulate_cycle(
+        profile,
+        machine,
+        &RunConfig::hybrid(n, fabric, 2),
+    ) {
+        Ok(b) => Json::Num(b.seconds),
+        Err(_) => Json::Null,
     };
     Json::arr(cpu_counts.iter().map(|&n| {
         let nl = price(n, Fabric::NumaLink4);
@@ -166,9 +168,12 @@ fn aggregate_levels(traces: &[RankTrace]) -> BTreeMap<usize, (u64, u64)> {
 pub fn measured_levels_section(spec: &MeasuredSpec) -> Json {
     let mesh = report_mesh(spec.points);
     let pmg = ParallelMg::new(&mesh, solver_params(), spec.nparts, spec.nlevels);
-    let mut tracer = Tracer::logical();
-    let (history, traces) =
-        pmg.solve_traced(&CycleParams::default(), 4.0, spec.cycles, &mut tracer);
+    let (history, traces) = pmg.solve(
+        &CycleParams::default(),
+        4.0,
+        spec.cycles,
+        &mut ExecContext::default(),
+    );
     let agg = aggregate_levels(&traces);
     let total_msgs: u64 = agg.values().map(|&(m, _)| m).sum();
     let levels = Json::arr(agg.iter().map(|(&l, &(msgs, bytes))| {
@@ -197,15 +202,9 @@ pub fn measured_levels_section(spec: &MeasuredSpec) -> Json {
 pub fn chaos_section(spec: &MeasuredSpec) -> Json {
     let mesh = report_mesh(spec.points);
     let arm = |plan: Option<Arc<FaultPlan>>| {
-        let mut tracer = Tracer::logical();
-        let (_, _, traces) = run_parallel_smoothing_traced(
-            &mesh,
-            solver_params(),
-            spec.nparts,
-            spec.sweeps,
-            plan,
-            &mut tracer,
-        );
+        let mut ctx = ExecContext::default().with_faults(plan);
+        let (_, _, traces) =
+            run_parallel_smoothing(&mesh, solver_params(), spec.nparts, spec.sweeps, &mut ctx);
         let mut total = columbia_comm::CommStats::default();
         for t in &traces {
             total.merge(&t.stats);
@@ -231,10 +230,7 @@ pub fn chaos_section(spec: &MeasuredSpec) -> Json {
         ("seed", Json::UInt(spec.seed)),
         ("clean", counters(&clean)),
         ("chaotic", counters(&chaotic)),
-        (
-            "extra_wire_messages",
-            Json::UInt(extra),
-        ),
+        ("extra_wire_messages", Json::UInt(extra)),
         (
             "wire_message_overhead",
             Json::Num(extra as f64 / clean.total_msgs().max(1) as f64),
@@ -262,10 +258,7 @@ pub fn scaling_report(
             "cpu_counts",
             Json::arr(cpu_counts.iter().map(|&n| Json::UInt(n as u64))),
         ),
-        (
-            "model",
-            model_scaling_section(profile, machine, cpu_counts),
-        ),
+        ("model", model_scaling_section(profile, machine, cpu_counts)),
         ("fabric", fabric_section(profile, machine, cpu_counts)),
         ("measured_levels", measured_levels_section(spec)),
         ("chaos", chaos_section(spec)),
@@ -370,13 +363,7 @@ mod tests {
             sweeps: 1,
             ..Default::default()
         };
-        let report = scaling_report(
-            &profile,
-            &machine,
-            &[128, 2008],
-            &spec,
-            ClockMode::Logical,
-        );
+        let report = scaling_report(&profile, &machine, &[128, 2008], &spec, ClockMode::Logical);
         let table = per_level_table(&report);
         assert!(table.contains("128"), "{table}");
         assert!(table.contains("2008"), "{table}");
@@ -401,7 +388,10 @@ mod tests {
         let clean = j.get("clean").unwrap();
         let chaotic = j.get("chaotic").unwrap();
         // The clean arm must be fault-free, the chaotic arm must not be.
-        assert!(clean.get("fault.retries").is_none() || clean.get("fault.retries") == Some(&Json::UInt(0)));
+        assert!(
+            clean.get("fault.retries").is_none()
+                || clean.get("fault.retries") == Some(&Json::UInt(0))
+        );
         let sends = match chaotic.get("comm.sends") {
             Some(Json::UInt(n)) => *n,
             _ => panic!("missing sends"),

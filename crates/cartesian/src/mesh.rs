@@ -147,12 +147,7 @@ pub fn extract_mesh(
     curve: CurveKind,
     volume_fraction_floor: f64,
 ) -> CartMesh {
-    let max_level = tree
-        .leaves
-        .iter()
-        .map(|(a, _)| a.level)
-        .max()
-        .unwrap_or(0);
+    let max_level = tree.leaves.iter().map(|(a, _)| a.level).max().unwrap_or(0);
 
     // Flow cells in SFC order: key at max_level resolution of the cell's
     // first (lowest-coordinate) descendant... use the cell center quantised

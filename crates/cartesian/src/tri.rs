@@ -454,9 +454,11 @@ pub fn sslv_geometry(deflect_elevon: f64) -> Geometry {
     let mut wing = TriMesh::wing(0.9, 0.07, 1.6);
     wing.translate(Vec3::new(2.0, 0.0, 0.55 - 0.8));
     let mut elevon = TriMesh::wing(0.25, 0.05, 1.5);
-    elevon
-        .translate(Vec3::new(2.92, 0.0, 0.6 - 0.8))
-        .rotate(2, Vec3::new(2.92, 0.0, 0.0), deflect_elevon);
+    elevon.translate(Vec3::new(2.92, 0.0, 0.6 - 0.8)).rotate(
+        2,
+        Vec3::new(2.92, 0.0, 0.0),
+        deflect_elevon,
+    );
     // Attach hardware: small struts between tank and orbiter / SRBs.
     let strut1 = TriMesh::cuboid(Vec3::new(1.0, -0.06, 0.40), Vec3::new(1.2, 0.06, 0.58));
     let strut2 = TriMesh::cuboid(Vec3::new(2.6, -0.06, 0.40), Vec3::new(2.8, 0.06, 0.58));
@@ -529,8 +531,7 @@ mod tests {
         ];
         for (c, h) in samples {
             let half = Vec3::new(h, h, h);
-            let brute = (0..g.surface.ntris())
-                .any(|i| g.surface.triangle(i).overlaps_box(c, half));
+            let brute = (0..g.surface.ntris()).any(|i| g.surface.triangle(i).overlaps_box(c, half));
             assert_eq!(g.intersects_box(c, half), brute, "at {c:?} h={h}");
         }
     }

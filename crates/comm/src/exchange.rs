@@ -370,10 +370,7 @@ impl Decomposition {
         if let Ok(i) = l2g[..no].binary_search(&g) {
             return Some(i as u32);
         }
-        l2g[no..]
-            .binary_search(&g)
-            .ok()
-            .map(|i| (no + i) as u32)
+        l2g[no..].binary_search(&g).ok().map(|i| (no + i) as u32)
     }
 }
 

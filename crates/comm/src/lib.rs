@@ -32,8 +32,9 @@ pub mod hybrid;
 pub mod runtime;
 pub mod stats;
 
+pub use columbia_exec::{ExecContext, PoolPolicy};
 pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
 pub use exchange::{decompose, Decomposition, ExchangePlan, PackedSchedule, PeerRange};
 pub use hybrid::HybridLayout;
-pub use runtime::{run_ranks, run_ranks_faulty, run_ranks_traced, Rank, RankTrace};
+pub use runtime::{run_ranks, run_world, Rank, RankTrace};
 pub use stats::{CommStats, FaultCounters, PoolCounters, WorldCommSummary};

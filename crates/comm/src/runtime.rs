@@ -47,6 +47,7 @@
 //!   next-epoch traffic is never confused with the retiring streams.
 
 use crate::stats::CommStats;
+use columbia_exec::ExecContext;
 use columbia_rt::channel::{unbounded, Receiver, Sender, TryRecvError};
 use columbia_rt::fault::{FaultPlan, MessageAction};
 use columbia_rt::trace::{SpanKey, Tracer};
@@ -112,6 +113,9 @@ pub struct Rank {
     /// Recycled payload buffers, bucketed by `(peer, exact capacity)`
     /// (LIFO within a bucket so the hottest buffer stays cache-warm).
     pool: BTreeMap<(usize, usize), Vec<Vec<f64>>>,
+    /// Buffer-pool policy from the launching [`ExecContext`]: when off,
+    /// every checkout allocates fresh and recycles drop.
+    pool_on: bool,
     faults: Option<Arc<FaultPlan>>,
     barrier: Arc<Barrier>,
     stats: CommStats,
@@ -127,7 +131,7 @@ pub struct Rank {
 /// stats (whatever `take_stats` has not already handed out, including sends
 /// performed by the teardown flush itself) plus the per-level attribution.
 ///
-/// Handing this to the caller from [`run_ranks_traced`] closes a silent
+/// Handing this to the caller from [`run_world`] closes a silent
 /// under-count: previously a `Rank` dropped without `take_stats` discarded
 /// its whole send ledger, and even a well-behaved driver lost any delayed
 /// sends flushed after its last `take_stats`.
@@ -148,9 +152,12 @@ impl RankTrace {
         tracer.scoped(SpanKey::new("comm").rank(self.rank), |t| {
             self.stats.record_to(t);
             for (&level, stats) in &self.per_level {
-                t.scoped(SpanKey::new("comm_level").rank(self.rank).level(level), |t| {
-                    stats.record_to(t);
-                });
+                t.scoped(
+                    SpanKey::new("comm_level").rank(self.rank).level(level),
+                    |t| {
+                        stats.record_to(t);
+                    },
+                );
             }
         });
     }
@@ -217,6 +224,16 @@ impl Rank {
         if n == 0 {
             return Vec::new();
         }
+        // Pool off (ExecContext pool policy): the seed allocation
+        // behaviour — every checkout is a fresh exact-capacity allocation,
+        // counted as a miss; hits and recycles stay zero.
+        if !self.pool_on {
+            self.stats.record_pool_miss();
+            if let Some(s) = self.level_ledger() {
+                s.record_pool_miss();
+            }
+            return Vec::with_capacity(n);
+        }
         // Exact-capacity fast path: misses allocate exact capacities and
         // steady state re-requests the same sizes, so one tree probe
         // answers almost every checkout. Buckets are never retired when
@@ -253,7 +270,7 @@ impl Rank {
     /// thread timing.
     pub fn recycle(&mut self, peer: usize, buf: Vec<f64>) {
         let cap = buf.capacity();
-        if cap == 0 {
+        if cap == 0 || !self.pool_on {
             return;
         }
         self.stats.record_pool_recycled();
@@ -281,7 +298,11 @@ impl Rank {
     /// `(send_seq, recv_next, pending)` — test hook for the barrier-point
     /// compaction guarantee.
     pub fn stream_state_sizes(&self) -> (usize, usize, usize) {
-        (self.send_seq.len(), self.recv_next.len(), self.pending.len())
+        (
+            self.send_seq.len(),
+            self.recv_next.len(),
+            self.pending.len(),
+        )
     }
 
     /// Non-blocking send of a packed buffer to `to` with a user `tag`.
@@ -453,7 +474,10 @@ impl Rank {
             // Senders cannot outrun us past a barrier (the barrier waits
             // for everyone), and the barrier drain consumes the previous
             // epoch wholesale, so mid-recv traffic is always current.
-            debug_assert_eq!(ep, self.epoch, "cross-epoch message outside a barrier drain");
+            debug_assert_eq!(
+                ep, self.epoch,
+                "cross-epoch message outside a barrier drain"
+            );
             let stream = (f, t);
             let expected = *self.recv_next.entry(stream).or_insert(0);
             if seq < expected {
@@ -469,7 +493,11 @@ impl Rank {
             // Out-of-order or foreign-stream message: buffer it. A
             // duplicate of an already-buffered sequence is dropped by the
             // or_insert.
-            self.pending.entry(stream).or_default().entry(seq).or_insert(data);
+            self.pending
+                .entry(stream)
+                .or_default()
+                .entry(seq)
+                .or_insert(data);
         }
     }
 
@@ -570,7 +598,11 @@ impl Rank {
         self.send_seq.clear();
         self.epoch += 1;
         for (f, t, seq, _ep, data) in stashed {
-            self.pending.entry((f, t)).or_default().entry(seq).or_insert(data);
+            self.pending
+                .entry((f, t))
+                .or_default()
+                .entry(seq)
+                .or_insert(data);
         }
     }
 
@@ -675,9 +707,11 @@ impl Rank {
     }
 }
 
-/// Run `nranks` rank bodies on OS threads with no fault injection;
-/// returns each body's result in rank order.
+/// Run `nranks` rank bodies on OS threads in the clean regime (no faults,
+/// pool on); returns each body's result in rank order.
 ///
+/// Convenience wrapper over [`run_world`] with a default [`ExecContext`],
+/// for raw comm workloads that need no capability and no teardown ledger.
 /// The body receives a mutable [`Rank`] context. Panics in any rank
 /// propagate after all threads complete or abort.
 pub fn run_ranks<T, F>(nranks: usize, body: F) -> Vec<T>
@@ -685,42 +719,31 @@ where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
-    run_ranks_faulty(nranks, None, body)
+    run_world(nranks, &ExecContext::default(), body).0
 }
 
-/// Run `nranks` rank bodies under an optional deterministic fault plan.
+/// THE driver entry point: run `nranks` rank bodies under an
+/// [`ExecContext`], honoring its fault plan and buffer-pool policy, and
+/// return each body's result plus each rank's teardown [`RankTrace`] — the
+/// residual comm ledger (everything `take_stats` did not hand out,
+/// including sends released by the teardown flush) and the per-level
+/// attribution built up via [`Rank::enter_level`] — both in rank order.
 ///
-/// With `plan = None` (or a fault-free plan) this is byte-for-byte the
-/// perfect-interconnect runtime. With an active plan, sends are dropped /
-/// retried / duplicated / delayed and barriers stall exactly as the plan's
-/// seed dictates; results and [`CommStats`] traces remain bit-identical
-/// across runs for the same `(seed, nranks)`.
-pub fn run_ranks_faulty<T, F>(nranks: usize, plan: Option<Arc<FaultPlan>>, body: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&mut Rank) -> T + Sync,
-{
-    run_ranks_traced(nranks, plan, body).0
-}
-
-/// Like [`run_ranks_faulty`], but additionally returns each rank's
-/// teardown [`RankTrace`] in rank order: the residual comm ledger
-/// (everything `take_stats` did not hand out, including sends released by
-/// the teardown flush) plus the per-level attribution built up via
-/// [`Rank::enter_level`].
-///
-/// The trace vector is indexed by rank id, so its content is independent
-/// of thread completion order — deterministic whenever the workload is.
-pub fn run_ranks_traced<T, F>(
-    nranks: usize,
-    plan: Option<Arc<FaultPlan>>,
-    body: F,
-) -> (Vec<T>, Vec<RankTrace>)
+/// With the default context this is byte-for-byte the perfect-interconnect
+/// runtime. With a fault plan, sends are dropped / retried / duplicated /
+/// delayed and barriers stall exactly as the plan's seed dictates; results
+/// and [`CommStats`] traces remain bit-identical across runs for the same
+/// `(seed, nranks)`. The trace vector is indexed by rank id, so its
+/// content is independent of thread completion order — deterministic
+/// whenever the workload is.
+pub fn run_world<T, F>(nranks: usize, ctx: &ExecContext, body: F) -> (Vec<T>, Vec<RankTrace>)
 where
     T: Send,
     F: Fn(&mut Rank) -> T + Sync,
 {
     assert!(nranks > 0);
+    let plan = ctx.clone_faults();
+    let pool_on = ctx.pool().enabled;
     if let Some(p) = &plan {
         assert_eq!(
             p.nranks(),
@@ -763,6 +786,7 @@ where
                     barrier_count: 0,
                     epoch: 0,
                     pool: BTreeMap::new(),
+                    pool_on,
                     faults,
                     barrier,
                     stats: CommStats::default(),
@@ -784,7 +808,10 @@ where
         .lock()
         .expect("trace sink poisoned")
         .iter_mut()
-        .map(|slot| slot.take().expect("rank finished without sinking its trace"))
+        .map(|slot| {
+            slot.take()
+                .expect("rank finished without sinking its trace")
+        })
         .collect();
     (results, traces)
 }
@@ -894,7 +921,7 @@ mod tests {
     /// A messy mixed workload: ring pass, tagged cross-traffic, allreduce,
     /// barrier. Used to compare fault-free and faulty executions.
     fn chaos_workload(nranks: usize, plan: Option<Arc<FaultPlan>>) -> Vec<(f64, CommStats)> {
-        run_ranks_faulty(nranks, plan, |rank| {
+        run_world(nranks, &ExecContext::default().with_faults(plan), |rank| {
             let r = rank.rank();
             let n = rank.nranks();
             let next = (r + 1) % n;
@@ -910,6 +937,7 @@ mod tests {
             acc += rank.allreduce_max(r as f64);
             (acc, rank.take_stats())
         })
+        .0
     }
 
     #[test]
@@ -975,7 +1003,7 @@ mod tests {
             ..FaultConfig::fault_free()
         };
         let plan = Arc::new(FaultPlan::new(3, 2, cfg));
-        let results = run_ranks_faulty(2, Some(plan), |rank| {
+        let (results, _) = run_world(2, &ExecContext::faulty(plan), |rank| {
             if rank.rank() == 0 {
                 for i in 0..20 {
                     rank.send(1, 5, vec![i as f64]);
@@ -997,7 +1025,7 @@ mod tests {
             ..FaultConfig::fault_free()
         };
         let plan = Arc::new(FaultPlan::new(17, 2, cfg));
-        let results = run_ranks_faulty(2, Some(plan), |rank| {
+        let (results, _) = run_world(2, &ExecContext::faulty(plan), |rank| {
             if rank.rank() == 0 {
                 for i in 0..30 {
                     rank.send(1, 1, vec![i as f64]);
@@ -1040,7 +1068,7 @@ mod tests {
 
     #[test]
     fn level_context_attributes_traffic() {
-        let (_, traces) = run_ranks_traced(2, None, |rank| {
+        let (_, traces) = run_world(2, &ExecContext::default(), |rank| {
             let peer = 1 - rank.rank();
             rank.enter_level(0);
             rank.send(peer, 1, vec![0.0; 4]);
@@ -1068,7 +1096,7 @@ mod tests {
     fn teardown_trace_captures_untaken_ledger() {
         // Body never calls take_stats: before the teardown sink existed
         // this ledger evaporated with the Rank.
-        let (_, traces) = run_ranks_traced(2, None, |rank| {
+        let (_, traces) = run_world(2, &ExecContext::default(), |rank| {
             let peer = 1 - rank.rank();
             rank.send(peer, 9, vec![1.0, 2.0]);
             rank.recv(peer, 9);
@@ -1093,7 +1121,7 @@ mod tests {
         };
         let plan = Arc::new(FaultPlan::new(5, 2, cfg));
         let ((), ref traces) = {
-            let (r, t) = run_ranks_traced(2, Some(plan), |rank| {
+            let (r, t) = run_world(2, &ExecContext::faulty(plan), |rank| {
                 if rank.rank() == 0 {
                     let taken = rank.take_stats();
                     assert_eq!(taken.total_msgs(), 0);
@@ -1118,7 +1146,7 @@ mod tests {
     fn rank_traces_are_deterministic_and_recordable() {
         let run = || {
             let plan = Some(Arc::new(FaultPlan::new(11, 4, FaultConfig::severe())));
-            run_ranks_traced(4, plan, |rank| {
+            run_world(4, &ExecContext::default().with_faults(plan), |rank| {
                 let n = rank.nranks();
                 let me = rank.rank();
                 for level in 0..3usize {
@@ -1203,6 +1231,37 @@ mod tests {
     }
 
     #[test]
+    fn disabled_pool_allocates_fresh_but_delivers_identical_bytes() {
+        let workload = |rank: &mut Rank| {
+            let peer = 1 - rank.rank();
+            let mut out = Vec::new();
+            for round in 0..3 {
+                let mut buf = rank.buffer(peer, 8);
+                buf.extend_from_slice(&[rank.rank() as f64 + round as f64; 8]);
+                rank.send(peer, 4, buf);
+                let got = rank.recv(peer, 4);
+                out.extend_from_slice(&got);
+                rank.recycle(peer, got);
+            }
+            (out, rank.take_stats())
+        };
+        let (pooled, _) = run_world(2, &ExecContext::default(), workload);
+        let off = ExecContext::default().with_pool(columbia_exec::PoolPolicy::disabled());
+        let (fresh, _) = run_world(2, &off, workload);
+        for ((pu, ps), (fu, fs)) in pooled.iter().zip(&fresh) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(pu), bits(fu), "payloads must not depend on the pool");
+            assert_eq!(ps.pool().hits, 2);
+            assert_eq!(ps.pool().misses, 1);
+            assert_eq!(fs.pool().hits, 0, "pool off: no reuse");
+            assert_eq!(fs.pool().misses, 3, "pool off: every checkout allocates");
+            assert_eq!(fs.pool().recycled, 0, "pool off: recycles drop");
+            assert_eq!(ps.total_msgs(), fs.total_msgs());
+            assert_eq!(ps.total_bytes(), fs.total_bytes());
+        }
+    }
+
+    #[test]
     fn stream_bookkeeping_is_bounded_across_cycles() {
         // A long fill that keeps inventing fresh tags: without the
         // barrier-point compaction, send_seq/recv_next grow one entry per
@@ -1217,7 +1276,7 @@ mod tests {
             ..FaultConfig::fault_free()
         };
         let plan = Arc::new(FaultPlan::new(21, 3, cfg));
-        let maxima = run_ranks_faulty(3, Some(plan), |rank| {
+        let (maxima, _) = run_world(3, &ExecContext::faulty(plan), |rank| {
             let n = rank.nranks();
             let me = rank.rank();
             let mut worst = (0usize, 0usize, 0usize);
@@ -1255,7 +1314,7 @@ mod tests {
         };
         for seed in [2u64, 77, 0xABCD] {
             let plan = Arc::new(FaultPlan::new(seed, 4, cfg));
-            let results = run_ranks_faulty(4, Some(plan), |rank| {
+            let (results, _) = run_world(4, &ExecContext::faulty(plan), |rank| {
                 let r = rank.rank() as f64;
                 let mut out = Vec::new();
                 for round in 0..12 {
@@ -1293,7 +1352,9 @@ mod tests {
             rank.send(peer, 6, vec![1.0]);
             let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rank.barrier()))
                 .expect_err("quiescence violation must panic");
-            let msg = err.downcast_ref::<String>().expect("panic carries a message");
+            let msg = err
+                .downcast_ref::<String>()
+                .expect("panic carries a message");
             assert!(msg.contains("undelivered"), "{msg}");
             assert!(msg.contains("6, 0, 0"), "stream coordinates missing: {msg}");
         });
@@ -1303,7 +1364,7 @@ mod tests {
     fn mismatched_plan_world_size_panics() {
         let plan = Arc::new(FaultPlan::fault_free(3));
         let r = std::panic::catch_unwind(|| {
-            run_ranks_faulty(2, Some(plan), |_| ());
+            run_world(2, &ExecContext::faulty(plan), |_| ());
         });
         assert!(r.is_err());
     }

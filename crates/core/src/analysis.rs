@@ -98,10 +98,7 @@ impl FlowAnalysis {
 
     /// Build the solver without running (for custom drivers).
     pub fn build(&self) -> RansSolver {
-        let mesh = self
-            .mesh
-            .clone()
-            .unwrap_or_else(|| wing_mesh(&self.spec));
+        let mesh = self.mesh.clone().unwrap_or_else(|| wing_mesh(&self.spec));
         RansSolver::new(mesh, self.params, self.nlevels)
     }
 

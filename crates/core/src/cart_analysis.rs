@@ -1,8 +1,6 @@
 //! Automated Cartesian (Cart3D-style) analysis: geometry in, loads out.
 
-use columbia_cartesian::{
-    build_octree, extract_mesh, CartMesh, CutCellConfig, Geometry,
-};
+use columbia_cartesian::{build_octree, extract_mesh, CartMesh, CutCellConfig, Geometry};
 use columbia_euler::{EulerParams, EulerSolver, Forces};
 use columbia_mg::{ConvergenceHistory, CycleParams};
 use columbia_sfc::CurveKind;

@@ -12,8 +12,8 @@
 use crate::cart_analysis::CartAnalysis;
 use columbia_cartesian::Geometry;
 use columbia_euler::Forces;
-use columbia_rt::fault::CasePlan;
-use columbia_rt::trace::{SpanKey, Tracer};
+pub use columbia_exec::{ExecContext, FillPolicy};
+use columbia_rt::trace::SpanKey;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Parameter grid of a database fill.
@@ -70,25 +70,6 @@ impl CaseStatus {
     }
 }
 
-/// Per-case retry/quarantine policy of a fill.
-#[derive(Clone, Debug)]
-pub struct FillPolicy {
-    /// Maximum solver attempts per case (at least 1).
-    pub max_attempts: u32,
-    /// Optional deterministic chaos schedule: injected case failures for
-    /// hardening tests (poisoned cases, seeded transient faults).
-    pub chaos: Option<CasePlan>,
-}
-
-impl Default for FillPolicy {
-    fn default() -> Self {
-        FillPolicy {
-            max_attempts: 3,
-            chaos: None,
-        }
-    }
-}
-
 /// One database entry: the case parameters and its results.
 #[derive(Clone, Debug)]
 pub struct DatabaseEntry {
@@ -131,25 +112,30 @@ impl DatabaseFill {
 
     /// Run the fill; wind cases of each geometry instance run concurrently
     /// on `threads_per_config` OS threads.
-    pub fn run(&self, spec: &DatabaseSpec, threads_per_config: usize) -> Vec<DatabaseEntry> {
-        self.run_with_policy(spec, threads_per_config, &FillPolicy::default())
-    }
-
-    /// Run the fill under an explicit retry/quarantine [`FillPolicy`].
     ///
-    /// Every case is attempted up to `policy.max_attempts` times; a case
-    /// that fails every attempt (solver panic, non-finite loads, or an
-    /// injected chaos failure) is *quarantined*: the fill completes, the
-    /// entry is present with placeholder loads, and its
-    /// [`DatabaseEntry::status`] reports the failure. Cases are numbered
-    /// globally (configuration-major, wind-space-minor), so a chaos
-    /// [`CasePlan`] addresses the same case regardless of thread count.
-    pub fn run_with_policy(
+    /// The context's [`FillPolicy`] governs retry/quarantine: every case is
+    /// attempted up to `max_attempts` times; a case that fails every
+    /// attempt (solver panic, non-finite loads, or an injected chaos
+    /// failure) is *quarantined* — the fill completes, the entry is present
+    /// with placeholder loads, and its [`DatabaseEntry::status`] reports
+    /// the failure. Cases are numbered globally (configuration-major,
+    /// wind-space-minor), so a chaos [`columbia_rt::fault::CasePlan`]
+    /// addresses the same case regardless of thread count.
+    ///
+    /// With tracing enabled on `ctx`, the fill is recorded under a
+    /// `database_fill` span with outcome totals and one `case` child span
+    /// per global case id (attempt count, outcome, convergence gauge).
+    /// Case spans are recorded serially from the ordered entry list
+    /// *after* the threaded fill (output order is global-case-id order by
+    /// construction), so the trace is deterministic for any thread count.
+    pub fn run(
         &self,
         spec: &DatabaseSpec,
         threads_per_config: usize,
-        policy: &FillPolicy,
+        ctx: &mut ExecContext,
     ) -> Vec<DatabaseEntry> {
+        let policy = ctx.fill().clone();
+        let policy = &policy;
         let nwind = spec.machs.len() * spec.alphas.len() * spec.betas.len();
         let mut out = Vec::with_capacity(spec.ncases());
         for (defl_idx, &defl) in spec.deflections.iter().enumerate() {
@@ -189,49 +175,39 @@ impl DatabaseFill {
             });
             out.extend(entries);
         }
-        out
-    }
-
-    /// [`DatabaseFill::run_with_policy`] recording the fill into `tracer`:
-    /// a `database_fill` span with outcome totals, one `case` child span
-    /// per global case id carrying its attempt count, outcome and
-    /// convergence gauge.
-    ///
-    /// Case spans are recorded serially from the ordered entry list
-    /// *after* the threaded fill (output order is global-case-id order by
-    /// construction), so the trace is deterministic for any thread count.
-    pub fn run_with_policy_traced(
-        &self,
-        spec: &DatabaseSpec,
-        threads_per_config: usize,
-        policy: &FillPolicy,
-        tracer: &mut Tracer,
-    ) -> Vec<DatabaseEntry> {
-        let entries = self.run_with_policy(spec, threads_per_config, policy);
-        tracer.scoped(SpanKey::new("database_fill"), |t| {
-            t.add("cases", entries.len() as u64);
-            for (id, e) in entries.iter().enumerate() {
-                let (outcome, attempts) = match &e.status {
-                    CaseStatus::Converged => ("converged", 1),
-                    CaseStatus::Recovered { attempts } => ("recovered", *attempts),
-                    CaseStatus::Quarantined { attempts, .. } => ("quarantined", *attempts),
-                };
-                t.scoped(SpanKey::new("case").case_id(id), |t| {
+        if ctx.tracing_enabled() {
+            ctx.tracer().scoped(SpanKey::new("database_fill"), |t| {
+                t.add("cases", out.len() as u64);
+                for (id, e) in out.iter().enumerate() {
+                    let (outcome, attempts) = match &e.status {
+                        CaseStatus::Converged => ("converged", 1),
+                        CaseStatus::Recovered { attempts } => ("recovered", *attempts),
+                        CaseStatus::Quarantined { attempts, .. } => ("quarantined", *attempts),
+                    };
+                    t.scoped(SpanKey::new("case").case_id(id), |t| {
+                        t.add(outcome, 1);
+                        t.add("attempts", attempts as u64);
+                        t.gauge("orders_reduced", e.orders);
+                    });
+                    // Fill-level rollups of the same outcomes.
                     t.add(outcome, 1);
                     t.add("attempts", attempts as u64);
-                    t.gauge("orders_reduced", e.orders);
-                });
-                // Fill-level rollups of the same outcomes.
-                t.add(outcome, 1);
-                t.add("attempts", attempts as u64);
-            }
-        });
-        entries
+                }
+            });
+        }
+        out
     }
 
     /// Re-run a single case on demand ("virtual database": it is often
     /// faster to re-run a case than to retrieve it from mass storage").
-    pub fn rerun(&self, defl: f64, mach: f64, alpha: f64, beta: f64, cycles: usize) -> DatabaseEntry {
+    pub fn rerun(
+        &self,
+        defl: f64,
+        mach: f64,
+        alpha: f64,
+        beta: f64,
+        cycles: usize,
+    ) -> DatabaseEntry {
         let geom = (self.geometry)(defl);
         let mesh = self.analysis.mesh(&geom);
         let report = self
@@ -349,6 +325,7 @@ fn run_case(
 mod tests {
     use super::*;
     use columbia_cartesian::TriMesh;
+    use columbia_rt::fault::CasePlan;
 
     fn tiny_fill() -> (DatabaseFill, DatabaseSpec) {
         let analysis = CartAnalysis::default().resolution(3, 4);
@@ -375,7 +352,7 @@ mod tests {
     fn fill_produces_all_cases() {
         let (fill, spec) = tiny_fill();
         assert_eq!(spec.ncases(), 4);
-        let db = fill.run(&spec, 2);
+        let db = fill.run(&spec, 2, &mut ExecContext::default());
         assert_eq!(db.len(), 4);
         // Supersonic cases must show more drag than subsonic on the same
         // geometry.
@@ -399,7 +376,7 @@ mod tests {
             max_attempts: 2,
             chaos: Some(CasePlan::transient(11, 0.0).poison(3)),
         };
-        let db = fill.run_with_policy(&spec, 2, &policy);
+        let db = fill.run(&spec, 2, &mut ExecContext::default().with_fill(policy));
         assert_eq!(db.len(), 4, "fill must complete despite the poisoned case");
         let quarantined: Vec<_> = db.iter().filter(|e| !e.status.is_ok()).collect();
         assert_eq!(quarantined.len(), 1, "exactly the poisoned case fails");
@@ -413,7 +390,7 @@ mod tests {
             s => panic!("expected quarantine, got {s:?}"),
         }
         // The surviving cases match a policy-free fill bit-for-bit.
-        let clean = fill.run(&spec, 2);
+        let clean = fill.run(&spec, 2, &mut ExecContext::default());
         for (e, c) in db.iter().zip(&clean) {
             if e.status.is_ok() {
                 assert_eq!(e.status, CaseStatus::Converged);
@@ -431,8 +408,12 @@ mod tests {
             max_attempts: 4,
             chaos: Some(CasePlan::transient(0xC0FFEE, 0.5)),
         };
-        let a = fill.run_with_policy(&spec, 2, &policy);
-        let b = fill.run_with_policy(&spec, 1, &policy);
+        let a = fill.run(
+            &spec,
+            2,
+            &mut ExecContext::default().with_fill(policy.clone()),
+        );
+        let b = fill.run(&spec, 1, &mut ExecContext::default().with_fill(policy));
         assert_eq!(a.len(), 4);
         // The chaos schedule is a pure function of (seed, case, attempt):
         // statuses are identical across runs and across thread counts.
@@ -458,9 +439,9 @@ mod tests {
             chaos: Some(CasePlan::transient(11, 0.0).poison(3)),
         };
         let run = |threads: usize| {
-            let mut tracer = Tracer::logical();
-            fill.run_with_policy_traced(&spec, threads, &policy, &mut tracer);
-            tracer.finish()
+            let mut ctx = ExecContext::traced().with_fill(policy.clone());
+            fill.run(&spec, threads, &mut ctx);
+            ctx.finish_trace()
         };
         let mut t2 = run(2);
         let mut t1 = run(1);
@@ -491,7 +472,7 @@ mod tests {
     #[test]
     fn rerun_matches_database_entry() {
         let (fill, spec) = tiny_fill();
-        let db = fill.run(&spec, 1);
+        let db = fill.run(&spec, 1, &mut ExecContext::default());
         let again = fill.rerun(0.2, 2.0, 0.0, 0.0, spec.cycles);
         let orig = db
             .iter()

@@ -22,7 +22,9 @@ pub mod performance;
 
 pub use analysis::{FlowAnalysis, FlowReport};
 pub use cart_analysis::{CartAnalysis, CartReport};
-pub use database::{CaseStatus, DatabaseEntry, DatabaseFill, DatabaseSpec, FillPolicy};
+pub use database::{
+    CaseStatus, DatabaseEntry, DatabaseFill, DatabaseSpec, ExecContext, FillPolicy,
+};
 pub use flight::{AeroDatabase, RigidState, SixDof};
 pub use optimize::{golden_section, trim_bisection, Optimum};
 pub use performance::{PerformanceStudy, StudyRow};

@@ -49,7 +49,11 @@ impl PerformanceStudy {
 
     /// Compare fabrics x OpenMP thread counts (the paper's Figures 15-18
     /// series families).
-    pub fn fabric_thread_matrix(&self, fabrics: &[(Fabric, &str)], threads: &[usize]) -> Vec<StudyRow> {
+    pub fn fabric_thread_matrix(
+        &self,
+        fabrics: &[(Fabric, &str)],
+        threads: &[usize],
+    ) -> Vec<StudyRow> {
         let mut rows = Vec::new();
         for &(fabric, fname) in fabrics {
             for &t in threads {
@@ -129,7 +133,10 @@ mod tests {
     fn matrix_produces_all_series() {
         let s = study();
         let rows = s.fabric_thread_matrix(
-            &[(Fabric::NumaLink4, "NUMAlink"), (Fabric::InfiniBand, "InfiniBand")],
+            &[
+                (Fabric::NumaLink4, "NUMAlink"),
+                (Fabric::InfiniBand, "InfiniBand"),
+            ],
             &[1, 2],
         );
         assert_eq!(rows.len(), 4);

@@ -1,8 +1,6 @@
 //! One multigrid level: cut-cell mesh + state + residual + RK smoother.
 
-use crate::state::{
-    flux, pressure, rusanov, spectral_radius, wall_flux, State5, GAMMA, NVARS5,
-};
+use crate::state::{flux, pressure, rusanov, spectral_radius, wall_flux, State5, GAMMA, NVARS5};
 use columbia_cartesian::CartMesh;
 
 /// Jameson-style five-stage Runge-Kutta coefficients.
@@ -110,8 +108,8 @@ impl EulerLevel {
                 self.res[a][k] -= fx[k];
                 self.res[b][k] += fx[k];
             }
-            let lam = spectral_radius(&self.u[a], f.normal)
-                .max(spectral_radius(&self.u[b], f.normal));
+            let lam =
+                spectral_radius(&self.u[a], f.normal).max(spectral_radius(&self.u[b], f.normal));
             self.lam[a] += lam;
             self.lam[b] += lam;
             self.flops += flops::FACE;

@@ -9,12 +9,8 @@
 use crate::level::{EulerLevel, RK5};
 use crate::state::{State5, NVARS5};
 use columbia_cartesian::{partition_cells, CartFace, CartMesh};
-use columbia_comm::{
-    decompose, run_ranks_faulty, run_ranks_traced, CommStats, Decomposition, FaultPlan, Rank,
-    RankTrace,
-};
-use columbia_rt::trace::{SpanKey, Tracer};
-use std::sync::Arc;
+use columbia_comm::{decompose, run_world, Decomposition, ExecContext, Rank, RankTrace};
+use columbia_rt::trace::SpanKey;
 
 /// Per-rank local mesh + level.
 pub struct LocalEuler {
@@ -139,75 +135,22 @@ pub fn parallel_residual_rms(
 }
 
 /// Run `steps` parallel RK steps; returns the assembled global state, the
-/// global residual, and per-rank communication statistics.
+/// global residual, and the per-rank teardown ledgers ([`RankTrace`] —
+/// `traces[p].stats` carries rank `p`'s [`columbia_comm::CommStats`]).
+///
+/// `ctx` selects the run's capabilities: an attached fault plan injects
+/// message drops/duplicates/delays and barrier stalls per its seed (the
+/// retry/dedup/reorder protocol hides them from payloads, the stats carry
+/// the fault-protocol counters); an enabled tracer records the run under
+/// an `euler_smoothing` span — residual as a gauge, one `comm` child span
+/// per rank. The default context runs clean with zero recording overhead.
 pub fn run_parallel_smoothing(
     mesh: &CartMesh,
     fs: State5,
     cfl: f64,
     nparts: usize,
     steps: usize,
-) -> (Vec<State5>, f64, Vec<CommStats>) {
-    run_parallel_smoothing_faulty(mesh, fs, cfl, nparts, steps, None)
-}
-
-/// [`run_parallel_smoothing`] under an optional deterministic fault plan:
-/// message drops/duplicates/delays and barrier stalls are injected per the
-/// plan's seed, the retry/dedup/reorder protocol hides them from payloads,
-/// and the returned [`CommStats`] carry the fault-protocol counters.
-pub fn run_parallel_smoothing_faulty(
-    mesh: &CartMesh,
-    fs: State5,
-    cfl: f64,
-    nparts: usize,
-    steps: usize,
-    plan: Option<Arc<FaultPlan>>,
-) -> (Vec<State5>, f64, Vec<CommStats>) {
-    let (decomp, locals) = build_local_levels(mesh, nparts, fs, cfl);
-    let locals = std::sync::Mutex::new(
-        locals
-            .into_iter()
-            .map(Some)
-            .collect::<Vec<Option<LocalEuler>>>(),
-    );
-    let results = run_ranks_faulty(nparts, plan, |rank| {
-        let mut local = locals.lock().unwrap()[rank.rank()]
-            .take()
-            .expect("local level already taken");
-        for _ in 0..steps {
-            parallel_rk_step(&mut local, &decomp, rank);
-        }
-        let rms = parallel_residual_rms(&mut local, &decomp, rank);
-        let stats = rank.take_stats();
-        let owned: Vec<(u32, State5)> = (0..local.n_owned)
-            .map(|c| (local.local_to_global[c], local.level.u[c]))
-            .collect();
-        (owned, rms, stats)
-    });
-    let mut u = vec![[0.0; NVARS5]; mesh.ncells()];
-    let mut rms = 0.0;
-    let mut stats = Vec::new();
-    for (owned, r, s) in results {
-        for (g, v) in owned {
-            u[g as usize] = v;
-        }
-        rms = r;
-        stats.push(s);
-    }
-    (u, rms, stats)
-}
-
-/// [`run_parallel_smoothing_faulty`] with full observability: per-rank
-/// teardown ledgers come back as [`RankTrace`]s and the run is recorded
-/// into `tracer` under an `euler_smoothing` span — residual as a gauge,
-/// one `comm` child span per rank.
-pub fn run_parallel_smoothing_traced(
-    mesh: &CartMesh,
-    fs: State5,
-    cfl: f64,
-    nparts: usize,
-    steps: usize,
-    plan: Option<Arc<FaultPlan>>,
-    tracer: &mut Tracer,
+    ctx: &mut ExecContext,
 ) -> (Vec<State5>, f64, Vec<RankTrace>) {
     let (decomp, locals) = build_local_levels(mesh, nparts, fs, cfl);
     let locals = std::sync::Mutex::new(
@@ -216,7 +159,7 @@ pub fn run_parallel_smoothing_traced(
             .map(Some)
             .collect::<Vec<Option<LocalEuler>>>(),
     );
-    let (results, traces) = run_ranks_traced(nparts, plan, |rank| {
+    let (results, traces) = run_world(nparts, ctx, |rank| {
         let mut local = locals.lock().unwrap()[rank.rank()]
             .take()
             .expect("local level already taken");
@@ -237,6 +180,7 @@ pub fn run_parallel_smoothing_traced(
         }
         rms = r;
     }
+    let tracer = ctx.tracer();
     tracer.scoped(SpanKey::new("euler_smoothing"), |t| {
         t.add("rk_steps", steps as u64);
         t.add("ranks", nparts as u64);
@@ -284,7 +228,8 @@ mod tests {
         }
         let serial_rms = serial.residual_rms();
         for nparts in [2, 4] {
-            let (u, rms, stats) = run_parallel_smoothing(&mesh, fs, 1.5, nparts, 3);
+            let (u, rms, traces) =
+                run_parallel_smoothing(&mesh, fs, 1.5, nparts, 3, &mut ExecContext::default());
             let mut max_diff = 0.0f64;
             for (c, su) in serial.u.iter().enumerate() {
                 for k in 0..NVARS5 {
@@ -293,7 +238,7 @@ mod tests {
             }
             assert!(max_diff < 1e-9, "{nparts}-way diverged: {max_diff}");
             assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
-            assert!(stats.iter().any(|s| s.total_msgs() > 0));
+            assert!(traces.iter().any(|t| t.stats.total_msgs() > 0));
         }
     }
 
@@ -301,17 +246,17 @@ mod tests {
     fn traced_smoothing_matches_untraced() {
         let mesh = sphere_mesh();
         let fs = freestream5(0.5, 0.0, 0.0);
-        let (u, rms, stats) = run_parallel_smoothing(&mesh, fs, 1.5, 2, 2);
-        let mut tracer = Tracer::logical();
-        let (ut, rmst, traces) =
-            run_parallel_smoothing_traced(&mesh, fs, 1.5, 2, 2, None, &mut tracer);
+        let (u, rms, plain) =
+            run_parallel_smoothing(&mesh, fs, 1.5, 2, 2, &mut ExecContext::default());
+        let mut ctx = ExecContext::traced();
+        let (ut, rmst, traces) = run_parallel_smoothing(&mesh, fs, 1.5, 2, 2, &mut ctx);
         assert_eq!(rms.to_bits(), rmst.to_bits());
         let bits = |u: &[State5]| u.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&u), bits(&ut));
-        for (s, tr) in stats.iter().zip(&traces) {
-            assert_eq!(s, &tr.stats);
+        for (p, tr) in plain.iter().zip(&traces) {
+            assert_eq!(p.stats, tr.stats);
         }
-        let trace = tracer.finish();
+        let trace = ctx.finish_trace();
         assert!(trace.find("euler_smoothing").is_some());
         assert!(trace.counter_total("comm.sends") > 0);
     }

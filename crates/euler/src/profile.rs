@@ -104,7 +104,12 @@ pub fn fit_sfc_surface_law(mesh: &CartMesh, parts: &[usize]) -> SfcSurfaceLaw {
 
 /// Fraction of fine cells whose SFC-partition owner differs between the
 /// fine level and the (independently partitioned) coarse level.
-pub fn measure_intergrid_nonlocal(fine: &CartMesh, coarse: &CartMesh, map: &[u32], p: usize) -> f64 {
+pub fn measure_intergrid_nonlocal(
+    fine: &CartMesh,
+    coarse: &CartMesh,
+    map: &[u32],
+    p: usize,
+) -> f64 {
     if p < 2 || coarse.ncells() < p {
         return 0.0;
     }
@@ -152,8 +157,7 @@ pub fn measure_profile(
         .map(|l| LevelProfile {
             name: format!("level {l}"),
             points: solver.levels[l].ncells() as f64 * scale,
-            flops_per_point: flops[l] as f64
-                / (solver.levels[l].ncells() as f64 * visits[l]),
+            flops_per_point: flops[l] as f64 / (solver.levels[l].ncells() as f64 * visits[l]),
             state_bytes_per_point: state_bytes,
             exchange_bytes_per_entry: (NVARS5 * 8) as f64,
             exchanges_per_visit,

@@ -3,6 +3,7 @@
 use crate::level::EulerLevel;
 use crate::state::{freestream5, pressure, State5, NVARS5};
 use columbia_cartesian::{coarsen_hierarchy, CartMesh};
+use columbia_comm::ExecContext;
 use columbia_mesh::Vec3;
 use columbia_mg::{fas_cycle, ConvergenceHistory, CycleParams, MultigridLevel};
 
@@ -142,7 +143,7 @@ impl EulerSolver {
 
     /// Run one multigrid cycle.
     pub fn cycle(&mut self, cp: &CycleParams) {
-        fas_cycle(&mut self.levels, cp);
+        fas_cycle(&mut self.levels, cp, &mut ExecContext::default());
     }
 
     /// Run cycles until `tol` or `max_cycles`.
@@ -153,7 +154,7 @@ impl EulerSolver {
             if *h.residuals.last().unwrap() <= tol {
                 break;
             }
-            fas_cycle(&mut self.levels, cp);
+            fas_cycle(&mut self.levels, cp, &mut ExecContext::default());
             h.residuals.push(self.levels[0].residual_rms());
         }
         h

@@ -385,7 +385,13 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let m = BlockMat::<4>::from_fn(|r, c| if r == c { 4.0 } else { 1.0 / (1.0 + (r + c) as f64) });
+        let m = BlockMat::<4>::from_fn(|r, c| {
+            if r == c {
+                4.0
+            } else {
+                1.0 / (1.0 + (r + c) as f64)
+            }
+        });
         let inv = m.inverse().unwrap();
         let prod = inv * m;
         let id = BlockMat::<4>::identity();

@@ -23,5 +23,5 @@ pub mod block;
 pub mod tridiag;
 pub mod vecops;
 
-pub use block::{BlockMat, BlockLu, LinalgError};
+pub use block::{BlockLu, BlockMat, LinalgError};
 pub use tridiag::BlockTridiag;

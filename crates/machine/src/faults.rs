@@ -55,7 +55,10 @@ mod tests {
         let ib = fabric_severity(Fabric::InfiniBand, 4);
         let ge = fabric_severity(Fabric::TenGigE, 4);
         assert!(nl > 0.0, "multi-node NUMAlink should be mildly faulty");
-        assert!(ib > nl, "InfiniBand must inject harsher faults: {ib} vs {nl}");
+        assert!(
+            ib > nl,
+            "InfiniBand must inject harsher faults: {ib} vs {nl}"
+        );
         assert!(ge > ib, "10GigE must be harshest: {ge} vs {ib}");
     }
 

@@ -34,8 +34,10 @@ pub mod scaling;
 pub use columbia::MachineConfig;
 pub use faults::{fabric_fault_config, fabric_severity};
 pub use interconnect::{ib_rank_limit, Fabric};
-pub use model::{simulate_cycle, CycleBreakdown, RunConfig};
-pub use profile::{CycleProfile, IntergridProfile, LevelProfile};
-pub use scaling::{cart3d_node_span, speedup_series, ScalingPoint, CART3D_CPU_COUNTS, NSU3D_CPU_COUNTS};
 pub use model::{check_run, ProgModel, SimError};
+pub use model::{simulate_cycle, CycleBreakdown, RunConfig};
 pub use profile::{paper_cart3d_25m, paper_nsu3d_72m};
+pub use profile::{CycleProfile, IntergridProfile, LevelProfile};
+pub use scaling::{
+    cart3d_node_span, speedup_series, ScalingPoint, CART3D_CPU_COUNTS, NSU3D_CPU_COUNTS,
+};

@@ -266,8 +266,7 @@ pub fn simulate_cycle(
         // fraction of the kernel.
         let base_rate = machine.base_efficiency * machine.peak_flops();
         let full_rate = machine.effective_rate(ws);
-        let mut rate =
-            (base_rate + (full_rate - base_rate) * lev.cache_fraction) * lev.rate_scale;
+        let mut rate = (base_rate + (full_rate - base_rate) * lev.cache_fraction) * lev.rate_scale;
         if pure_openmp && run.ncpus > 128 {
             rate *= machine.coarse_mode_derate;
         }
@@ -468,10 +467,7 @@ mod tests {
             min_nodes: 1,
         };
         assert!(simulate_cycle(&p, &m, &run).is_ok());
-        let run2 = RunConfig {
-            ncpus: 1000,
-            ..run
-        };
+        let run2 = RunConfig { ncpus: 1000, ..run };
         assert!(matches!(
             simulate_cycle(&p, &m, &run2),
             Err(SimError::OpenMpSingleNode { .. })
@@ -510,10 +506,19 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         for e in [
-            SimError::NotEnoughCpus { requested: 9, available: 4 },
+            SimError::NotEnoughCpus {
+                requested: 9,
+                available: 4,
+            },
             SimError::FabricSpan { needed: 5, max: 4 },
-            SimError::IbRankLimit { ranks: 2000, limit: 1524 },
-            SimError::OpenMpSingleNode { requested: 600, node: 512 },
+            SimError::IbRankLimit {
+                ranks: 2000,
+                limit: 1524,
+            },
+            SimError::OpenMpSingleNode {
+                requested: 600,
+                node: 512,
+            },
         ] {
             let msg = e.to_string();
             assert!(msg.len() > 20, "vague message: {msg}");

@@ -125,7 +125,11 @@ impl CycleProfile {
         }
         let mut intergrid = self.intergrid[..nlevels - 1].to_vec();
         for (l, ig) in intergrid.iter_mut().enumerate() {
-            ig.transfers_per_cycle = if w_cycle { (1usize << (l + 1)) as f64 } else { 1.0 };
+            ig.transfers_per_cycle = if w_cycle {
+                (1usize << (l + 1)) as f64
+            } else {
+                1.0
+            };
         }
         CycleProfile {
             name: format!("{} [{} levels]", self.name, nlevels),

@@ -237,8 +237,7 @@ pub fn agglomerate_hierarchy(
         let step = agglomerate(current);
         // No progress, or a degenerate coarsest level (too few control
         // volumes to carry a meaningful operator): stop without the step.
-        if step.coarse.nvertices() >= current.nvertices()
-            || step.coarse.nvertices() < min_vertices
+        if step.coarse.nvertices() >= current.nvertices() || step.coarse.nvertices() < min_vertices
         {
             break;
         }

@@ -11,8 +11,8 @@
 //!
 //! [`isotropic_box_mesh`] provides a uniform unstructured box for tests.
 
-use crate::mesh::{BoundaryKind, Edge, UnstructuredMesh};
 use crate::geom::Vec3;
+use crate::mesh::{BoundaryKind, Edge, UnstructuredMesh};
 use columbia_rt::Pcg32;
 
 /// Specification of the synthetic wing mesh.
@@ -136,12 +136,7 @@ pub fn wing_mesh(spec: &WingMeshSpec) -> UnstructuredMesh {
                 let mut p = Vec3::new(sx, sy, z) + nvec * h[k];
                 // Jitter only deep in the isotropic region and away from
                 // domain boundaries, so boundary conditions stay clean.
-                if spec.jitter > 0.0
-                    && k > spec.nk_bl + 1
-                    && k < nk - 1
-                    && j > 0
-                    && j < nj - 1
-                {
+                if spec.jitter > 0.0 && k > spec.nk_bl + 1 && k < nk - 1 && j > 0 && j < nj - 1 {
                     let local = if k + 1 < nk { h[k + 1] - h[k] } else { 0.0 };
                     let amp = spec.jitter * 0.25 * local;
                     p += Vec3::new(
@@ -282,7 +277,8 @@ pub fn isotropic_box_mesh(nx: usize, ny: usize, nz: usize) -> UnstructuredMesh {
         for y in 0..ny {
             for x in 0..nx {
                 points.push(Vec3::new(x as f64 * hx, y as f64 * hy, z as f64 * hz));
-                let boundary = x == 0 || x == nx - 1 || y == 0 || y == ny - 1 || z == 0 || z == nz - 1;
+                let boundary =
+                    x == 0 || x == nx - 1 || y == 0 || y == ny - 1 || z == 0 || z == nz - 1;
                 bc.push(if boundary {
                     BoundaryKind::FarField
                 } else {
@@ -352,7 +348,10 @@ mod tests {
         let spec = WingMeshSpec::default();
         let m = wing_mesh(&spec);
         let walls = m.bc.iter().filter(|&&b| b == BoundaryKind::Wall).count();
-        let far = m.bc.iter().filter(|&&b| b == BoundaryKind::FarField).count();
+        let far =
+            m.bc.iter()
+                .filter(|&&b| b == BoundaryKind::FarField)
+                .count();
         assert_eq!(walls, spec.ni * spec.nj);
         assert!(far >= spec.ni * spec.nj, "missing far-field shell");
     }

@@ -58,10 +58,7 @@ impl LineSet {
         assert!(group_size > 0);
         let mut order: Vec<u32> = (0..self.lines.len() as u32).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.lines[i as usize].len()));
-        order
-            .chunks(group_size)
-            .map(|c| c.to_vec())
-            .collect()
+        order.chunks(group_size).map(|c| c.to_vec()).collect()
     }
 }
 

@@ -12,13 +12,14 @@
 //!
 //! Levels are solver-specific and implement [`MultigridLevel`].
 //!
-//! Every driver has a `_traced` variant that records the cycle structure
-//! into a `columbia_rt::trace::Tracer`: one span per cycle, one child span
-//! per level *visit* (so a W-cycle's `2^l` coarse revisits are individually
+//! Both drivers take a `columbia_exec::ExecContext` and record the cycle
+//! structure into its trace sink: one span per cycle, one child span per
+//! level *visit* (so a W-cycle's `2^l` coarse revisits are individually
 //! visible), with sweep counts as counters and residuals as gauges. The
-//! untraced entry points delegate to the traced ones with a disabled
-//! tracer — one code path, zero overhead when off.
+//! default context's tracer is disabled and every recording call is a
+//! no-op — one code path, zero overhead when off.
 
+use columbia_exec::ExecContext;
 use columbia_rt::trace::{SpanKey, Tracer};
 
 /// Multigrid cycle type (paper Figure 4).
@@ -78,20 +79,14 @@ impl Default for CycleParams {
 }
 
 /// Execute one full multigrid cycle over `levels` (index 0 = finest).
-pub fn fas_cycle<L: MultigridLevel>(levels: &mut [L], params: &CycleParams) {
-    fas_cycle_traced(levels, params, &mut Tracer::disabled());
-}
-
-/// [`fas_cycle`] recording the cycle structure: a `mg_level` span per level
-/// *visit* (coarse W-cycle revisits appear individually), `smooth_sweeps` /
-/// `restrictions` / `prolongations` counters on each.
-pub fn fas_cycle_traced<L: MultigridLevel>(
-    levels: &mut [L],
-    params: &CycleParams,
-    tracer: &mut Tracer,
-) {
+///
+/// When `ctx` carries an enabled tracer, the cycle structure is recorded:
+/// a `mg_level` span per level *visit* (coarse W-cycle revisits appear
+/// individually), `smooth_sweeps` / `restrictions` / `prolongations`
+/// counters on each. The default context records nothing at no cost.
+pub fn fas_cycle<L: MultigridLevel>(levels: &mut [L], params: &CycleParams, ctx: &mut ExecContext) {
     assert!(!levels.is_empty());
-    cycle_recursive(levels, params, tracer, 0);
+    cycle_recursive(levels, params, ctx.tracer(), 0);
 }
 
 fn cycle_recursive<L: MultigridLevel>(
@@ -167,24 +162,16 @@ impl ConvergenceHistory {
 
 /// Run cycles until the fine residual drops below `tol` or `max_cycles` is
 /// reached; records the residual before every cycle and after the last.
+///
+/// With tracing enabled on `ctx`, each cycle wraps its [`fas_cycle`]
+/// level-visit spans in one `cycle` span (indexed by cycle number, final
+/// residual recorded as a gauge).
 pub fn solve_to_tolerance<L: MultigridLevel>(
     levels: &mut [L],
     params: &CycleParams,
     tol: f64,
     max_cycles: usize,
-) -> ConvergenceHistory {
-    solve_to_tolerance_traced(levels, params, tol, max_cycles, &mut Tracer::disabled())
-}
-
-/// [`solve_to_tolerance`] with one `cycle` span per multigrid cycle
-/// (indexed by cycle number, residual recorded as a gauge) wrapping the
-/// per-level-visit spans of [`fas_cycle_traced`].
-pub fn solve_to_tolerance_traced<L: MultigridLevel>(
-    levels: &mut [L],
-    params: &CycleParams,
-    tol: f64,
-    max_cycles: usize,
-    tracer: &mut Tracer,
+    ctx: &mut ExecContext,
 ) -> ConvergenceHistory {
     let mut history = ConvergenceHistory::default();
     history.residuals.push(levels[0].residual_norm());
@@ -192,9 +179,10 @@ pub fn solve_to_tolerance_traced<L: MultigridLevel>(
         if *history.residuals.last().unwrap() <= tol {
             break;
         }
-        tracer.begin(SpanKey::new("cycle").cycle(i));
-        fas_cycle_traced(levels, params, tracer);
+        ctx.tracer().begin(SpanKey::new("cycle").cycle(i));
+        fas_cycle(levels, params, ctx);
         let r = levels[0].residual_norm();
+        let tracer = ctx.tracer();
         tracer.gauge("residual_rms", r);
         tracer.end();
         history.residuals.push(r);
@@ -285,7 +273,11 @@ mod tests {
             // FAS forcing f_c = A_c(restricted u) + R(r_fine), computed after
             // the full restricted state is in place.
             for j in 0..coarse.n {
-                let um = if j > 0 { coarse.restricted_u[j - 1] } else { 0.0 };
+                let um = if j > 0 {
+                    coarse.restricted_u[j - 1]
+                } else {
+                    0.0
+                };
                 let up = if j + 1 < coarse.n {
                     coarse.restricted_u[j + 1]
                 } else {
@@ -294,8 +286,7 @@ mod tests {
                 let a = 2 * j;
                 let b = (2 * j + 1).min(self.n - 1);
                 let rj = 0.5 * (r[a] + r[b]);
-                coarse.f[j] =
-                    (2.0 * coarse.restricted_u[j] - um - up) / coarse.h2 + rj;
+                coarse.f[j] = (2.0 * coarse.restricted_u[j] - um - up) / coarse.h2 + rj;
             }
         }
 
@@ -328,7 +319,13 @@ mod tests {
     fn multigrid_beats_smoothing_alone() {
         let n = 256;
         let mut mg = build_hierarchy(n, 6);
-        let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 1e-10, 60);
+        let hist = solve_to_tolerance(
+            &mut mg,
+            &CycleParams::default(),
+            1e-10,
+            60,
+            &mut ExecContext::default(),
+        );
         assert!(
             hist.orders_reduced() > 8.0,
             "MG reduced only {} orders in {} cycles",
@@ -360,8 +357,8 @@ mod tests {
             cycle: CycleType::W,
             ..Default::default()
         };
-        let hv = solve_to_tolerance(&mut v, &pv, 0.0, 10);
-        let hw = solve_to_tolerance(&mut w, &pw, 0.0, 10);
+        let hv = solve_to_tolerance(&mut v, &pv, 0.0, 10, &mut ExecContext::default());
+        let hw = solve_to_tolerance(&mut w, &pw, 0.0, 10, &mut ExecContext::default());
         assert!(
             hw.orders_reduced() >= hv.orders_reduced() - 0.5,
             "W {} vs V {}",
@@ -376,8 +373,8 @@ mod tests {
         let mut two = build_hierarchy(n, 2);
         let mut five = build_hierarchy(n, 5);
         let p = CycleParams::default();
-        let h2 = solve_to_tolerance(&mut two, &p, 0.0, 8);
-        let h5 = solve_to_tolerance(&mut five, &p, 0.0, 8);
+        let h2 = solve_to_tolerance(&mut two, &p, 0.0, 8, &mut ExecContext::default());
+        let h5 = solve_to_tolerance(&mut five, &p, 0.0, 8, &mut ExecContext::default());
         assert!(
             h5.orders_reduced() > h2.orders_reduced(),
             "5-level {} should beat 2-level {}",
@@ -396,11 +393,10 @@ mod tests {
     fn traced_cycle_exposes_w_cycle_revisits() {
         let nlevels = 4;
         let mut mg = build_hierarchy(64, nlevels);
-        let mut tracer = Tracer::logical();
-        let hist =
-            solve_to_tolerance_traced(&mut mg, &CycleParams::default(), 0.0, 2, &mut tracer);
+        let mut ctx = ExecContext::traced();
+        let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 0.0, 2, &mut ctx);
         assert_eq!(hist.cycles(), 2);
-        let trace = tracer.finish();
+        let trace = ctx.finish_trace();
         assert_eq!(trace.spans.len(), 2, "one span per cycle");
         let cycle = &trace.spans[0];
         assert_eq!(cycle.key.name, "cycle");
@@ -421,10 +417,23 @@ mod tests {
         }
         // And the traced solve is identical to the untraced one.
         let mut plain = build_hierarchy(64, nlevels);
-        let hist2 = solve_to_tolerance(&mut plain, &CycleParams::default(), 0.0, 2);
+        let hist2 = solve_to_tolerance(
+            &mut plain,
+            &CycleParams::default(),
+            0.0,
+            2,
+            &mut ExecContext::default(),
+        );
         assert_eq!(
-            hist.residuals.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
-            hist2.residuals.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+            hist.residuals
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>(),
+            hist2
+                .residuals
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -441,7 +450,13 @@ mod tests {
     #[test]
     fn solve_stops_at_tolerance() {
         let mut mg = build_hierarchy(128, 5);
-        let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 1e-6, 100);
+        let hist = solve_to_tolerance(
+            &mut mg,
+            &CycleParams::default(),
+            1e-6,
+            100,
+            &mut ExecContext::default(),
+        );
         assert!(hist.cycles() < 100, "tolerance never reached");
         assert!(*hist.residuals.last().unwrap() <= 1e-6);
     }
@@ -470,7 +485,7 @@ mod tests {
             let n = 1usize << k;
             let nlevels = k - 2 + extra; // coarsest grid has 8 or 4 points
             let mut mg = build_hierarchy(n, nlevels);
-            let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 0.0, 20);
+            let hist = solve_to_tolerance(&mut mg, &CycleParams::default(), 0.0, 20, &mut ExecContext::default());
             assert!(
                 hist.orders_reduced() > 2.0,
                 "only {} orders reduced for n={} levels={}",

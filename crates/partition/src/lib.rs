@@ -29,5 +29,5 @@ pub mod refine;
 pub use graph::Graph;
 pub use kway::{partition_graph, PartitionConfig};
 pub use levels::match_levels;
-pub use lines::{expand_line_partition, contract_lines};
+pub use lines::{contract_lines, expand_line_partition};
 pub use quality::PartitionQuality;

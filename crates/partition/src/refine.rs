@@ -73,8 +73,8 @@ pub fn refine_kway(g: &Graph, part: &mut [u32], k: usize, params: RefineParams) 
                 let fits = pw[cp as usize] + g.vwgt[v] <= max_w;
                 // Also allow zero-gain moves that strictly improve balance.
                 let balance_gain = pw[pv as usize] - (pw[cp as usize] + g.vwgt[v]);
-                let ok = (gain > 1e-12 && fits)
-                    || (gain >= -1e-12 && fits && balance_gain > g.vwgt[v]);
+                let ok =
+                    (gain > 1e-12 && fits) || (gain >= -1e-12 && fits && balance_gain > g.vwgt[v]);
                 if ok {
                     match best {
                         Some((_, bg)) if bg >= gain => {}
@@ -124,7 +124,10 @@ mod tests {
         let after = refine_kway(&g, &mut part, 2, RefineParams::default());
         assert!(after <= before, "cut {after} > {before}");
         // Checkerboard on a 10x10 grid has cut 180; a half split has 10.
-        assert!(after < before * 0.8, "refinement too weak: {after} vs {before}");
+        assert!(
+            after < before * 0.8,
+            "refinement too weak: {after} vs {before}"
+        );
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use crate::flops::{self, FlopCounter};
 use crate::state::{
-    self, flux_jacobian, freestream, fv1, pressure, rusanov, sa, spectral_radius, velocity,
-    State, GAMMA, NVARS,
+    self, flux_jacobian, freestream, fv1, pressure, rusanov, sa, spectral_radius, velocity, State,
+    GAMMA, NVARS,
 };
 use columbia_linalg::{BlockMat, BlockTridiag};
 use columbia_mesh::{extract_lines, BoundaryKind, UnstructuredMesh};
@@ -113,11 +113,7 @@ impl RansLevel {
     /// Build a level with an explicitly supplied line set (the
     /// domain-decomposed solver passes the restriction of the *global*
     /// lines so every rank smooths exactly what the serial solver would).
-    pub fn with_lines(
-        mesh: UnstructuredMesh,
-        params: SolverParams,
-        lines: Vec<Vec<u32>>,
-    ) -> Self {
+    pub fn with_lines(mesh: UnstructuredMesh, params: SolverParams, lines: Vec<Vec<u32>>) -> Self {
         let n = mesh.nvertices();
         let mut in_line = vec![false; n];
         for line in &lines {
@@ -230,7 +226,8 @@ impl RansLevel {
                 }
             }
         }
-        self.flops.add(self.mesh.nedges() as u64 * flops::GRADIENT_EDGE);
+        self.flops
+            .add(self.mesh.nedges() as u64 * flops::GRADIENT_EDGE);
     }
 
     /// Phase 3: divide gradient sums by the control volumes.
@@ -280,7 +277,8 @@ impl RansLevel {
             self.res[a][4] += de;
             self.res[b][4] -= de;
             let mt = mu + 0.5 * (self.u[a][5].max(0.0) + self.u[b][5].max(0.0));
-            let dn = mt / sa::SIGMA * coef * (self.u[b][5] / self.u[b][0] - self.u[a][5] / self.u[a][0]);
+            let dn =
+                mt / sa::SIGMA * coef * (self.u[b][5] / self.u[b][0] - self.u[a][5] / self.u[a][0]);
             self.res[a][5] += dn;
             self.res[b][5] -= dn;
         }

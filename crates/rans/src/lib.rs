@@ -36,10 +36,7 @@ pub mod solver;
 pub mod state;
 
 pub use level::RansLevel;
-pub use profile::{
-    fit_surface_law, measure_profile, measure_profile_traced, FitFallback, FitProvenance,
-    SurfaceLaw,
-};
 pub use parallel_mg::ParallelMg;
+pub use profile::{fit_surface_law, measure_profile, FitFallback, FitProvenance, SurfaceLaw};
 pub use solver::{RansSolver, SolverParams};
 pub use state::{freestream, State, NVARS};

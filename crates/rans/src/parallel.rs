@@ -22,16 +22,10 @@
 
 use crate::level::{RansLevel, SolverParams};
 use crate::state::{State, NVARS};
-use columbia_comm::{
-    decompose, run_ranks_faulty, run_ranks_traced, CommStats, Decomposition, FaultPlan, Rank,
-    RankTrace,
-};
-use columbia_rt::trace::{SpanKey, Tracer};
-use std::sync::Arc;
+use columbia_comm::{decompose, run_world, Decomposition, ExecContext, Rank, RankTrace};
 use columbia_mesh::{extract_lines, Edge, UnstructuredMesh};
-use columbia_partition::{
-    contract_lines, expand_line_partition, partition_graph, PartitionConfig,
-};
+use columbia_partition::{contract_lines, expand_line_partition, partition_graph, PartitionConfig};
+use columbia_rt::trace::SpanKey;
 
 /// Partition a mesh without breaking implicit lines.
 pub fn partition_mesh_line_aware(
@@ -203,81 +197,22 @@ pub fn parallel_residual_rms(
 }
 
 /// Run `sweeps` parallel smoothing sweeps on `nparts` ranks; returns the
-/// assembled global state, the final global residual RMS, and per-rank
-/// communication statistics.
+/// assembled global state, the final global residual RMS, and the per-rank
+/// teardown ledgers ([`RankTrace`] — `traces[p].stats` carries rank `p`'s
+/// [`columbia_comm::CommStats`]).
+///
+/// `ctx` selects the run's capabilities: an attached fault plan injects
+/// message drops/duplicates/delays and barrier stalls per its seed (the
+/// retry/dedup/reorder protocol hides them from payloads, the stats carry
+/// the fault-protocol counters); an enabled tracer records the run under a
+/// `rans_smoothing` span — residual as a gauge, one `comm` child span per
+/// rank. The default context runs clean with zero recording overhead.
 pub fn run_parallel_smoothing(
     mesh: &UnstructuredMesh,
     params: SolverParams,
     nparts: usize,
     sweeps: usize,
-) -> (Vec<State>, f64, Vec<CommStats>) {
-    run_parallel_smoothing_faulty(mesh, params, nparts, sweeps, None)
-}
-
-/// [`run_parallel_smoothing`] under an optional deterministic fault plan:
-/// message drops/duplicates/delays and barrier stalls are injected per the
-/// plan's seed, the retry/dedup/reorder protocol hides them from payloads,
-/// and the returned [`CommStats`] carry the fault-protocol counters.
-pub fn run_parallel_smoothing_faulty(
-    mesh: &UnstructuredMesh,
-    params: SolverParams,
-    nparts: usize,
-    sweeps: usize,
-    plan: Option<Arc<FaultPlan>>,
-) -> (Vec<State>, f64, Vec<CommStats>) {
-    let part = partition_mesh_line_aware(mesh, nparts, params.line_threshold);
-    let (decomp, locals) = build_local_levels(mesh, &part, nparts, params);
-    let locals = std::sync::Mutex::new(
-        locals
-            .into_iter()
-            .map(Some)
-            .collect::<Vec<Option<LocalLevel>>>(),
-    );
-
-    let results = run_ranks_faulty(nparts, plan, |rank| {
-        let mut local = locals.lock().unwrap()[rank.rank()]
-            .take()
-            .expect("local level already taken");
-        // Apply BCs and make ghosts consistent before starting (mirrors
-        // the serial driver's initialisation).
-        local.level.apply_bcs();
-        decomp.plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut local.level.u);
-        for _ in 0..sweeps {
-            parallel_sweep(&mut local, &decomp, rank);
-        }
-        let rms = parallel_residual_rms(&mut local, &decomp, rank);
-        let stats = rank.take_stats();
-        let owned_u: Vec<(u32, State)> = (0..local.n_owned)
-            .map(|i| (local.local_to_global[i], local.level.u[i]))
-            .collect();
-        (owned_u, rms, stats)
-    });
-
-    let mut global_u = vec![[0.0; NVARS]; mesh.nvertices()];
-    let mut rms = 0.0;
-    let mut stats = Vec::with_capacity(nparts);
-    for (owned, r, s) in results {
-        for (g, u) in owned {
-            global_u[g as usize] = u;
-        }
-        rms = r;
-        stats.push(s);
-    }
-    (global_u, rms, stats)
-}
-
-/// [`run_parallel_smoothing_faulty`] with full observability: per-rank
-/// teardown ledgers come back as [`RankTrace`]s (nothing is lost to the
-/// drop-without-`take_stats` path) and the run is recorded into `tracer`
-/// under a `rans_smoothing` span — residual as a gauge, one `comm` child
-/// span per rank.
-pub fn run_parallel_smoothing_traced(
-    mesh: &UnstructuredMesh,
-    params: SolverParams,
-    nparts: usize,
-    sweeps: usize,
-    plan: Option<Arc<FaultPlan>>,
-    tracer: &mut Tracer,
+    ctx: &mut ExecContext,
 ) -> (Vec<State>, f64, Vec<RankTrace>) {
     let part = partition_mesh_line_aware(mesh, nparts, params.line_threshold);
     let (decomp, locals) = build_local_levels(mesh, &part, nparts, params);
@@ -288,10 +223,12 @@ pub fn run_parallel_smoothing_traced(
             .collect::<Vec<Option<LocalLevel>>>(),
     );
 
-    let (results, traces) = run_ranks_traced(nparts, plan, |rank| {
+    let (results, traces) = run_world(nparts, ctx, |rank| {
         let mut local = locals.lock().unwrap()[rank.rank()]
             .take()
             .expect("local level already taken");
+        // Apply BCs and make ghosts consistent before starting (mirrors
+        // the serial driver's initialisation).
         local.level.apply_bcs();
         decomp.plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut local.level.u);
         for _ in 0..sweeps {
@@ -312,6 +249,7 @@ pub fn run_parallel_smoothing_traced(
         }
         rms = r;
     }
+    let tracer = ctx.tracer();
     tracer.scoped(SpanKey::new("rans_smoothing"), |t| {
         t.add("sweeps", sweeps as u64);
         t.add("ranks", nparts as u64);
@@ -358,7 +296,8 @@ mod tests {
         let serial_rms = serial.residual_rms();
 
         for nparts in [2, 4] {
-            let (u, rms, stats) = run_parallel_smoothing(&m, params(), nparts, 3);
+            let (u, rms, traces) =
+                run_parallel_smoothing(&m, params(), nparts, 3, &mut ExecContext::default());
             let mut max_diff = 0.0f64;
             for (v, su) in serial.u.iter().enumerate() {
                 for k in 0..NVARS {
@@ -374,25 +313,25 @@ mod tests {
                 "residual mismatch: {rms} vs {serial_rms}"
             );
             // Communication actually happened.
-            assert!(stats.iter().any(|s| s.total_msgs() > 0));
+            assert!(traces.iter().any(|t| t.stats.total_msgs() > 0));
         }
     }
 
     #[test]
     fn traced_smoothing_matches_untraced_and_loses_no_counts() {
         let m = mesh();
-        let (u, rms, stats) = run_parallel_smoothing(&m, params(), 2, 2);
-        let mut tracer = Tracer::logical();
-        let (ut, rmst, traces) =
-            run_parallel_smoothing_traced(&m, params(), 2, 2, None, &mut tracer);
+        let (u, rms, plain) =
+            run_parallel_smoothing(&m, params(), 2, 2, &mut ExecContext::default());
+        let mut ctx = ExecContext::traced();
+        let (ut, rmst, traces) = run_parallel_smoothing(&m, params(), 2, 2, &mut ctx);
         assert_eq!(rms.to_bits(), rmst.to_bits());
         let bits = |u: &[State]| u.iter().flatten().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&u), bits(&ut));
-        // The teardown ledger carries exactly what take_stats saw.
-        for (s, tr) in stats.iter().zip(&traces) {
-            assert_eq!(s, &tr.stats);
+        // Tracing changes nothing in the teardown ledgers.
+        for (p, tr) in plain.iter().zip(&traces) {
+            assert_eq!(p.stats, tr.stats);
         }
-        let trace = tracer.finish();
+        let trace = ctx.finish_trace();
         let span = trace.find("rans_smoothing").unwrap();
         assert!(span.gauges.contains_key("residual_rms"));
         assert!(trace.counter_total("comm.sends") > 0);

@@ -15,11 +15,11 @@
 use crate::level::{RansLevel, SolverParams};
 use crate::parallel::{build_local_levels, parallel_sweep, partition_mesh_line_aware, LocalLevel};
 use crate::state::{pressure, NVARS};
-use columbia_comm::{run_ranks_traced, CommStats, Decomposition, Rank, RankTrace};
+use columbia_comm::{run_world, Decomposition, ExecContext, Rank, RankTrace};
 use columbia_mesh::{agglomerate_hierarchy, BoundaryKind, UnstructuredMesh};
 use columbia_mg::{ConvergenceHistory, CycleParams, CycleType};
 use columbia_partition::match_levels;
-use columbia_rt::trace::{SpanKey, Tracer};
+use columbia_rt::trace::SpanKey;
 use std::sync::Mutex;
 
 /// Packed restriction entry: `vol * u` (6), fine residual (6) — the fine
@@ -101,7 +101,11 @@ impl ParallelMg {
         // relabel each coarse partition for overlap with the next finer
         // level (the paper's greedy matching).
         let mut parts: Vec<Vec<u32>> = Vec::with_capacity(nlev);
-        parts.push(partition_mesh_line_aware(mesh, nparts, params.line_threshold));
+        parts.push(partition_mesh_line_aware(
+            mesh,
+            nparts,
+            params.line_threshold,
+        ));
         for l in 1..nlev {
             // Coarse levels are also partitioned line-aware (implicit lines
             // exist on agglomerated levels too and must not be broken).
@@ -200,37 +204,33 @@ impl ParallelMg {
 
     /// Measured non-local transfer fractions per level pair.
     pub fn nonlocal_fractions(&self) -> Vec<f64> {
-        self.transfers.iter().map(|t| t.nonlocal_fraction()).collect()
+        self.transfers
+            .iter()
+            .map(|t| t.nonlocal_fraction())
+            .collect()
     }
 
     /// Run `max_cycles` W-/V-cycles in parallel; returns the residual
-    /// history (identical on every rank) and per-rank comm statistics.
+    /// history (identical on every rank) and the per-rank teardown ledgers.
+    ///
+    /// Every rank runs under a multigrid-level context (sweeps attributed
+    /// to their level, restriction/prolongation traffic to the *coarse*
+    /// level of the pair — the intergrid cost the paper charges against
+    /// coarse grids), so `traces[p].per_level` is always populated. A fault
+    /// plan on `ctx` injects message/barrier faults per its seed, and an
+    /// enabled tracer additionally records the ledgers under an `mg_solve`
+    /// span. The default context runs clean with no recording overhead.
     pub fn solve(
-        self,
-        cp: &CycleParams,
-        cfl: f64,
-        max_cycles: usize,
-    ) -> (ConvergenceHistory, Vec<CommStats>) {
-        let (history, traces) = self.solve_traced(cp, cfl, max_cycles, &mut Tracer::disabled());
-        (history, traces.into_iter().map(|t| t.stats).collect())
-    }
-
-    /// [`ParallelMg::solve`] with full observability: every rank runs under
-    /// a multigrid-level context (sweeps attributed to their level,
-    /// restriction/prolongation traffic to the *coarse* level of the pair —
-    /// the intergrid cost the paper charges against coarse grids), and the
-    /// complete teardown ledgers come back as [`RankTrace`]s. The ledgers
-    /// are also recorded into `tracer` under an `mg_solve` span.
-    pub fn solve_traced(
         mut self,
         cp: &CycleParams,
         cfl: f64,
         max_cycles: usize,
-        tracer: &mut Tracer,
+        ctx: &mut ExecContext,
     ) -> (ConvergenceHistory, Vec<RankTrace>) {
         let nparts = self.nparts;
         // Move each rank's column of levels into a per-rank bundle.
-        let mut bundles: Vec<Option<Vec<LocalLevel>>> = (0..nparts).map(|_| Some(Vec::new())).collect();
+        let mut bundles: Vec<Option<Vec<LocalLevel>>> =
+            (0..nparts).map(|_| Some(Vec::new())).collect();
         for lvl in self.locals.drain(..) {
             for (r, local) in lvl.into_iter().enumerate() {
                 bundles[r].as_mut().unwrap().push(local);
@@ -240,7 +240,7 @@ impl ParallelMg {
         let decomps = &self.decomps;
         let transfers = &self.transfers;
 
-        let (results, traces) = run_ranks_traced(nparts, None, |rank| {
+        let (results, traces) = run_world(nparts, ctx, |rank| {
             let mut levels = bundles.lock().unwrap()[rank.rank()]
                 .take()
                 .expect("bundle already taken");
@@ -270,6 +270,7 @@ impl ParallelMg {
         });
 
         let history = results.into_iter().next_back().unwrap_or_default();
+        let tracer = ctx.tracer();
         tracer.scoped(SpanKey::new("mg_solve"), |t| {
             t.add("cycles", history.cycles() as u64);
             t.gauge("orders_reduced", history.orders_reduced());
@@ -623,7 +624,7 @@ mod tests {
         let sh = serial.solve_fixed_cfl(&cp, 0.0, 3);
 
         let pmg = ParallelMg::new(&m, params(), 3, 3);
-        let (ph, stats) = pmg.solve(&cp, cfl, 3);
+        let (ph, traces) = pmg.solve(&cp, cfl, 3, &mut ExecContext::default());
 
         assert_eq!(sh.residuals.len(), ph.residuals.len());
         for (i, (a, b)) in sh.residuals.iter().zip(ph.residuals.iter()).enumerate() {
@@ -633,7 +634,7 @@ mod tests {
             );
         }
         // Inter-grid messages actually flowed.
-        assert!(stats.iter().any(|s| s.total_msgs() > 0));
+        assert!(traces.iter().any(|t| t.stats.total_msgs() > 0));
     }
 
     #[test]
@@ -645,9 +646,9 @@ mod tests {
         };
         let run = || {
             let pmg = ParallelMg::new(&m, params(), 3, 3);
-            let mut tracer = Tracer::logical();
-            let (h, traces) = pmg.solve_traced(&CycleParams::default(), 4.0, 2, &mut tracer);
-            (h, traces, tracer.finish().to_json().render())
+            let mut ctx = ExecContext::traced();
+            let (h, traces) = pmg.solve(&CycleParams::default(), 4.0, 2, &mut ctx);
+            (h, traces, ctx.finish_trace().to_json().render())
         };
         let (h, traces, json) = run();
         assert!(h.cycles() == 2);
@@ -671,7 +672,12 @@ mod tests {
     fn parallel_multigrid_converges_on_more_ranks() {
         let m = mesh();
         let pmg = ParallelMg::new(&m, params(), 6, 3);
-        let (h, _) = pmg.solve(&CycleParams::default(), 6.0, 12);
+        let (h, _) = pmg.solve(
+            &CycleParams::default(),
+            6.0,
+            12,
+            &mut ExecContext::default(),
+        );
         assert!(
             h.orders_reduced() > 2.0,
             "distributed MG failed to converge: {} orders",

@@ -9,6 +9,7 @@
 
 use crate::solver::RansSolver;
 use crate::state::NVARS;
+use columbia_comm::ExecContext;
 use columbia_machine::{CycleProfile, IntergridProfile, LevelProfile};
 use columbia_mg::{CycleParams, CycleType};
 use columbia_partition::{
@@ -207,6 +208,10 @@ pub fn measure_intergrid_nonlocal(solver: &RansSolver, level: usize, p: usize) -
 /// * Measures inter-grid non-locality with `match_parts`-way partitions.
 /// * Rescales the level sizes so the finest level has `target_points`
 ///   (the paper's 72M), preserving the measured coarsening ratios.
+///
+/// With tracing enabled on `ctx`, the fit provenance and per-level FLOP
+/// counts are recorded under a `profile_measure` span instead of dropped.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_profile(
     solver: &mut RansSolver,
     cycle: &CycleParams,
@@ -214,30 +219,9 @@ pub fn measure_profile(
     match_parts: usize,
     target_points: f64,
     name: &str,
+    ctx: &mut ExecContext,
 ) -> CycleProfile {
-    measure_profile_traced(
-        solver,
-        cycle,
-        parts,
-        match_parts,
-        target_points,
-        name,
-        &mut Tracer::disabled(),
-    )
-}
-
-/// [`measure_profile`] with the fit provenance and per-level FLOP counts
-/// recorded on `tracer` instead of dropped.
-#[allow(clippy::too_many_arguments)]
-pub fn measure_profile_traced(
-    solver: &mut RansSolver,
-    cycle: &CycleParams,
-    parts: &[usize],
-    match_parts: usize,
-    target_points: f64,
-    name: &str,
-    tracer: &mut Tracer,
-) -> CycleProfile {
+    let tracer = ctx.tracer();
     tracer.begin(SpanKey::new("profile_measure"));
     // FLOP measurement over one cycle.
     for lvl in solver.levels.iter_mut() {
@@ -372,20 +356,20 @@ mod tests {
     }
 
     #[test]
-    fn measure_profile_traced_surfaces_fit_provenance() {
+    fn measure_profile_records_fit_provenance() {
         let mut s = solver(4000, 2);
-        let mut tracer = Tracer::logical();
-        let p = measure_profile_traced(
+        let mut ctx = ExecContext::traced();
+        let p = measure_profile(
             &mut s,
             &CycleParams::default(),
             &[4, 8, 16],
             8,
             72.0e6,
             "traced",
-            &mut tracer,
+            &mut ctx,
         );
         p.validate().unwrap();
-        let trace = tracer.finish();
+        let trace = ctx.finish_trace();
         let span = trace.find("profile_measure").expect("profile span");
         let fit = span
             .children
@@ -414,6 +398,7 @@ mod tests {
             8,
             72.0e6,
             "measured NSU3D",
+            &mut ExecContext::default(),
         );
         p.validate().unwrap();
         assert!((p.levels[0].points - 72.0e6).abs() / 72.0e6 < 1e-9);

@@ -3,10 +3,9 @@
 use crate::level::RansLevel;
 pub use crate::level::SolverParams;
 use crate::state::NVARS;
+use columbia_comm::ExecContext;
 use columbia_mesh::{agglomerate_hierarchy, BoundaryKind, UnstructuredMesh};
-use columbia_mg::{
-    fas_cycle, solve_to_tolerance, ConvergenceHistory, CycleParams, MultigridLevel,
-};
+use columbia_mg::{fas_cycle, solve_to_tolerance, ConvergenceHistory, CycleParams, MultigridLevel};
 
 impl MultigridLevel for RansLevel {
     fn smooth(&mut self, sweeps: usize) {
@@ -151,7 +150,7 @@ impl RansSolver {
 
     /// Run one multigrid cycle.
     pub fn cycle(&mut self, params: &CycleParams) {
-        fas_cycle(&mut self.levels, params);
+        fas_cycle(&mut self.levels, params, &mut ExecContext::default());
     }
 
     /// Set the working CFL on every level.
@@ -179,7 +178,7 @@ impl RansSolver {
                 break;
             }
             self.set_cfl(cfl);
-            fas_cycle(&mut self.levels, params);
+            fas_cycle(&mut self.levels, params, &mut ExecContext::default());
             history.residuals.push(self.levels[0].residual_rms());
             cfl = (cfl * 1.6).min(sp.cfl);
         }
@@ -194,7 +193,13 @@ impl RansSolver {
         tol: f64,
         max_cycles: usize,
     ) -> ConvergenceHistory {
-        solve_to_tolerance(&mut self.levels, params, tol, max_cycles)
+        solve_to_tolerance(
+            &mut self.levels,
+            params,
+            tol,
+            max_cycles,
+            &mut ExecContext::default(),
+        )
     }
 
     /// Total software-counted FLOPs across all levels (and reset counters).

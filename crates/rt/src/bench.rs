@@ -27,7 +27,7 @@ pub struct Bench {
 impl Bench {
     pub fn new() -> Self {
         Bench {
-            quick: std::env::var_os("COLUMBIA_BENCH_QUICK").is_some(),
+            quick: crate::env::bench_quick(),
         }
     }
 

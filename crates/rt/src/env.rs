@@ -1,0 +1,136 @@
+//! Typed parsing of the workspace's `COLUMBIA_*` environment knobs.
+//!
+//! Every knob the workspace reads is parsed here, once, with one
+//! documented grammar — test files and harnesses must not hand-roll
+//! `std::env::var` calls. The full set:
+//!
+//! | Variable                  | Grammar                  | Default      | Consumers                                  |
+//! |---------------------------|--------------------------|--------------|--------------------------------------------|
+//! | `COLUMBIA_FAULT_SEED`     | decimal or `0x`-hex u64  | `0xC01D_FA17`| CI fault matrix, `tests/fault_injection.rs`|
+//! | `COLUMBIA_FAULT_SEVERITY` | `mild` \| `severe`       | `mild`       | CI fault matrix, `tests/fault_injection.rs`|
+//! | `COLUMBIA_SLOW_TESTS`     | set and not `"0"` ⇒ on   | off          | 8-rank parity widths, paper-scale variants |
+//! | `COLUMBIA_BENCH_QUICK`    | set ⇒ on                 | off          | [`crate::bench`] CI smoke mode             |
+//! | `COLUMBIA_PT_REPLAY`      | decimal or `0x`-hex u64  | unset        | [`crate::props`] single-case replay        |
+//!
+//! The parsers are split into pure `parse_*` functions (unit-testable
+//! without touching process state) and thin `std::env` wrappers, so the
+//! grammar is pinned by tests that never race over environment variables.
+
+use crate::fault::FaultConfig;
+
+/// Fault seed used when `COLUMBIA_FAULT_SEED` is unset.
+pub const DEFAULT_FAULT_SEED: u64 = 0xC01D_FA17;
+
+/// Parse a u64 seed in the knob grammar: decimal, or hex with a `0x`/`0X`
+/// prefix. Surrounding whitespace is ignored.
+pub fn parse_seed(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+            .map_err(|e| format!("bad hex seed {s:?}: {e}"))
+    } else {
+        s.replace('_', "")
+            .parse()
+            .map_err(|e| format!("bad seed {s:?}: {e}"))
+    }
+}
+
+/// Chaos severity selected by `COLUMBIA_FAULT_SEVERITY`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Mild,
+    Severe,
+}
+
+impl Severity {
+    /// The matching comm-layer fault profile.
+    pub fn config(self) -> FaultConfig {
+        match self {
+            Severity::Mild => FaultConfig::mild(),
+            Severity::Severe => FaultConfig::severe(),
+        }
+    }
+}
+
+/// Parse a `COLUMBIA_FAULT_SEVERITY` value; `None` means unset.
+pub fn parse_severity(v: Option<&str>) -> Result<Severity, String> {
+    match v.map(str::trim) {
+        None | Some("mild") => Ok(Severity::Mild),
+        Some("severe") => Ok(Severity::Severe),
+        Some(other) => Err(format!("bad severity {other:?} (use mild|severe)")),
+    }
+}
+
+/// Boolean knob: set and not literally `"0"`.
+pub fn parse_flag(v: Option<&str>) -> bool {
+    v.is_some_and(|v| v.trim() != "0")
+}
+
+/// `COLUMBIA_FAULT_SEED` for this run (CI fault-matrix seed), or
+/// [`DEFAULT_FAULT_SEED`].
+pub fn fault_seed() -> u64 {
+    match std::env::var("COLUMBIA_FAULT_SEED") {
+        Ok(s) => parse_seed(&s).expect("COLUMBIA_FAULT_SEED"),
+        Err(_) => DEFAULT_FAULT_SEED,
+    }
+}
+
+/// `COLUMBIA_FAULT_SEVERITY` for this run, default [`Severity::Mild`].
+pub fn fault_severity() -> Severity {
+    parse_severity(std::env::var("COLUMBIA_FAULT_SEVERITY").ok().as_deref())
+        .expect("COLUMBIA_FAULT_SEVERITY")
+}
+
+/// `COLUMBIA_SLOW_TESTS`: opt in to the slow, wide test variants (set in
+/// CI; any value but `"0"` enables).
+pub fn slow_tests() -> bool {
+    parse_flag(std::env::var("COLUMBIA_SLOW_TESTS").ok().as_deref())
+}
+
+/// `COLUMBIA_BENCH_QUICK`: one short sample per benchmark (CI smoke mode;
+/// presence enables).
+pub fn bench_quick() -> bool {
+    std::env::var_os("COLUMBIA_BENCH_QUICK").is_some()
+}
+
+/// `COLUMBIA_PT_REPLAY`: replay one property-test case from this seed.
+pub fn pt_replay() -> Option<u64> {
+    std::env::var("COLUMBIA_PT_REPLAY")
+        .ok()
+        .map(|s| parse_seed(&s).expect("COLUMBIA_PT_REPLAY"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_grammar_accepts_decimal_hex_and_separators() {
+        assert_eq!(parse_seed("42"), Ok(42));
+        assert_eq!(parse_seed(" 0xC01D_FA17 "), Ok(0xC01D_FA17));
+        assert_eq!(parse_seed("0Xff"), Ok(255));
+        assert_eq!(parse_seed("1_000_000"), Ok(1_000_000));
+        assert!(parse_seed("0x").is_err());
+        assert!(parse_seed("banana").is_err());
+        assert!(parse_seed("").is_err());
+    }
+
+    #[test]
+    fn severity_grammar_is_mild_severe_with_mild_default() {
+        assert_eq!(parse_severity(None), Ok(Severity::Mild));
+        assert_eq!(parse_severity(Some("mild")), Ok(Severity::Mild));
+        assert_eq!(parse_severity(Some(" severe ")), Ok(Severity::Severe));
+        assert!(parse_severity(Some("apocalyptic")).is_err());
+        assert_eq!(Severity::Severe.config(), FaultConfig::severe());
+        assert_eq!(Severity::Mild.config(), FaultConfig::mild());
+    }
+
+    #[test]
+    fn flag_grammar_treats_only_zero_as_off() {
+        assert!(!parse_flag(None));
+        assert!(!parse_flag(Some("0")));
+        assert!(parse_flag(Some("1")));
+        assert!(parse_flag(Some("yes")));
+        assert!(parse_flag(Some("")));
+    }
+}

@@ -322,9 +322,8 @@ mod tests {
     fn different_seeds_give_different_schedules() {
         let a = FaultPlan::new(1, 4, FaultConfig::severe());
         let b = FaultPlan::new(2, 4, FaultConfig::severe());
-        let differs = (0..200).any(|seq| {
-            a.message_action(0, 1, 0, seq) != b.message_action(0, 1, 0, seq)
-        });
+        let differs =
+            (0..200).any(|seq| a.message_action(0, 1, 0, seq) != b.message_action(0, 1, 0, seq));
         assert!(differs, "seeds 1 and 2 produced identical schedules");
     }
 

@@ -206,12 +206,7 @@ mod tests {
 
     #[test]
     fn identical_values_render_identically() {
-        let build = || {
-            Json::obj([
-                ("a", Json::Num(0.1 + 0.2)),
-                ("b", Json::Str("x".into())),
-            ])
-        };
+        let build = || Json::obj([("a", Json::Num(0.1 + 0.2)), ("b", Json::Str("x".into()))]);
         assert_eq!(build().render(), build().render());
     }
 }

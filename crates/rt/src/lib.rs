@@ -24,12 +24,16 @@
 //!   event-count clock in test mode and wall time in bench mode, plus
 //!   typed counters (replaces nothing — closes the instrumentation gap);
 //! * [`json`] — a byte-stable JSON writer for trace and scaling reports
-//!   (replaces `serde_json` where a repo would normally reach for it).
+//!   (replaces `serde_json` where a repo would normally reach for it);
+//! * [`env`] — typed, unit-tested parsing of every `COLUMBIA_*`
+//!   environment knob (seeds, severities, slow-test and quick-bench
+//!   flags), so no harness hand-rolls `std::env::var`.
 //!
 //! Everything here is plain `std`; the crate must never grow a dependency.
 
 pub mod bench;
 pub mod channel;
+pub mod env;
 pub mod fault;
 pub mod json;
 pub mod props;

@@ -166,8 +166,7 @@ pub fn array<S: Strategy, const N: usize>(elem: S) -> ArrayStrategy<S, N> {
 /// hand-rolled properties.
 pub fn run_cases<F: FnMut(&mut Pcg32)>(config: &Config, name: &str, mut body: F) {
     // Replay mode: run exactly one case from the given seed.
-    if let Ok(replay) = std::env::var("COLUMBIA_PT_REPLAY") {
-        let seed = parse_seed(&replay);
+    if let Some(seed) = crate::env::pt_replay() {
         let mut rng = Pcg32::seed_from_u64(seed);
         eprintln!("{name}: replaying single case with seed {seed:#x}");
         body(&mut rng);
@@ -185,15 +184,6 @@ pub fn run_cases<F: FnMut(&mut Pcg32)>(config: &Config, name: &str, mut body: F)
             );
             resume_unwind(panic);
         }
-    }
-}
-
-fn parse_seed(s: &str) -> u64 {
-    let s = s.trim();
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).expect("COLUMBIA_PT_REPLAY: bad hex seed")
-    } else {
-        s.parse().expect("COLUMBIA_PT_REPLAY: bad seed")
     }
 }
 

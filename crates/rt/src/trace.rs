@@ -212,6 +212,13 @@ pub struct Tracer {
     gauges: BTreeMap<String, f64>,
 }
 
+/// The default tracer is the disabled no-op sink.
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::disabled()
+    }
+}
+
 impl Tracer {
     /// A no-op tracer: all recording calls are cheap and `finish` yields an
     /// empty trace.
@@ -259,8 +266,11 @@ impl Tracer {
                 self.events += 1;
                 self.events
             }
-            ClockMode::Wall => self.epoch.expect("wall tracer has epoch").elapsed().as_nanos()
-                as u64,
+            ClockMode::Wall => self
+                .epoch
+                .expect("wall tracer has epoch")
+                .elapsed()
+                .as_nanos() as u64,
         }
     }
 

@@ -79,7 +79,10 @@ fn transpose_to_axes(x: &mut [u32; N], bits: u32) {
 /// # Panics
 /// If `bits` is 0 or exceeds [`MAX_BITS`], or a coordinate is out of range.
 pub fn hilbert_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
-    assert!((1..=MAX_BITS).contains(&bits), "bits must be in 1..={MAX_BITS}");
+    assert!(
+        (1..=MAX_BITS).contains(&bits),
+        "bits must be in 1..={MAX_BITS}"
+    );
     let lim = 1u32 << bits;
     assert!(
         x < lim && y < lim && z < lim,
@@ -199,7 +202,10 @@ mod tests {
             mprev = m;
         }
         assert!(hsum < msum, "hilbert {hsum} should beat morton {msum}");
-        assert!((hsum - (n - 1) as f64).abs() < 1e-9, "hilbert steps are all unit");
+        assert!(
+            (hsum - (n - 1) as f64).abs() < 1e-9,
+            "hilbert steps are all unit"
+        );
     }
 
     columbia_rt::props! {

@@ -40,7 +40,10 @@ fn compact3(v: u64) -> u32 {
 /// If `bits > 21` or any coordinate needs more than `bits` bits.
 #[inline]
 pub fn morton_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
-    assert!(bits <= MAX_BITS, "morton supports at most {MAX_BITS} bits/axis");
+    assert!(
+        bits <= MAX_BITS,
+        "morton supports at most {MAX_BITS} bits/axis"
+    );
     let lim = 1u32.checked_shl(bits).unwrap_or(u32::MAX);
     assert!(
         x < lim && y < lim && z < lim,
@@ -53,7 +56,11 @@ pub fn morton_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
 #[inline]
 pub fn morton_decode(key: u64, bits: u32) -> (u32, u32, u32) {
     assert!(bits <= MAX_BITS);
-    let mask = if bits == 0 { 0 } else { (1u64 << (3 * bits)) - 1 };
+    let mask = if bits == 0 {
+        0
+    } else {
+        (1u64 << (3 * bits)) - 1
+    };
     let key = key & mask;
     (compact3(key), compact3(key >> 1), compact3(key >> 2))
 }

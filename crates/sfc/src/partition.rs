@@ -103,7 +103,11 @@ mod tests {
         let mut w = vec![2.1; 50];
         w.resize(100, 1.0);
         let p = split_weighted_curve(&w, 2);
-        assert!(p.starts[1] < 50, "boundary {} should be in cut region", p.starts[1]);
+        assert!(
+            p.starts[1] < 50,
+            "boundary {} should be in cut region",
+            p.starts[1]
+        );
         assert!(p.imbalance(&w) < 1.05);
     }
 

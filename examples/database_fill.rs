@@ -11,7 +11,7 @@
 //! ```
 
 use columbia_cartesian::sslv_geometry;
-use columbia_core::{CartAnalysis, DatabaseFill, DatabaseSpec};
+use columbia_core::{CartAnalysis, DatabaseFill, DatabaseSpec, ExecContext};
 
 fn main() {
     let analysis = CartAnalysis::default().resolution(3, 6);
@@ -31,8 +31,12 @@ fn main() {
         spec.ncases()
     );
     let t0 = std::time::Instant::now();
-    let db = fill.run(&spec, 3);
-    println!("filled {} entries in {:.1} s\n", db.len(), t0.elapsed().as_secs_f64());
+    let db = fill.run(&spec, 3, &mut ExecContext::default());
+    println!(
+        "filled {} entries in {:.1} s\n",
+        db.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     println!(
         "{:>8}{:>8}{:>8}{:>12}{:>12}{:>12}{:>8}",
@@ -41,7 +45,12 @@ fn main() {
     for e in &db {
         println!(
             "{:>8.2}{:>8.2}{:>8.3}{:>12.4}{:>12.4}{:>12.4}{:>8.1}",
-            e.deflection, e.mach, e.alpha, e.forces.force.x, e.forces.force.y, e.forces.force.z,
+            e.deflection,
+            e.mach,
+            e.alpha,
+            e.forces.force.x,
+            e.forces.force.y,
+            e.forces.force.z,
             e.orders
         );
     }

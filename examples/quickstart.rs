@@ -9,8 +9,8 @@
 //! miniature: NSU3D-style viscous analysis at the design point, Cart3D-style
 //! inviscid analysis of the same class of configuration for fast sweeps.
 
-use columbia_core::{CartAnalysis, FlowAnalysis};
 use columbia_cartesian::{Geometry, TriMesh};
+use columbia_core::{CartAnalysis, FlowAnalysis};
 
 fn main() {
     // ---- High-fidelity (NSU3D-style) analysis ---------------------------

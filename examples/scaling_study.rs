@@ -15,7 +15,9 @@ fn main() {
     println!("== NSU3D 72M-point 6-level W-cycle ==");
     let study = PerformanceStudy::new(paper_nsu3d_72m(), &NSU3D_CPU_COUNTS);
     let rows = vec![
-        study.series("NUMAlink, pure MPI", |n| RunConfig::mpi(n, Fabric::NumaLink4)),
+        study.series("NUMAlink, pure MPI", |n| {
+            RunConfig::mpi(n, Fabric::NumaLink4)
+        }),
         study.series("NUMAlink, 2 OMP threads", |n| {
             RunConfig::hybrid(n, Fabric::NumaLink4, 2)
         }),
@@ -23,7 +25,10 @@ fn main() {
             RunConfig::hybrid(n, Fabric::InfiniBand, 2)
         }),
     ];
-    print!("{}", PerformanceStudy::format_table(&rows, &NSU3D_CPU_COUNTS));
+    print!(
+        "{}",
+        PerformanceStudy::format_table(&rows, &NSU3D_CPU_COUNTS)
+    );
     println!(
         "paper: NUMAlink superlinear (2044 at 2008 CPUs); InfiniBand multigrid\n\
          collapses at high CPU counts.\n"
@@ -32,10 +37,17 @@ fn main() {
     println!("== Cart3D 25M-cell SSLV 4-level W-cycle ==");
     let study = PerformanceStudy::new(paper_cart3d_25m(), &CART3D_CPU_COUNTS);
     let rows = vec![
-        study.series("NUMAlink, pure MPI", |n| RunConfig::mpi(n, Fabric::NumaLink4)),
-        study.series("InfiniBand, pure MPI", |n| RunConfig::mpi(n, Fabric::InfiniBand)),
+        study.series("NUMAlink, pure MPI", |n| {
+            RunConfig::mpi(n, Fabric::NumaLink4)
+        }),
+        study.series("InfiniBand, pure MPI", |n| {
+            RunConfig::mpi(n, Fabric::InfiniBand)
+        }),
     ];
-    print!("{}", PerformanceStudy::format_table(&rows, &CART3D_CPU_COUNTS));
+    print!(
+        "{}",
+        PerformanceStudy::format_table(&rows, &CART3D_CPU_COUNTS)
+    );
     println!(
         "paper: ~1585 at 2016 CPUs on NUMAlink; InfiniBand dips crossing the\n\
          2-node boundary at 508 CPUs and stops at the 1524-rank limit.\n"

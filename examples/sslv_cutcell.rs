@@ -12,8 +12,7 @@
 //! ```
 
 use columbia_cartesian::{
-    build_octree, coarsen_hierarchy, extract_mesh, partition_cells, sslv_geometry,
-    CutCellConfig,
+    build_octree, coarsen_hierarchy, extract_mesh, partition_cells, sslv_geometry, CutCellConfig,
 };
 use columbia_sfc::CurveKind;
 use std::time::Instant;

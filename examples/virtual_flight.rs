@@ -8,7 +8,9 @@
 //! ```
 
 use columbia_cartesian::{Geometry, TriMesh};
-use columbia_core::{AeroDatabase, CartAnalysis, DatabaseFill, DatabaseSpec, RigidState, SixDof};
+use columbia_core::{
+    AeroDatabase, CartAnalysis, DatabaseFill, DatabaseSpec, ExecContext, RigidState, SixDof,
+};
 use columbia_mesh::Vec3;
 
 fn main() {
@@ -39,7 +41,7 @@ fn main() {
         cycles: 15,
     };
     let t0 = std::time::Instant::now();
-    let entries = fill.run(&spec, 4);
+    let entries = fill.run(&spec, 4, &mut ExecContext::default());
     println!(
         "  {} CFD cases in {:.1} s",
         entries.len(),

@@ -6,7 +6,7 @@
 //! means identical output down to the last bit, different seed means a
 //! different (but equally valid) artifact.
 
-use columbia_comm::{run_ranks_faulty, FaultConfig, FaultPlan};
+use columbia_comm::{run_world, ExecContext, FaultConfig, FaultPlan};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_partition::{graph::grid_graph, partition_graph, PartitionConfig};
 use std::sync::Arc;
@@ -16,7 +16,7 @@ use std::sync::Arc;
 /// world triples the thread pressure on a small test machine without
 /// exercising any new code path.
 fn parity_widths() -> &'static [usize] {
-    let slow = std::env::var_os("COLUMBIA_SLOW_TESTS").is_some_and(|v| v != "0");
+    let slow = columbia_rt::env::slow_tests();
     if slow {
         &[2, 4, 8]
     } else {
@@ -129,7 +129,7 @@ fn kway_partition_seed_changes_the_matching_order() {
 #[test]
 fn rans_parallel_matches_serial_under_zero_fault_plan() {
     use columbia_rans::level::{RansLevel, SolverParams};
-    use columbia_rans::parallel::run_parallel_smoothing_faulty;
+    use columbia_rans::parallel::run_parallel_smoothing;
     use columbia_rans::state::NVARS;
 
     let m = wing_mesh(&WingMeshSpec {
@@ -152,8 +152,9 @@ fn rans_parallel_matches_serial_under_zero_fault_plan() {
     let serial_rms = serial.residual_rms();
 
     for &nparts in parity_widths() {
-        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
-        let (u, rms, stats) = run_parallel_smoothing_faulty(&m, params, nparts, 3, plan);
+        let plan = Arc::new(FaultPlan::fault_free(nparts));
+        let (u, rms, traces) =
+            run_parallel_smoothing(&m, params, nparts, 3, &mut ExecContext::faulty(plan));
         let mut max_diff = 0.0f64;
         for (v, su) in serial.u.iter().enumerate() {
             for k in 0..NVARS {
@@ -162,17 +163,20 @@ fn rans_parallel_matches_serial_under_zero_fault_plan() {
         }
         assert!(max_diff < 1e-8, "{nparts}-way RANS diverged: {max_diff}");
         assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
-        assert!(stats.iter().all(|s| s.faults().is_clean()));
+        assert!(traces.iter().all(|t| t.stats.faults().is_clean()));
 
         // And the parallel run itself is bitwise repeatable.
-        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
-        let (u2, rms2, stats2) = run_parallel_smoothing_faulty(&m, params, nparts, 3, plan);
-        let bits = |u: &[[f64; NVARS]]| -> Vec<u64> {
-            u.iter().flatten().map(|v| v.to_bits()).collect()
-        };
+        let plan = Arc::new(FaultPlan::fault_free(nparts));
+        let (u2, rms2, traces2) =
+            run_parallel_smoothing(&m, params, nparts, 3, &mut ExecContext::faulty(plan));
+        let bits =
+            |u: &[[f64; NVARS]]| -> Vec<u64> { u.iter().flatten().map(|v| v.to_bits()).collect() };
         assert_eq!(bits(&u), bits(&u2), "{nparts}-way RANS not repeatable");
         assert_eq!(rms.to_bits(), rms2.to_bits());
-        assert_eq!(stats, stats2);
+        let stats = |ts: &[columbia_comm::RankTrace]| -> Vec<columbia_comm::CommStats> {
+            ts.iter().map(|t| t.stats.clone()).collect()
+        };
+        assert_eq!(stats(&traces), stats(&traces2));
     }
 }
 
@@ -181,7 +185,7 @@ fn rans_parallel_matches_serial_under_zero_fault_plan() {
 fn euler_parallel_matches_serial_under_zero_fault_plan() {
     use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
     use columbia_euler::level::EulerLevel;
-    use columbia_euler::parallel::run_parallel_smoothing_faulty;
+    use columbia_euler::parallel::run_parallel_smoothing;
     use columbia_euler::state::{freestream5, NVARS5};
     use columbia_mesh::Vec3;
     use columbia_sfc::CurveKind;
@@ -210,8 +214,9 @@ fn euler_parallel_matches_serial_under_zero_fault_plan() {
     let serial_rms = serial.residual_rms();
 
     for &nparts in parity_widths() {
-        let plan = Some(Arc::new(FaultPlan::fault_free(nparts)));
-        let (u, rms, stats) = run_parallel_smoothing_faulty(&mesh, fs, 1.5, nparts, 3, plan);
+        let plan = Arc::new(FaultPlan::fault_free(nparts));
+        let (u, rms, traces) =
+            run_parallel_smoothing(&mesh, fs, 1.5, nparts, 3, &mut ExecContext::faulty(plan));
         let mut max_diff = 0.0f64;
         for (c, su) in serial.u.iter().enumerate() {
             for k in 0..NVARS5 {
@@ -220,7 +225,7 @@ fn euler_parallel_matches_serial_under_zero_fault_plan() {
         }
         assert!(max_diff < 1e-9, "{nparts}-way Euler diverged: {max_diff}");
         assert!((rms - serial_rms).abs() < 1e-10 * (1.0 + serial_rms));
-        assert!(stats.iter().all(|s| s.faults().is_clean()));
+        assert!(traces.iter().all(|t| t.stats.faults().is_clean()));
     }
 }
 
@@ -232,7 +237,8 @@ columbia_rt::props! {
     /// genuinely zero-effect.
     fn prop_zero_rate_plan_is_inert_for_any_seed(seed in 0u64..u64::MAX, nranks in 2usize..6) {
         let workload = |plan: Option<Arc<FaultPlan>>| {
-            run_ranks_faulty(nranks, plan, |rank| {
+            let ctx = ExecContext::default().with_faults(plan);
+            run_world(nranks, &ctx, |rank| {
                 let n = rank.nranks();
                 let me = rank.rank();
                 rank.send((me + 1) % n, 3, vec![me as f64 + 0.25]);
@@ -241,6 +247,7 @@ columbia_rt::props! {
                 rank.barrier();
                 (total, rank.take_stats())
             })
+            .0
         };
         let clean = workload(None);
         let planned = workload(Some(Arc::new(FaultPlan::new(

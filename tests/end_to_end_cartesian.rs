@@ -1,8 +1,7 @@
 //! Cross-crate integration: the full Cart3D-style pipeline.
 
 use columbia_cartesian::{
-    build_octree, coarsen_hierarchy, extract_mesh, partition_cells, sslv_geometry,
-    CutCellConfig,
+    build_octree, coarsen_hierarchy, extract_mesh, partition_cells, sslv_geometry, CutCellConfig,
 };
 use columbia_core::{CartAnalysis, DatabaseFill, DatabaseSpec};
 use columbia_euler::{freestream5, EulerParams, EulerSolver};
@@ -69,8 +68,14 @@ fn euler_parallel_matches_serial_on_sslv() {
     for _ in 0..2 {
         serial.rk_step();
     }
-    let (u, _, _) =
-        columbia_euler::parallel::run_parallel_smoothing(&mesh, fs, 1.5, 4, 2);
+    let (u, _, _) = columbia_euler::parallel::run_parallel_smoothing(
+        &mesh,
+        fs,
+        1.5,
+        4,
+        2,
+        &mut columbia_comm::ExecContext::default(),
+    );
     let mut max_diff = 0.0f64;
     for (c, su) in serial.u.iter().enumerate() {
         for k in 0..5 {
@@ -91,7 +96,7 @@ fn database_fill_trends_are_physical() {
         betas: vec![0.0],
         cycles: 12,
     };
-    let db = fill.run(&spec, 2);
+    let db = fill.run(&spec, 2, &mut columbia_core::ExecContext::default());
     assert_eq!(db.len(), 4);
     let fx = |m: f64, a: f64| {
         db.iter()

@@ -19,12 +19,16 @@ fn params() -> SolverParams {
 /// default keeps the suite fast on a laptop without losing coverage of any
 /// code path — only mesh size and cycle counts shrink.
 fn slow_tests() -> bool {
-    std::env::var_os("COLUMBIA_SLOW_TESTS").is_some_and(|v| v != "0")
+    columbia_rt::env::slow_tests()
 }
 
 #[test]
 fn mesh_to_converged_multigrid_solution() {
-    let (points, max_cycles) = if slow_tests() { (8_000, 50) } else { (4_000, 40) };
+    let (points, max_cycles) = if slow_tests() {
+        (8_000, 50)
+    } else {
+        (4_000, 40)
+    };
     let mesh = wing_mesh(&WingMeshSpec {
         jitter: 0.0,
         ..WingMeshSpec::with_target_points(points)
@@ -104,7 +108,8 @@ fn partitioned_execution_matches_serial_and_respects_lines() {
     for _ in 0..2 {
         serial.smooth_sweep();
     }
-    let (u, _, stats) = run_parallel_smoothing(&mesh, p, 6, 2);
+    let (u, _, traces) =
+        run_parallel_smoothing(&mesh, p, 6, 2, &mut columbia_comm::ExecContext::default());
     let mut max_diff = 0.0f64;
     for (v, su) in serial.u.iter().enumerate() {
         for k in 0..6 {
@@ -123,7 +128,7 @@ fn partitioned_execution_matches_serial_and_respects_lines() {
         msgs_hybrid < msgs_pure,
         "hybrid should aggregate: {msgs_hybrid} vs {msgs_pure}"
     );
-    assert!(stats.iter().any(|s| s.total_msgs() > 0));
+    assert!(traces.iter().any(|t| t.stats.total_msgs() > 0));
 }
 
 #[test]
@@ -142,6 +147,7 @@ fn measured_profile_drives_machine_model() {
         8,
         72.0e6,
         "measured",
+        &mut columbia_comm::ExecContext::default(),
     );
     profile.validate().unwrap();
     let m = MachineConfig::columbia_vortex();

@@ -13,14 +13,16 @@
 //!   mixed-width comm workload, the RANS smoothing sweep, and full
 //!   multigrid cycles.
 
-use columbia_comm::{decompose, run_ranks_faulty, Decomposition, FaultConfig, FaultPlan, Rank};
+use columbia_comm::{
+    decompose, run_ranks, run_world, Decomposition, ExecContext, FaultConfig, FaultPlan, Rank,
+};
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_mg::CycleParams;
 use columbia_rans::level::SolverParams;
 use columbia_rans::parallel::{
     build_local_levels, parallel_sweep, partition_mesh_line_aware, LocalLevel,
 };
 use columbia_rans::parallel_mg::ParallelMg;
-use columbia_mesh::{wing_mesh, WingMeshSpec};
-use columbia_mg::CycleParams;
 use columbia_rt::rng::Pcg32;
 use std::sync::{Arc, Mutex};
 
@@ -124,9 +126,11 @@ columbia_rt::props! {
             let decomp = Arc::new(random_decomp(seed, 10, 8, nparts));
             let run = |pooled: bool, plan: Option<Arc<FaultPlan>>| {
                 let d = Arc::clone(&decomp);
-                run_ranks_faulty(nparts, plan, move |rank| {
+                let ctx = ExecContext::default().with_faults(plan);
+                run_world(nparts, &ctx, move |rank| {
                     exchange_workload(&d, rank, pooled, 3)
                 })
+                .0
             };
             let reference = run(false, None);
             let pooled_clean = run(true, None);
@@ -150,7 +154,7 @@ fn pool_misses_stop_after_first_cycle_in_mixed_workload() {
     let nparts = 4;
     let decomp = Arc::new(random_decomp(99, 12, 9, nparts));
     let plan = chaos_plan(1234, nparts);
-    let per_cycle = run_ranks_faulty(nparts, Some(plan), |rank| {
+    let per_cycle = run_world(nparts, &ExecContext::faulty(plan), |rank| {
         let p = rank.rank();
         let plan = &decomp.plans[p];
         let (mut a, mut b) = seed_fields(&decomp, p);
@@ -164,7 +168,8 @@ fn pool_misses_stop_after_first_cycle_in_mixed_workload() {
             stats_per_cycle.push(rank.take_stats());
         }
         stats_per_cycle
-    });
+    })
+    .0;
     for (r, cycles) in per_cycle.iter().enumerate() {
         let warm = cycles[0].pool();
         if decomp.plans[r].degree() > 0 {
@@ -216,8 +221,13 @@ fn rans_sweep_reaches_zero_alloc_steady_state() {
     let nparts = 4;
     let part = partition_mesh_line_aware(&m, nparts, rans_params().line_threshold);
     let (decomp, locals) = build_local_levels(&m, &part, nparts, rans_params());
-    let locals = Mutex::new(locals.into_iter().map(Some).collect::<Vec<Option<LocalLevel>>>());
-    let per_cycle = run_ranks_faulty(nparts, None, |rank| {
+    let locals = Mutex::new(
+        locals
+            .into_iter()
+            .map(Some)
+            .collect::<Vec<Option<LocalLevel>>>(),
+    );
+    let per_cycle = run_ranks(nparts, |rank| {
         let mut local = locals.lock().unwrap()[rank.rank()]
             .take()
             .expect("local level already taken");
@@ -231,7 +241,10 @@ fn rans_sweep_reaches_zero_alloc_steady_state() {
         stats_per_cycle
     });
     for (r, cycles) in per_cycle.iter().enumerate() {
-        assert!(cycles[0].pool().hits > 0, "rank {r}: sweep never hit the pool");
+        assert!(
+            cycles[0].pool().hits > 0,
+            "rank {r}: sweep never hit the pool"
+        );
         for (c, s) in cycles.iter().enumerate().skip(1) {
             assert_eq!(
                 s.pool().misses,
@@ -239,7 +252,10 @@ fn rans_sweep_reaches_zero_alloc_steady_state() {
                 "rank {r} sweep {c}: steady-state sweep allocated a payload"
             );
             assert!(s.pool().hits > 0, "rank {r} sweep {c}: pool unused");
-            assert!(s.pool().coalesced_msgs > 0, "rank {r} sweep {c}: no coalescing");
+            assert!(
+                s.pool().coalesced_msgs > 0,
+                "rank {r} sweep {c}: no coalescing"
+            );
         }
     }
 }
@@ -255,19 +271,19 @@ fn multigrid_cycles_allocate_only_during_warmup() {
     let cp = CycleParams::default();
     let run = |cycles: usize| {
         let pmg = ParallelMg::new(&m, rans_params(), 3, 3);
-        let (_, stats) = pmg.solve(&cp, 4.0, cycles);
-        stats
+        let (_, traces) = pmg.solve(&cp, 4.0, cycles, &mut ExecContext::default());
+        traces
     };
     let one = run(1);
     let three = run(3);
-    for (r, (s1, s3)) in one.iter().zip(&three).enumerate() {
+    for (r, (t1, t3)) in one.iter().zip(&three).enumerate() {
         assert_eq!(
-            s1.pool().misses,
-            s3.pool().misses,
+            t1.stats.pool().misses,
+            t3.stats.pool().misses,
             "rank {r}: multigrid cycles 2-3 allocated payload buffers"
         );
         assert!(
-            s3.pool().hits > s1.pool().hits,
+            t3.stats.pool().hits > t1.stats.pool().hits,
             "rank {r}: later cycles must reuse pooled buffers"
         );
     }

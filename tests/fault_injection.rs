@@ -15,13 +15,16 @@
 //! The CI fault matrix drives this suite over seeds and severities via
 //! `COLUMBIA_FAULT_SEED` / `COLUMBIA_FAULT_SEVERITY`.
 
-use columbia_comm::{run_ranks_faulty, CommStats, FaultConfig, FaultPlan, WorldCommSummary};
+use columbia_comm::{
+    run_world, CommStats, ExecContext, FaultConfig, FaultPlan, RankTrace, WorldCommSummary,
+};
 use columbia_core::{CartAnalysis, CaseStatus, DatabaseFill, DatabaseSpec, FillPolicy};
 use columbia_machine::{fabric_fault_config, Fabric};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_rans::level::{RansLevel, SolverParams};
-use columbia_rans::parallel::run_parallel_smoothing_faulty;
+use columbia_rans::parallel::run_parallel_smoothing;
 use columbia_rans::state::NVARS;
+use columbia_rt::env;
 use columbia_rt::fault::CasePlan;
 use std::sync::Arc;
 
@@ -43,34 +46,12 @@ fn rans_params() -> SolverParams {
     }
 }
 
-/// Fault seed for this run: `COLUMBIA_FAULT_SEED` (decimal or 0x-hex) or a
-/// fixed default.
-fn env_seed() -> u64 {
-    match std::env::var("COLUMBIA_FAULT_SEED") {
-        Ok(s) => {
-            let s = s.trim();
-            if let Some(hex) = s.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16).expect("bad COLUMBIA_FAULT_SEED")
-            } else {
-                s.parse().expect("bad COLUMBIA_FAULT_SEED")
-            }
-        }
-        Err(_) => 0xC01D_FA17,
-    }
-}
-
-/// Fault severity for this run: `COLUMBIA_FAULT_SEVERITY` in
-/// {mild, severe}, default mild.
-fn env_config() -> FaultConfig {
-    match std::env::var("COLUMBIA_FAULT_SEVERITY").as_deref() {
-        Ok("severe") => FaultConfig::severe(),
-        Ok("mild") | Err(_) => FaultConfig::mild(),
-        Ok(other) => panic!("bad COLUMBIA_FAULT_SEVERITY {other:?} (use mild|severe)"),
-    }
-}
-
 fn state_bits(u: &[[f64; NVARS]]) -> Vec<u64> {
     u.iter().flatten().map(|v| v.to_bits()).collect()
+}
+
+fn stats_of(traces: &[RankTrace]) -> Vec<CommStats> {
+    traces.iter().map(|t| t.stats.clone()).collect()
 }
 
 /// Acceptance (a): same fault seed ⇒ bit-identical solver output and
@@ -79,23 +60,37 @@ fn state_bits(u: &[[f64; NVARS]]) -> Vec<u64> {
 #[test]
 fn same_fault_seed_is_bit_identical_across_runs() {
     let mesh = rans_mesh();
-    let (seed, config) = (env_seed(), env_config());
+    let (seed, config) = (env::fault_seed(), env::fault_severity().config());
     let run = || {
         let plan = Arc::new(FaultPlan::new(seed, 4, config));
-        run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan))
+        run_parallel_smoothing(&mesh, rans_params(), 4, 2, &mut ExecContext::faulty(plan))
     };
     let (ua, rmsa, sa) = run();
     let (ub, rmsb, sb) = run();
     assert_eq!(state_bits(&ua), state_bits(&ub), "solver states diverged");
     assert_eq!(rmsa.to_bits(), rmsb.to_bits(), "residuals diverged");
-    assert_eq!(sa, sb, "comm traces diverged (msg or fault counters)");
+    assert_eq!(
+        stats_of(&sa),
+        stats_of(&sb),
+        "comm traces diverged (msg or fault counters)"
+    );
     // And the payloads match the fault-free run exactly: the protocol hides
     // the injected chaos from the solver.
     let clean_plan = Arc::new(FaultPlan::fault_free(4));
-    let (uc, rmsc, sc) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(clean_plan));
-    assert_eq!(state_bits(&ua), state_bits(&uc), "faults leaked into payloads");
+    let (uc, rmsc, sc) = run_parallel_smoothing(
+        &mesh,
+        rans_params(),
+        4,
+        2,
+        &mut ExecContext::faulty(clean_plan),
+    );
+    assert_eq!(
+        state_bits(&ua),
+        state_bits(&uc),
+        "faults leaked into payloads"
+    );
     assert_eq!(rmsa.to_bits(), rmsc.to_bits());
-    assert!(sc.iter().all(|s| s.faults().is_clean()));
+    assert!(sc.iter().all(|t| t.stats.faults().is_clean()));
 }
 
 /// The severe profile actually walks every fault path — and stays
@@ -104,12 +99,18 @@ fn same_fault_seed_is_bit_identical_across_runs() {
 fn severe_chaos_exercises_retry_dup_and_delay_paths() {
     let mesh = rans_mesh();
     let plan = || Arc::new(FaultPlan::new(0xBAD_CAB1E, 4, FaultConfig::severe()));
-    let (ua, _, sa) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan()));
-    let (ub, _, sb) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, Some(plan()));
+    let run =
+        || run_parallel_smoothing(&mesh, rans_params(), 4, 2, &mut ExecContext::faulty(plan()));
+    let (ua, _, sa) = run();
+    let (ub, _, sb) = run();
     assert_eq!(state_bits(&ua), state_bits(&ub));
-    assert_eq!(sa, sb);
-    let world = WorldCommSummary::from_ranks(&sa);
-    assert!(world.faults.retries > 0, "no retries recorded: {:?}", world.faults);
+    assert_eq!(stats_of(&sa), stats_of(&sb));
+    let world = WorldCommSummary::from_ranks(&stats_of(&sa));
+    assert!(
+        world.faults.retries > 0,
+        "no retries recorded: {:?}",
+        world.faults
+    );
     assert!(world.faults.dup_sent > 0, "no duplicates recorded");
     assert!(world.faults.delayed_msgs > 0, "no delays recorded");
 }
@@ -138,8 +139,12 @@ fn poisoned_fill_case_is_quarantined_and_reported() {
         max_attempts: 3,
         chaos: Some(CasePlan::transient(1, 0.0).poison(1)), // case 1 = mach 2.0
     };
-    let db = fill.run_with_policy(&spec, 2, &policy);
-    assert_eq!(db.len(), spec.ncases(), "fill aborted instead of completing");
+    let db = fill.run(&spec, 2, &mut ExecContext::default().with_fill(policy));
+    assert_eq!(
+        db.len(),
+        spec.ncases(),
+        "fill aborted instead of completing"
+    );
     for e in &db {
         if e.mach == 2.0 {
             match &e.status {
@@ -161,7 +166,8 @@ fn poisoned_fill_case_is_quarantined_and_reported() {
 #[test]
 fn collectives_converge_under_duplication_and_reordering() {
     let workload = |plan: Option<Arc<FaultPlan>>| -> Vec<(f64, CommStats)> {
-        run_ranks_faulty(5, plan, |rank| {
+        let ctx = ExecContext::default().with_faults(plan);
+        run_world(5, &ctx, |rank| {
             let r = rank.rank() as f64;
             let mut acc = rank.allreduce_sum(r * 1.25 + 0.5);
             acc += rank.allreduce_max(acc * (r + 1.0));
@@ -169,6 +175,7 @@ fn collectives_converge_under_duplication_and_reordering() {
             acc += rank.allreduce_sum(1.0 / (r + 1.0));
             (acc, rank.take_stats())
         })
+        .0
     };
     let clean = workload(None);
     let cfg = FaultConfig {
@@ -212,7 +219,7 @@ fn golden_trace_fabric_ranking_holds_under_delay_faults() {
     let config = fabric_fault_config(Fabric::InfiniBand, 4);
     assert!(config.delay_rate > 0.0, "IB severity must inject delays");
     let plan = Arc::new(FaultPlan::new(0x90_1D, 4, config));
-    let stats = run_ranks_faulty(4, Some(plan), |rank| {
+    let stats = run_world(4, &ExecContext::faulty(plan), |rank| {
         let n = rank.nranks();
         let me = rank.rank();
         for round in 0..8u64 {
@@ -221,9 +228,13 @@ fn golden_trace_fabric_ranking_holds_under_delay_faults() {
         }
         rank.allreduce_sum(me as f64);
         rank.take_stats()
-    });
+    })
+    .0;
     let world = WorldCommSummary::from_ranks(&stats);
-    assert!(world.faults.delayed_msgs > 0, "trace recorded no delay faults");
+    assert!(
+        world.faults.delayed_msgs > 0,
+        "trace recorded no delay faults"
+    );
 
     // Replay: price the measured per-rank maxima on each fabric at span 4;
     // each injected delay slot stalls the wire for one extra latency.
@@ -264,7 +275,8 @@ columbia_rt::props! {
     /// effects.
     fn prop_zero_rate_plan_reproduces_fault_free_trace(seed in 0u64..u64::MAX) {
         let workload = |plan: Option<Arc<FaultPlan>>| {
-            run_ranks_faulty(3, plan, |rank| {
+            let ctx = ExecContext::default().with_faults(plan);
+            run_world(3, &ctx, |rank| {
                 let n = rank.nranks();
                 let me = rank.rank();
                 rank.send((me + 1) % n, 9, vec![me as f64, 2.0 * me as f64]);
@@ -273,6 +285,7 @@ columbia_rt::props! {
                 rank.barrier();
                 (s, rank.take_stats())
             })
+            .0
         };
         let clean = workload(None);
         let gated = workload(Some(Arc::new(FaultPlan::new(seed, 3, FaultConfig::fault_free()))));
@@ -286,20 +299,21 @@ columbia_rt::props! {
 // Re-exercise the serial RANS reference here so the suite stays honest if
 // the parallel driver's fault-free path ever drifts from the serial kernel.
 #[test]
-fn faulty_driver_with_no_plan_matches_serial_reference() {
+fn default_context_driver_matches_serial_reference() {
     let mesh = rans_mesh();
     let mut serial = RansLevel::new(mesh.clone(), rans_params());
     serial.apply_bcs();
     for _ in 0..2 {
         serial.smooth_sweep();
     }
-    let (u, _, stats) = run_parallel_smoothing_faulty(&mesh, rans_params(), 4, 2, None);
+    let (u, _, traces) =
+        run_parallel_smoothing(&mesh, rans_params(), 4, 2, &mut ExecContext::default());
     let mut max_diff = 0.0f64;
     for (v, su) in serial.u.iter().enumerate() {
         for k in 0..NVARS {
             max_diff = max_diff.max((u[v][k] - su[k]).abs());
         }
     }
-    assert!(max_diff < 1e-8, "no-plan faulty driver diverged: {max_diff}");
-    assert!(stats.iter().all(|s| s.faults().is_clean()));
+    assert!(max_diff < 1e-8, "no-plan driver diverged: {max_diff}");
+    assert!(traces.iter().all(|t| t.stats.faults().is_clean()));
 }

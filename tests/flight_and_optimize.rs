@@ -4,7 +4,7 @@
 use columbia_cartesian::{Geometry, TriMesh};
 use columbia_core::{
     golden_section, trim_bisection, AeroDatabase, CartAnalysis, DatabaseFill, DatabaseSpec,
-    RigidState, SixDof,
+    ExecContext, RigidState, SixDof,
 };
 use columbia_mesh::Vec3;
 
@@ -35,7 +35,7 @@ fn build_db() -> AeroDatabase {
         betas: vec![0.0],
         cycles: 10,
     };
-    AeroDatabase::from_entries(&fill.run(&spec, 4))
+    AeroDatabase::from_entries(&fill.run(&spec, 4, &mut ExecContext::default()))
 }
 
 #[test]

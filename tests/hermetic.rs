@@ -38,7 +38,13 @@ fn lockfile_contains_no_external_sources() {
 fn cargo_tree_resolves_offline_to_path_crates_only() {
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
     let out = Command::new(env!("CARGO"))
-        .args(["tree", "--workspace", "--offline", "--edges", "normal,dev,build"])
+        .args([
+            "tree",
+            "--workspace",
+            "--offline",
+            "--edges",
+            "normal,dev,build",
+        ])
         .current_dir(manifest_dir)
         .output()
         .expect("cargo tree must run offline");

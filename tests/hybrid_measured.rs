@@ -4,7 +4,7 @@
 //! partition, and their message counts must accumulate per remote rank —
 //! never overwrite.
 
-use columbia_comm::{run_ranks_faulty, CommStats, HybridLayout};
+use columbia_comm::{run_ranks, CommStats, HybridLayout};
 
 #[test]
 fn threaded_measured_stats_aggregate_overlapping_peer_sets() {
@@ -13,7 +13,7 @@ fn threaded_measured_stats_aggregate_overlapping_peer_sets() {
     // partitions of rank 1 both target partition 0 — an overlapping peer
     // set after mapping to ranks.
     let nparts = 4;
-    let per_part: Vec<CommStats> = run_ranks_faulty(nparts, None, |rank| {
+    let per_part: Vec<CommStats> = run_ranks(nparts, |rank| {
         let me = rank.rank();
         let n = rank.nranks();
         rank.send((me + 1) % n, 1, vec![me as f64]);

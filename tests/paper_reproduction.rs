@@ -35,7 +35,10 @@ fn fig14b_headline_cycle_times_and_speedups() {
     let s = |prof: &columbia_machine::CycleProfile| 128.0 * nl(prof, 128) / nl(prof, 2008);
     let single = s(&p.truncated(1, true));
     let four = s(&p.truncated(4, true));
-    assert!(single > four && four > speedup6, "{single} {four} {speedup6}");
+    assert!(
+        single > four && four > speedup6,
+        "{single} {four} {speedup6}"
+    );
     assert!(single > 2200.0, "single-grid {single} (paper 2395)");
 }
 
@@ -58,14 +61,21 @@ fn fig15_hybrid_efficiencies() {
     .unwrap()
     .seconds;
     let e = |threads: usize, fabric: Fabric| {
-        base / simulate_cycle(&p, &m(), &RunConfig::hybrid(128, fabric, threads).spread_over(4))
-            .unwrap()
-            .seconds
+        base / simulate_cycle(
+            &p,
+            &m(),
+            &RunConfig::hybrid(128, fabric, threads).spread_over(4),
+        )
+        .unwrap()
+        .seconds
     };
     assert!((e(2, Fabric::NumaLink4) - 0.984).abs() < 0.02);
     assert!((e(4, Fabric::NumaLink4) - 0.872).abs() < 0.03);
     let ib1 = e(1, Fabric::InfiniBand);
-    assert!(ib1 > 0.90 && ib1 < 1.0, "IB pure-MPI eff {ib1} (paper 0.957)");
+    assert!(
+        ib1 > 0.90 && ib1 < 1.0,
+        "IB pure-MPI eff {ib1} (paper 0.957)"
+    );
 }
 
 #[test]
@@ -168,9 +178,8 @@ fn fig20_openmp_breaks_slope_at_128() {
 fn fig21_cart3d_multigrid_rolls_off() {
     let p = paper_cart3d_25m();
     let sg = p.truncated(1, true);
-    let speedup = |prof: &columbia_machine::CycleProfile, n: usize| {
-        32.0 * nl(prof, 32) / nl(prof, n)
-    };
+    let speedup =
+        |prof: &columbia_machine::CycleProfile, n: usize| 32.0 * nl(prof, 32) / nl(prof, n);
     let mg2016 = speedup(&p, 2016);
     let sg2016 = speedup(&sg, 2016);
     assert!(
@@ -249,9 +258,7 @@ fn fig14b_superlinear_speedup_shrinks_with_levels() {
 fn sec5_sfc_coarsening_ratio_exceeds_seven() {
     // Paper §V: "reduction ratios of better than 7:1" for the single-pass
     // SFC sibling-collection coarsener on adapted Cart3D meshes.
-    use columbia_cartesian::{
-        build_octree, coarsen_mesh, CutCellConfig, Geometry, TriMesh,
-    };
+    use columbia_cartesian::{build_octree, coarsen_mesh, CutCellConfig, Geometry, TriMesh};
     use columbia_mesh::Vec3;
     use columbia_sfc::CurveKind;
 
