@@ -3,17 +3,29 @@
 //! (traced-runtime) per-level message attribution plus chaos overhead.
 //!
 //! Usage:
-//!   scaling_report [--measured] [--json PATH]
+//!   scaling_report [--measured] [--paper-scale] [--json PATH]
 //!
 //! `--measured` re-derives the workload profile from live solver runs;
+//! `--paper-scale` appends real event-executor runs at the paper's rank
+//! counts (512/1024/2016 cooperative rank tasks on this machine);
 //! `--json PATH` additionally writes the full report as deterministic JSON
 //! (two runs with the same seed are byte-identical).
 
-use columbia_bench::report::{per_level_table, scaling_report, MeasuredSpec};
+use columbia_bench::report::{
+    paper_scale_section, per_level_table, scaling_report, MeasuredSpec, PAPER_WORLD_SIZES,
+};
 use columbia_machine::{MachineConfig, NSU3D_CPU_COUNTS};
 use columbia_rt::trace::ClockMode;
+use columbia_rt::Json;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
     let profile = columbia_bench::nsu3d_profile(columbia_bench::use_measured());
     let machine = MachineConfig::columbia_vortex();
     let spec = MeasuredSpec::default();
@@ -22,7 +34,7 @@ fn main() {
         "scaling report",
         "per-level comm fractions, fabric comparison, chaos overhead",
     );
-    let report = scaling_report(
+    let mut report = scaling_report(
         &profile,
         &machine,
         &NSU3D_CPU_COUNTS,
@@ -38,12 +50,32 @@ fn main() {
          (the paper's coarse-grid communication wall)"
     );
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--json" {
-            let path = args.next().expect("--json requires a path");
-            std::fs::write(&path, report.render_pretty()).expect("write report");
-            println!("wrote {path}");
+    if paper_scale {
+        let section = paper_scale_section(&PAPER_WORLD_SIZES);
+        if let Json::Arr(rows) = &section {
+            println!();
+            println!("paper-scale worlds (event executor, real rank programs):");
+            for row in rows {
+                let get_u = |k: &str| match row.get(k) {
+                    Some(Json::UInt(n)) => *n,
+                    _ => 0,
+                };
+                println!(
+                    "  {:>5} ranks: {:>9} payload bytes, {} cycles, max degree {}",
+                    get_u("ranks"),
+                    get_u("total_bytes"),
+                    get_u("cycles"),
+                    get_u("max_degree"),
+                );
+            }
         }
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("paper_scale".into(), section));
+        }
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.render_pretty()).expect("write report");
+        println!("wrote {path}");
     }
 }

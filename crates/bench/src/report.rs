@@ -18,7 +18,8 @@
 //! ratios thereof), so two runs with the same seed render *byte-identical*
 //! JSON. This is asserted by `tests/trace_report.rs`.
 
-use columbia_comm::{ExecContext, FaultConfig, FaultPlan, RankTrace};
+use columbia_comm::workload::HaloWorkload;
+use columbia_comm::{ExecContext, Executor, FaultConfig, FaultPlan, RankTrace};
 use columbia_machine::{simulate_cycle, CycleProfile, Fabric, MachineConfig, RunConfig};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_mg::CycleParams;
@@ -238,6 +239,51 @@ pub fn chaos_section(spec: &MeasuredSpec) -> Json {
     ])
 }
 
+/// World sizes of the paper-scale section: the fig14–fig22 rank counts
+/// the event executor hosts as *real rank programs* on one machine.
+pub const PAPER_WORLD_SIZES: [usize; 3] = [512, 1024, 2016];
+
+/// Real event-executor runs at paper scale — not the machine model:
+/// every world runs the synthetic multigrid halo workload through the
+/// production comm runtime (packed exchanges, buffer pool, collectives,
+/// barriers, per-level attribution) with one cooperative task per rank.
+/// Residual bits are recorded verbatim, so the section doubles as a
+/// cross-run (and cross-executor) bit-identity pin inside the report
+/// artifact itself.
+pub fn paper_scale_section(sizes: &[usize]) -> Json {
+    let spec = HaloWorkload::paper_default();
+    let ctx = ExecContext::default().with_executor(Executor::Events);
+    Json::arr(sizes.iter().map(|&n| {
+        let report = spec.run(n, &ctx);
+        let agg = aggregate_levels(&report.traces);
+        let levels = Json::arr(agg.iter().map(|(&l, &(msgs, bytes))| {
+            Json::obj([
+                ("level", Json::UInt(l as u64)),
+                ("sends", Json::UInt(msgs)),
+                ("send_bytes", Json::UInt(bytes)),
+            ])
+        }));
+        Json::obj([
+            ("ranks", Json::UInt(n as u64)),
+            ("executor", Json::Str("events".into())),
+            ("points_per_rank", Json::UInt(spec.points_per_rank as u64)),
+            ("mg_levels", Json::UInt(spec.levels as u64)),
+            ("cycles", Json::UInt(spec.cycles as u64)),
+            (
+                "rms_bits",
+                Json::arr(report.rms_history.iter().map(|r| Json::UInt(r.to_bits()))),
+            ),
+            ("total_bytes", Json::UInt(report.summary.total_bytes)),
+            (
+                "max_bytes_per_rank",
+                Json::UInt(report.summary.max_bytes_per_rank),
+            ),
+            ("max_degree", Json::UInt(report.summary.max_degree as u64)),
+            ("levels", levels),
+        ])
+    }))
+}
+
 /// Assemble the full scaling report.
 ///
 /// `mode` is recorded in the header: [`ClockMode::Logical`] is the
@@ -374,6 +420,33 @@ mod tests {
             "\"columbia-scaling-report/1\""
         );
         assert_eq!(report.get("clock").unwrap().render(), "\"logical\"");
+    }
+
+    #[test]
+    fn paper_scale_section_is_deterministic_and_shaped() {
+        // Small world sizes: the section's *shape* and byte-stability are
+        // what's pinned here; the real 512/1024/2016 runs happen in CI's
+        // scaling-report artifact and the paper_scale test.
+        let a = paper_scale_section(&[4, 9]);
+        let b = paper_scale_section(&[4, 9]);
+        assert_eq!(a.render(), b.render(), "section must be byte-stable");
+        let rows = match &a {
+            Json::Arr(rows) => rows,
+            _ => panic!("not an array"),
+        };
+        assert_eq!(rows.len(), 2);
+        for (row, expect_n) in rows.iter().zip([4u64, 9]) {
+            assert_eq!(row.get("ranks"), Some(&Json::UInt(expect_n)));
+            assert_eq!(row.get("executor").unwrap().render(), "\"events\"");
+            match row.get("rms_bits") {
+                Some(Json::Arr(bits)) => assert!(!bits.is_empty()),
+                other => panic!("missing rms_bits: {other:?}"),
+            }
+            match row.get("total_bytes") {
+                Some(Json::UInt(n)) => assert!(*n > 0),
+                other => panic!("missing total_bytes: {other:?}"),
+            }
+        }
     }
 
     #[test]

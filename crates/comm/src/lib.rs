@@ -30,9 +30,11 @@
 pub mod exchange;
 pub mod hybrid;
 pub mod runtime;
+mod sched;
 pub mod stats;
+pub mod workload;
 
-pub use columbia_exec::{ExecContext, PoolPolicy};
+pub use columbia_exec::{ExecContext, Executor, ExecutorKind, PoolPolicy};
 pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
 pub use exchange::{decompose, Decomposition, ExchangePlan, PackedSchedule, PeerRange};
 pub use hybrid::HybridLayout;

@@ -46,12 +46,14 @@
 //!   arbitrarily long fills. Messages carry their epoch so a fast peer's
 //!   next-epoch traffic is never confused with the retiring streams.
 
+use crate::sched::EventSched;
 use crate::stats::CommStats;
-use columbia_exec::ExecContext;
+use columbia_exec::{ExecContext, ExecutorKind};
 use columbia_rt::channel::{unbounded, Receiver, Sender, TryRecvError};
 use columbia_rt::fault::{FaultPlan, MessageAction};
 use columbia_rt::trace::{SpanKey, Tracer};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Barrier, Mutex};
 
 /// A message in flight: `(from, tag, seq, epoch, payload)`.
@@ -66,13 +68,55 @@ const TAG_COLLECTIVE: u64 = u64::MAX - 1024;
 const SPIN_PULLS: usize = 64;
 
 /// Within the spin window, polls that busy-wait (`spin_loop`) before the
-/// remainder downgrade to `yield_now`. On an oversubscribed host — more
-/// ranks than cores — a waiting receiver holds the very CPU its peer
-/// needs to produce the message, so pure busy-waiting parks almost every
-/// time; yielding hands the core to the sender and the message is
-/// usually there on the next poll, skipping the condvar park/wake
-/// round-trip entirely.
+/// remainder downgrade to `yield_now`.
 const SPIN_FAST: usize = 8;
+
+/// Per-recv spin budget for the thread backend. On a host with spare
+/// cores, the sender really is running in parallel and usually answers
+/// within the spin window, so polling skips the condvar round-trip. On an
+/// oversubscribed host — more ranks than cores — a polling receiver holds
+/// the very CPU its peer needs to produce the message: every spin slot is
+/// stolen progress and the poll almost always ends in a park anyway.
+/// There the budget is zero: park immediately on the channel condvar and
+/// let the sender's `notify_one` be the wakeup token.
+fn spin_budget(nranks: usize, cores: usize) -> usize {
+    if nranks > cores {
+        0
+    } else {
+        SPIN_PULLS
+    }
+}
+
+/// Carrier-thread stack size for the event backend. Event-mode ranks are
+/// cooperative tasks that spend their lives parked; the small fixed stack
+/// is what makes 2016-rank (and 10,240-rank) worlds cheap — the address
+/// space is reserved, but only touched pages are ever committed.
+const EVENT_STACK_BYTES: usize = 1 << 20;
+
+/// Best-effort human-readable panic payload (for rank-id prefixing).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// How a rank waits at blocking points: the thread backend parks in the
+/// kernel (std barrier, channel condvar), the event backend yields its
+/// run token to the deterministic scheduler.
+enum WaitBackend {
+    Threads {
+        barrier: Arc<Barrier>,
+        /// Pre-park poll budget (see [`spin_budget`]).
+        spin: usize,
+    },
+    Events {
+        sched: Arc<EventSched>,
+    },
+}
 
 /// An outgoing message held back by an injected delay.
 struct DelayedMsg {
@@ -117,7 +161,7 @@ pub struct Rank {
     /// every checkout allocates fresh and recycles drop.
     pool_on: bool,
     faults: Option<Arc<FaultPlan>>,
-    barrier: Arc<Barrier>,
+    backend: WaitBackend,
     stats: CommStats,
     /// Multigrid-level context stack (innermost last): while non-empty,
     /// every comm event is additionally attributed to the top level's
@@ -391,6 +435,11 @@ impl Rank {
         self.tx[to]
             .send((self.rank, tag, seq, self.epoch, data))
             .expect("peer rank hung up");
+        if let WaitBackend::Events { sched } = &self.backend {
+            if to != self.rank {
+                sched.notify_mail(to);
+            }
+        }
         self.stats.record_send(to, bytes);
         if duplicates > 0 {
             self.stats.record_dup_sent(duplicates as u64);
@@ -435,19 +484,35 @@ impl Rank {
         }
     }
 
-    /// Pull one raw message off the channel: spin briefly on the
-    /// non-blocking path (halo peers usually answer within the spin
-    /// window), then park on the blocking receive.
+    /// Pull one raw message off the channel.
+    ///
+    /// Thread backend: poll within the [`spin_budget`] (zero on an
+    /// oversubscribed host — park immediately, the sender's condvar
+    /// notify is the wakeup token), then park on the blocking receive.
+    /// Event backend: never block the carrier thread — yield the run
+    /// token to the scheduler and resume when a sender's `notify_mail`
+    /// reschedules this rank.
     fn pull_message(&mut self) -> Message {
-        for pull in 0..SPIN_PULLS {
-            match self.rx.try_recv() {
-                Ok(m) => return m,
-                Err(TryRecvError::Empty) if pull < SPIN_FAST => std::hint::spin_loop(),
-                Err(TryRecvError::Empty) => std::thread::yield_now(),
-                Err(TryRecvError::Disconnected) => panic!("world shut down mid-recv"),
+        match &self.backend {
+            WaitBackend::Events { sched } => loop {
+                match self.rx.try_recv() {
+                    Ok(m) => return m,
+                    Err(TryRecvError::Empty) => sched.block_recv(self.rank),
+                    Err(TryRecvError::Disconnected) => panic!("world shut down mid-recv"),
+                }
+            },
+            WaitBackend::Threads { spin, .. } => {
+                for pull in 0..*spin {
+                    match self.rx.try_recv() {
+                        Ok(m) => return m,
+                        Err(TryRecvError::Empty) if pull < SPIN_FAST => std::hint::spin_loop(),
+                        Err(TryRecvError::Empty) => std::thread::yield_now(),
+                        Err(TryRecvError::Disconnected) => panic!("world shut down mid-recv"),
+                    }
+                }
+                self.rx.recv().expect("world shut down mid-recv")
             }
         }
-        self.rx.recv().expect("world shut down mid-recv")
     }
 
     /// Blocking receive of one message from `from` with `tag`. Messages
@@ -543,7 +608,12 @@ impl Rank {
                 }
             }
         }
-        self.barrier.wait();
+        match &self.backend {
+            WaitBackend::Threads { barrier, .. } => {
+                barrier.wait();
+            }
+            WaitBackend::Events { sched } => sched.barrier_wait(self.rank),
+        }
         self.drain_and_compact();
     }
 
@@ -688,7 +758,12 @@ impl Rank {
     /// lost those counts.
     fn finish(&mut self) -> RankTrace {
         self.flush_delayed();
-        self.barrier.wait();
+        match &self.backend {
+            WaitBackend::Threads { barrier, .. } => {
+                barrier.wait();
+            }
+            WaitBackend::Events { sched } => sched.barrier_wait(self.rank),
+        }
         debug_assert!(
             self.pending.values().all(|q| q.is_empty()),
             "rank {} exited with unconsumed out-of-order messages: {:?}",
@@ -752,13 +827,73 @@ where
             p.nranks()
         );
     }
-    let mut senders: Vec<Sender<Message>> = Vec::with_capacity(nranks);
-    let mut receivers: Vec<Receiver<Message>> = Vec::with_capacity(nranks);
+    match ctx.executor().resolve() {
+        ExecutorKind::Threads => run_world_threads(nranks, plan, pool_on, body),
+        ExecutorKind::Events => run_world_events(nranks, plan, pool_on, body),
+    }
+}
+
+/// Per-rank mailboxes: sender fan-out clone per rank, receiver by rank id.
+#[allow(clippy::type_complexity)]
+fn make_channels(nranks: usize) -> (Vec<Sender<Message>>, Vec<Receiver<Message>>) {
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
     for _ in 0..nranks {
         let (tx, rx) = unbounded();
         senders.push(tx);
         receivers.push(rx);
     }
+    (senders, receivers)
+}
+
+/// Fresh per-rank comm context (shared by both backends).
+fn make_rank(
+    r: usize,
+    nranks: usize,
+    tx: Vec<Sender<Message>>,
+    rx: Receiver<Message>,
+    faults: Option<Arc<FaultPlan>>,
+    pool_on: bool,
+    backend: WaitBackend,
+) -> Rank {
+    Rank {
+        rank: r,
+        nranks,
+        tx,
+        rx,
+        pending: HashMap::new(),
+        send_seq: HashMap::new(),
+        recv_next: HashMap::new(),
+        delayed: VecDeque::new(),
+        barrier_count: 0,
+        epoch: 0,
+        pool: BTreeMap::new(),
+        pool_on,
+        faults,
+        backend,
+        stats: CommStats::default(),
+        level_stack: Vec::new(),
+        per_level: BTreeMap::new(),
+    }
+}
+
+/// The classic backend: one preemptive OS thread per rank, kernel barrier,
+/// channel-condvar parking with a [`spin_budget`]-bounded pre-park poll.
+fn run_world_threads<T, F>(
+    nranks: usize,
+    plan: Option<Arc<FaultPlan>>,
+    pool_on: bool,
+    body: F,
+) -> (Vec<T>, Vec<RankTrace>)
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let spin = spin_budget(nranks, cores);
+    let (senders, receivers) = make_channels(nranks);
     let barrier = Arc::new(Barrier::new(nranks));
     let body = &body;
     let plan = &plan;
@@ -774,36 +909,136 @@ where
             let barrier = barrier.clone();
             let faults = plan.clone();
             handles.push(scope.spawn(move || {
-                let mut ctx = Rank {
-                    rank: r,
+                let mut ctx = make_rank(
+                    r,
                     nranks,
                     tx,
                     rx,
-                    pending: HashMap::new(),
-                    send_seq: HashMap::new(),
-                    recv_next: HashMap::new(),
-                    delayed: VecDeque::new(),
-                    barrier_count: 0,
-                    epoch: 0,
-                    pool: BTreeMap::new(),
-                    pool_on,
                     faults,
-                    barrier,
-                    stats: CommStats::default(),
-                    level_stack: Vec::new(),
-                    per_level: BTreeMap::new(),
-                };
-                let out = body(&mut ctx);
-                let trace = ctx.finish();
-                sink.lock().expect("trace sink poisoned")[r] = Some(trace);
-                out
+                    pool_on,
+                    WaitBackend::Threads { barrier, spin },
+                );
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let out = body(&mut ctx);
+                    let trace = ctx.finish();
+                    (out, trace)
+                }));
+                match out {
+                    Ok((out, trace)) => {
+                        sink.lock().expect("trace sink poisoned")[r] = Some(trace);
+                        out
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(&*payload);
+                        resume_unwind(Box::new(format!("rank {r} panicked: {msg}")))
+                    }
+                }
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
             .collect()
     });
+    collect_traces(sink, results)
+}
+
+/// The discrete-event backend: every rank is a cooperative task on a small
+/// fixed stack, scheduled by one deterministic [`EventSched`] — exactly
+/// one rank runs at a time, blocked ranks are parked (never polling), and
+/// the whole interleaving is a pure function of the rank program. This is
+/// what hosts paper-scale worlds (512/1024/2016 ranks) on one machine,
+/// bit-identical to the thread backend.
+fn run_world_events<T, F>(
+    nranks: usize,
+    plan: Option<Arc<FaultPlan>>,
+    pool_on: bool,
+    body: F,
+) -> (Vec<T>, Vec<RankTrace>)
+where
+    T: Send,
+    F: Fn(&mut Rank) -> T + Sync,
+{
+    let (senders, receivers) = make_channels(nranks);
+    let sched = Arc::new(EventSched::new(nranks));
+    let body = &body;
+    let plan = &plan;
+    let sink: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..nranks).map(|_| None).collect());
+    let sink = &sink;
+
+    let results: Vec<T> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (r, rx) in receivers.into_iter().enumerate() {
+            let tx = senders.clone();
+            let faults = plan.clone();
+            let sched = sched.clone();
+            let carrier = std::thread::Builder::new()
+                .name(format!("rank-{r}"))
+                .stack_size(EVENT_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    // Park until granted the run token; from here on this
+                    // thread only ever executes while holding it.
+                    sched.wait_turn(r);
+                    let mut ctx = make_rank(
+                        r,
+                        nranks,
+                        tx,
+                        rx,
+                        faults,
+                        pool_on,
+                        WaitBackend::Events {
+                            sched: sched.clone(),
+                        },
+                    );
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        let out = body(&mut ctx);
+                        let trace = ctx.finish();
+                        (out, trace)
+                    }));
+                    match out {
+                        Ok((out, trace)) => {
+                            sink.lock().expect("trace sink poisoned")[r] = Some(trace);
+                            sched.retire(r);
+                            out
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(&*payload);
+                            sched.poison(r, &msg);
+                            resume_unwind(Box::new(format!("rank {r} panicked: {msg}")))
+                        }
+                    }
+                })
+                .expect("spawn rank carrier thread");
+            handles.push(carrier);
+        }
+        sched.kick();
+        let mut outs = Vec::with_capacity(nranks);
+        let mut failed = false;
+        for h in handles {
+            match h.join() {
+                Ok(v) => outs.push(v),
+                Err(_) => failed = true,
+            }
+        }
+        if failed {
+            // Every carrier has unwound; report the deterministic *first*
+            // panic (only one rank runs at a time), not whichever join
+            // happened to observe its own unwind.
+            let (pr, msg) = sched
+                .first_panic()
+                .expect("failed world without recorded panic");
+            std::panic::panic_any(format!("rank {pr} panicked: {msg}"));
+        }
+        outs
+    });
+    collect_traces(sink, results)
+}
+
+/// Drain the teardown sink into rank order next to the body results.
+fn collect_traces<T>(
+    sink: &Mutex<Vec<Option<RankTrace>>>,
+    results: Vec<T>,
+) -> (Vec<T>, Vec<RankTrace>) {
     let traces = sink
         .lock()
         .expect("trace sink poisoned")
@@ -899,11 +1134,110 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank panicked")]
+    #[should_panic(expected = "rank 0 panicked: rank 5 out of range")]
     fn send_out_of_range_panics() {
         // The offending rank panics with "rank 5 out of range"; the world
-        // surfaces it as a rank failure when joining.
+        // re-reports it prefixed with the failing rank's id.
         run_ranks(1, |rank| rank.send(5, 1, vec![]));
+    }
+
+    #[test]
+    fn spin_budget_parks_immediately_when_oversubscribed() {
+        // More ranks than cores: polling steals the sender's CPU, so the
+        // budget must be zero (park on the channel condvar, let the
+        // sender's notify be the wakeup token). With spare cores the full
+        // spin window applies.
+        assert_eq!(spin_budget(8, 4), 0);
+        assert_eq!(spin_budget(5, 4), 0);
+        assert_eq!(spin_budget(4, 4), SPIN_PULLS);
+        assert_eq!(spin_budget(2, 4), SPIN_PULLS);
+        assert_eq!(spin_budget(1, 1), SPIN_PULLS);
+        assert_eq!(spin_budget(2, 1), 0);
+    }
+
+    #[test]
+    fn thread_backend_panics_carry_rank_prefix() {
+        // Single-rank world (a multi-rank thread world would strand the
+        // innocent peers; that pre-existing limitation is the event
+        // backend's poison protocol to solve).
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(1, &ExecContext::default(), |_rank| {
+                panic!("kaboom");
+            });
+        }))
+        .expect_err("rank panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "rank 0 panicked: kaboom");
+    }
+
+    #[test]
+    fn event_backend_panics_carry_rank_prefix_and_release_peers() {
+        use columbia_exec::Executor;
+        // Rank 1 panics while rank 0 is parked in a recv: the poison
+        // protocol must wake rank 0 (no hang) and run_world must report
+        // the *first* panic with its rank id.
+        let ctx = ExecContext::default().with_executor(Executor::Events);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(2, &ctx, |rank| {
+                if rank.rank() == 0 {
+                    rank.recv(1, 1); // never satisfied
+                } else {
+                    panic!("bad interpolation weight");
+                }
+            });
+        }))
+        .expect_err("rank panic must propagate");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "rank 1 panicked: bad interpolation weight");
+    }
+
+    #[test]
+    fn event_backend_ring_pass_matches_threads() {
+        use columbia_exec::Executor;
+        let run = |exec: Executor| {
+            let ctx = ExecContext::default().with_executor(exec);
+            run_world(5, &ctx, |rank| {
+                let r = rank.rank();
+                let n = rank.nranks();
+                rank.send((r + 1) % n, 7, vec![r as f64]);
+                let got = rank.recv((r + n - 1) % n, 7)[0];
+                let sum = rank.allreduce_sum(got);
+                rank.barrier();
+                (got, sum, rank.take_stats())
+            })
+        };
+        let (tr, tt) = run(Executor::Threads);
+        let (er, et) = run(Executor::Events);
+        for ((a, b, _), (c, d, _)) in tr.iter().zip(&er) {
+            assert_eq!(a.to_bits(), c.to_bits());
+            assert_eq!(b.to_bits(), d.to_bits());
+        }
+        assert_eq!(
+            tr.iter().map(|(_, _, s)| s).collect::<Vec<_>>(),
+            er.iter().map(|(_, _, s)| s).collect::<Vec<_>>(),
+            "CommStats diverged between backends"
+        );
+        assert_eq!(tt, et, "teardown RankTraces diverged between backends");
+    }
+
+    #[test]
+    fn event_backend_deadlock_is_detected_not_hung() {
+        use columbia_exec::Executor;
+        // Rank 0 recvs a message nobody sends: the thread backend would
+        // park forever, the event scheduler must detect the empty queue
+        // with live ranks and panic with the status table.
+        let ctx = ExecContext::default().with_executor(Executor::Events);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(2, &ctx, |rank| {
+                if rank.rank() == 0 {
+                    rank.recv(1, 9);
+                }
+                rank.barrier();
+            });
+        }))
+        .expect_err("deadlock must panic, not hang");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("deadlock"), "{msg}");
     }
 
     #[test]

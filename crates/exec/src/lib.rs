@@ -35,6 +35,46 @@ use columbia_rt::fault::{CasePlan, FaultPlan};
 use columbia_rt::trace::{Trace, Tracer};
 use std::sync::Arc;
 
+pub use columbia_rt::env::ExecutorKind;
+
+/// Which `run_world` backend hosts the rank bodies.
+///
+/// * [`Executor::Threads`] — one OS thread per rank, kernel-scheduled.
+///   The right choice for small worlds on a multi-core box (ranks really
+///   run in parallel).
+/// * [`Executor::Events`] — every rank is a cooperative task; a single
+///   deterministic `(time, rank, seq)` event queue decides who runs, and
+///   ranks yield at every blocking point (recv, barrier, allreduce)
+///   instead of parking in the kernel. One machine hosts paper-scale
+///   worlds (512/1024/2016 ranks) this way, bit-identical to the thread
+///   backend.
+/// * [`Executor::Auto`] (the default) — consult the typed
+///   `COLUMBIA_EXECUTOR` env knob (`threads` | `events`), falling back to
+///   `Threads` when unset. This is what lets CI run the whole tier-1
+///   suite under the event backend without touching a single test.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Executor {
+    /// Resolve from `COLUMBIA_EXECUTOR`, default [`Executor::Threads`].
+    #[default]
+    Auto,
+    /// Rank-per-OS-thread backend.
+    Threads,
+    /// Cooperative discrete-event backend.
+    Events,
+}
+
+impl Executor {
+    /// The concrete backend this selection denotes, consulting the
+    /// environment only for [`Executor::Auto`].
+    pub fn resolve(self) -> ExecutorKind {
+        match self {
+            Executor::Threads => ExecutorKind::Threads,
+            Executor::Events => ExecutorKind::Events,
+            Executor::Auto => columbia_rt::env::executor().unwrap_or(ExecutorKind::Threads),
+        }
+    }
+}
+
 /// Halo buffer-pool policy of the comm runtime.
 ///
 /// With `enabled` (the default), payloads checked out via `Rank::buffer`
@@ -107,6 +147,7 @@ pub struct ExecContext {
     pool: PoolPolicy,
     fill: FillPolicy,
     tracer: Tracer,
+    executor: Executor,
 }
 
 impl ExecContext {
@@ -152,6 +193,14 @@ impl ExecContext {
         self
     }
 
+    /// Select the `run_world` backend (thread-per-rank vs cooperative
+    /// event executor). The default, [`Executor::Auto`], defers to the
+    /// `COLUMBIA_EXECUTOR` env knob.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// The fault plan, if any.
     pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
@@ -170,6 +219,12 @@ impl ExecContext {
     /// The database-fill policy.
     pub fn fill(&self) -> &FillPolicy {
         &self.fill
+    }
+
+    /// The selected `run_world` backend (unresolved; call
+    /// [`Executor::resolve`] for the concrete kind).
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// The trace sink. Disabled by default; every `Tracer` entry point is
@@ -230,6 +285,20 @@ mod tests {
         assert_eq!(trace.counter_total("cycles"), 2);
         // finish_trace leaves the context reusable, tracing off.
         assert!(!ctx.tracing_enabled());
+    }
+
+    #[test]
+    fn executor_selection_resolves_explicitly_without_the_environment() {
+        // Explicit selections never touch the environment.
+        assert_eq!(Executor::Threads.resolve(), ExecutorKind::Threads);
+        assert_eq!(Executor::Events.resolve(), ExecutorKind::Events);
+        let ctx = ExecContext::default();
+        assert_eq!(ctx.executor(), Executor::Auto);
+        let ctx = ctx.with_executor(Executor::Events);
+        assert_eq!(ctx.executor(), Executor::Events);
+        // Auto is resolved from COLUMBIA_EXECUTOR at run_world time; its
+        // grammar is pinned in columbia_rt::env (no env mutation here —
+        // tests must not race over process state).
     }
 
     #[test]

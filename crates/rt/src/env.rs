@@ -11,6 +11,7 @@
 //! | `COLUMBIA_SLOW_TESTS`     | set and not `"0"` ⇒ on   | off          | 8-rank parity widths, paper-scale variants |
 //! | `COLUMBIA_BENCH_QUICK`    | set ⇒ on                 | off          | [`crate::bench`] CI smoke mode             |
 //! | `COLUMBIA_PT_REPLAY`      | decimal or `0x`-hex u64  | unset        | [`crate::props`] single-case replay        |
+//! | `COLUMBIA_EXECUTOR`       | `threads` \| `events`    | unset        | `run_world` backend (CI executor matrix)   |
 //!
 //! The parsers are split into pure `parse_*` functions (unit-testable
 //! without touching process state) and thin `std::env` wrappers, so the
@@ -100,6 +101,37 @@ pub fn pt_replay() -> Option<u64> {
         .map(|s| parse_seed(&s).expect("COLUMBIA_PT_REPLAY"))
 }
 
+/// The `run_world` backend selected by `COLUMBIA_EXECUTOR`.
+///
+/// `Threads` is the classic rank-per-OS-thread runtime; `Events` hosts
+/// every rank as a cooperative task driven by one deterministic
+/// [`crate::timeq::TimeQueue`], so paper-scale worlds (512/1024/2016
+/// ranks) run on a laptop. Both produce bit-identical payloads, comm
+/// counters and trace JSON — pinned by `tests/executor_parity.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// One OS thread per rank (preemptive, kernel-scheduled).
+    Threads,
+    /// Cooperative rank tasks on a deterministic event queue.
+    Events,
+}
+
+/// Parse a `COLUMBIA_EXECUTOR` value; `None` means unset (caller default).
+pub fn parse_executor(v: Option<&str>) -> Result<Option<ExecutorKind>, String> {
+    match v.map(str::trim) {
+        None => Ok(None),
+        Some("threads") => Ok(Some(ExecutorKind::Threads)),
+        Some("events") => Ok(Some(ExecutorKind::Events)),
+        Some(other) => Err(format!("bad executor {other:?} (use threads|events)")),
+    }
+}
+
+/// `COLUMBIA_EXECUTOR` for this run; `None` when unset (the context picks
+/// its default, currently [`ExecutorKind::Threads`]).
+pub fn executor() -> Option<ExecutorKind> {
+    parse_executor(std::env::var("COLUMBIA_EXECUTOR").ok().as_deref()).expect("COLUMBIA_EXECUTOR")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +155,21 @@ mod tests {
         assert!(parse_severity(Some("apocalyptic")).is_err());
         assert_eq!(Severity::Severe.config(), FaultConfig::severe());
         assert_eq!(Severity::Mild.config(), FaultConfig::mild());
+    }
+
+    #[test]
+    fn executor_grammar_is_threads_events_with_unset_passthrough() {
+        assert_eq!(parse_executor(None), Ok(None));
+        assert_eq!(
+            parse_executor(Some("threads")),
+            Ok(Some(ExecutorKind::Threads))
+        );
+        assert_eq!(
+            parse_executor(Some(" events ")),
+            Ok(Some(ExecutorKind::Events))
+        );
+        assert!(parse_executor(Some("fibers")).is_err());
+        assert!(parse_executor(Some("")).is_err());
     }
 
     #[test]

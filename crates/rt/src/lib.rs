@@ -27,7 +27,10 @@
 //!   (replaces `serde_json` where a repo would normally reach for it);
 //! * [`env`] — typed, unit-tested parsing of every `COLUMBIA_*`
 //!   environment knob (seeds, severities, slow-test and quick-bench
-//!   flags), so no harness hand-rolls `std::env::var`.
+//!   flags, executor backend), so no harness hand-rolls `std::env::var`;
+//! * [`timeq`] — the deterministic `(time, key, seq)` discrete-event
+//!   queue that drives the cooperative event executor (ranks as resumable
+//!   tasks instead of free-running OS threads).
 //!
 //! Everything here is plain `std`; the crate must never grow a dependency.
 
@@ -38,9 +41,11 @@ pub mod fault;
 pub mod json;
 pub mod props;
 pub mod rng;
+pub mod timeq;
 pub mod trace;
 
 pub use fault::{CasePlan, FaultConfig, FaultPlan, MessageAction};
 pub use json::Json;
 pub use rng::{derive_seed, splitmix64, Pcg32};
+pub use timeq::TimeQueue;
 pub use trace::{ClockMode, Span, SpanKey, Trace, Tracer};

@@ -1,0 +1,257 @@
+//! Thread-vs-event executor parity suite.
+//!
+//! The event executor's whole claim is *bit-identity*: any deterministic
+//! serial schedule of the rank programs must produce the same payload
+//! bits, `CommStats` counters and trace JSON as the kernel-scheduled
+//! thread backend, because the comm protocol makes all three functions of
+//! the logical program order, never of the interleaving. These tests pin
+//! that claim with FNV-1a digests at 2/4 ranks (8 under
+//! `COLUMBIA_SLOW_TESTS`), clean and under seeded fault-plan chaos.
+
+use columbia_comm::workload::HaloWorkload;
+use columbia_comm::{
+    run_world, CommStats, ExecContext, Executor, FaultConfig, FaultPlan, RankTrace,
+};
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_rans::level::SolverParams;
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv_u64(h: u64, x: u64) -> u64 {
+    let mut h = h;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn digest_f64s<'a>(vals: impl Iterator<Item = &'a f64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in vals {
+        h = fnv_u64(h, v.to_bits());
+    }
+    h
+}
+
+fn digest_stats(stats: &[CommStats]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for s in stats {
+        for (name, v) in s.counter_pairs() {
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h = fnv_u64(h, v);
+        }
+        for (peer, msgs, bytes) in s.peers() {
+            h = fnv_u64(h, peer as u64);
+            h = fnv_u64(h, msgs);
+            h = fnv_u64(h, bytes);
+        }
+    }
+    h
+}
+
+fn digest_traces(traces: &[RankTrace]) -> u64 {
+    let mut h = digest_stats(&traces.iter().map(|t| t.stats.clone()).collect::<Vec<_>>());
+    for t in traces {
+        for (&level, s) in &t.per_level {
+            h = fnv_u64(h, level as u64);
+            h = fnv_u64(h, digest_stats(std::slice::from_ref(s)));
+        }
+    }
+    h
+}
+
+/// 2 and 4 ranks always; 8 only under `COLUMBIA_SLOW_TESTS` (CI).
+fn parity_widths() -> &'static [usize] {
+    if columbia_rt::env::slow_tests() {
+        &[2, 4, 8]
+    } else {
+        &[2, 4]
+    }
+}
+
+/// The four chaos seeds of the fault matrix leg.
+const CHAOS_SEEDS: [u64; 4] = [0xC0FFEE, 1, 0xBADC0DE, 0x5EED_2016];
+
+fn rans_mesh() -> columbia_mesh::UnstructuredMesh {
+    wing_mesh(&WingMeshSpec {
+        ni: 16,
+        nj: 4,
+        nk: 10,
+        nk_bl: 5,
+        jitter: 0.0,
+        ..Default::default()
+    })
+}
+
+/// Raw comm chaos workload: ring traffic on two alternating tags,
+/// an allreduce, a barrier, per-level attribution. Returns payload-ish
+/// values plus the full teardown ledgers.
+fn chaos_world(
+    nranks: usize,
+    plan: Option<Arc<FaultPlan>>,
+    exec: Executor,
+) -> (Vec<f64>, Vec<RankTrace>) {
+    let ctx = ExecContext::default().with_faults(plan).with_executor(exec);
+    run_world(nranks, &ctx, |rank| {
+        let r = rank.rank();
+        let n = rank.nranks();
+        let next = (r + 1) % n;
+        let prev = (r + n - 1) % n;
+        let mut acc = 0.0;
+        for round in 0..6u64 {
+            rank.enter_level((round % 3) as usize);
+            rank.send(next, 7 + round % 2, vec![r as f64, round as f64]);
+            let got = rank.recv(prev, 7 + round % 2);
+            acc += got[0] * (round + 1) as f64 + got[1];
+            rank.exit_level();
+        }
+        acc += rank.allreduce_sum(acc);
+        rank.barrier();
+        acc += rank.allreduce_max(r as f64);
+        acc
+    })
+}
+
+#[test]
+fn chaos_comm_parity_clean_and_over_four_seeds() {
+    for &n in parity_widths() {
+        let mut plans: Vec<Option<Arc<FaultPlan>>> = vec![None];
+        for seed in CHAOS_SEEDS {
+            plans.push(Some(Arc::new(FaultPlan::new(
+                seed,
+                n,
+                FaultConfig::severe(),
+            ))));
+        }
+        for plan in plans {
+            let label = match &plan {
+                None => "clean".to_string(),
+                Some(p) => format!("seed 0x{:x}", p.seed()),
+            };
+            let (tv, tt) = chaos_world(n, plan.clone(), Executor::Threads);
+            let (ev, et) = chaos_world(n, plan, Executor::Events);
+            assert_eq!(
+                digest_f64s(tv.iter()),
+                digest_f64s(ev.iter()),
+                "payload digest diverged at n={n} ({label})"
+            );
+            assert_eq!(
+                digest_traces(&tt),
+                digest_traces(&et),
+                "CommStats digest diverged at n={n} ({label})"
+            );
+        }
+    }
+}
+
+#[test]
+fn rans_solver_parity_across_executors() {
+    let m = rans_mesh();
+    let params = SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    };
+    for &n in parity_widths() {
+        for plan in [
+            None,
+            Some(Arc::new(FaultPlan::new(
+                CHAOS_SEEDS[0],
+                n,
+                FaultConfig::severe(),
+            ))),
+        ] {
+            let run = |exec: Executor| {
+                let mut ctx = ExecContext::default()
+                    .with_faults(plan.clone())
+                    .with_executor(exec);
+                columbia_rans::parallel::run_parallel_smoothing(&m, params, n, 3, &mut ctx)
+            };
+            let (tu, trms, tt) = run(Executor::Threads);
+            let (eu, erms, et) = run(Executor::Events);
+            assert_eq!(
+                digest_f64s(tu.iter().flatten()),
+                digest_f64s(eu.iter().flatten()),
+                "RANS state digest diverged at n={n}"
+            );
+            assert_eq!(trms.to_bits(), erms.to_bits(), "RANS rms diverged at n={n}");
+            assert_eq!(
+                digest_traces(&tt),
+                digest_traces(&et),
+                "RANS stats digest diverged at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_json_is_byte_identical_across_executors() {
+    let m = rans_mesh();
+    let params = SolverParams {
+        mach: 0.5,
+        ..Default::default()
+    };
+    let run = |exec: Executor, plan: Option<Arc<FaultPlan>>| {
+        let mut ctx = ExecContext::traced().with_faults(plan).with_executor(exec);
+        let _ = columbia_rans::parallel::run_parallel_smoothing(&m, params, 2, 3, &mut ctx);
+        ctx.finish_trace().to_json().render()
+    };
+    for plan in [
+        None,
+        Some(Arc::new(FaultPlan::new(
+            CHAOS_SEEDS[1],
+            2,
+            FaultConfig::severe(),
+        ))),
+    ] {
+        let t = run(Executor::Threads, plan.clone());
+        let e = run(Executor::Events, plan);
+        assert_eq!(t, e, "trace JSON bytes diverged between executors");
+    }
+}
+
+#[test]
+fn event_executor_double_run_is_bit_identical() {
+    // The CI executor-matrix leg re-runs the suite twice under
+    // COLUMBIA_EXECUTOR=events; this is the in-tree pin of the same
+    // property on the chaos workload.
+    for &n in parity_widths() {
+        let plan = Some(Arc::new(FaultPlan::new(
+            CHAOS_SEEDS[2],
+            n,
+            FaultConfig::severe(),
+        )));
+        let (v1, t1) = chaos_world(n, plan.clone(), Executor::Events);
+        let (v2, t2) = chaos_world(n, plan, Executor::Events);
+        assert_eq!(digest_f64s(v1.iter()), digest_f64s(v2.iter()));
+        assert_eq!(t1, t2, "event-executor traces diverged across runs");
+    }
+}
+
+#[test]
+fn multigrid_workload_parity_includes_per_level_ledgers() {
+    let spec = HaloWorkload {
+        points_per_rank: 16,
+        levels: 3,
+        cycles: 2,
+    };
+    for &n in parity_widths() {
+        let t = spec.run(n, &ExecContext::default().with_executor(Executor::Threads));
+        let e = spec.run(n, &ExecContext::default().with_executor(Executor::Events));
+        assert_eq!(
+            digest_f64s(t.rms_history.iter()),
+            digest_f64s(e.rms_history.iter()),
+            "residual history diverged at n={n}"
+        );
+        assert_eq!(
+            digest_traces(&t.traces),
+            digest_traces(&e.traces),
+            "per-level ledgers diverged at n={n}"
+        );
+    }
+}
