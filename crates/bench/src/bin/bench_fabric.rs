@@ -1,0 +1,80 @@
+//! Contended-fabric benchmark: traced halo traffic replayed through the
+//! discrete-event Columbia interconnect, committed as `BENCH_fabric.json`.
+//!
+//! Usage:
+//!   bench_fabric [--json PATH]
+//!
+//! One section per rank count (2/4/8/16): the synthetic multigrid halo
+//! workload runs on the event executor, its teardown ledgers become a
+//! packet burst, and the burst is replayed through the contended
+//! NUMAlink4 / InfiniBand / 10GigE topologies under each arbiter. Every
+//! number derives from the deterministic simulator over deterministic
+//! traces — no wall clock anywhere — so a double run is byte-identical;
+//! that is the CI smoke check.
+
+use columbia_bench::report::{fabric_contention_section, FABRIC_RANK_COUNTS};
+use columbia_rt::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
+    columbia_bench::header(
+        "fabric contention",
+        "traced halo traffic through the discrete-event Columbia interconnect",
+    );
+
+    let section = fabric_contention_section(&FABRIC_RANK_COUNTS);
+    if let Json::Arr(rows) = &section {
+        println!(
+            "{:>5}  {:>8}  {:>11}  {:>11}  {:>9}  {:>9}  {:>8}",
+            "ranks", "packets", "IB cont(us)", "NL cont(us)", "IB slow", "analytic", "emergent"
+        );
+        for row in rows {
+            let uint = |k: &str| match row.get(k) {
+                Some(Json::UInt(n)) => *n,
+                _ => 0,
+            };
+            let num = |k: &str, f: &str| match row.get(k).and_then(|r| r.get(f)) {
+                Some(Json::Num(x)) => *x,
+                _ => f64::NAN,
+            };
+            let slow = |k: &str| match row.get(k) {
+                Some(Json::Num(x)) => *x,
+                _ => f64::NAN,
+            };
+            println!(
+                "{:>5}  {:>8}  {:>11.1}  {:>11.1}  {:>8.2}x  {:>8.2}x  {:>8}",
+                uint("ranks"),
+                uint("packets"),
+                1e6 * num("infiniband", "contended_s"),
+                1e6 * num("numalink", "contended_s"),
+                slow("ib_slowdown"),
+                slow("analytic_ib_slowdown"),
+                match row.get("emergent_exceeds_analytic") {
+                    Some(Json::Bool(true)) => "yes",
+                    _ => "no",
+                },
+            );
+        }
+    }
+
+    let report = Json::obj([
+        ("bench", Json::Str("fabric".into())),
+        ("schema", Json::Str("columbia-bench-fabric/1".into())),
+        (
+            "rank_counts",
+            Json::arr(FABRIC_RANK_COUNTS.iter().map(|&n| Json::UInt(n as u64))),
+        ),
+        ("arbiter", Json::Str("round_robin".into())),
+        ("rows", section),
+    ]);
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.render_pretty()).expect("write report");
+        println!("wrote {path}");
+    }
+}

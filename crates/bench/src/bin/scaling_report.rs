@@ -3,16 +3,20 @@
 //! (traced-runtime) per-level message attribution plus chaos overhead.
 //!
 //! Usage:
-//!   scaling_report [--measured] [--paper-scale] [--json PATH]
+//!   scaling_report [--measured] [--paper-scale] [--fabric] [--json PATH]
 //!
 //! `--measured` re-derives the workload profile from live solver runs;
 //! `--paper-scale` appends real event-executor runs at the paper's rank
 //! counts (512/1024/2016 cooperative rank tasks on this machine);
+//! `--fabric` appends the discrete-event fabric comparison: traced halo
+//! traffic replayed through the contended Columbia topologies, emergent
+//! makespans against the analytic closed form;
 //! `--json PATH` additionally writes the full report as deterministic JSON
 //! (two runs with the same seed are byte-identical).
 
 use columbia_bench::report::{
-    paper_scale_section, per_level_table, scaling_report, MeasuredSpec, PAPER_WORLD_SIZES,
+    fabric_contention_section, paper_scale_section, per_level_table, scaling_report, MeasuredSpec,
+    FABRIC_RANK_COUNTS, PAPER_WORLD_SIZES,
 };
 use columbia_machine::{MachineConfig, NSU3D_CPU_COUNTS};
 use columbia_rt::trace::ClockMode;
@@ -21,6 +25,7 @@ use columbia_rt::Json;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let fabric = args.iter().any(|a| a == "--fabric");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -71,6 +76,40 @@ fn main() {
         }
         if let Json::Obj(fields) = &mut report {
             fields.push(("paper_scale".into(), section));
+        }
+    }
+
+    if fabric {
+        let section = fabric_contention_section(&FABRIC_RANK_COUNTS);
+        if let Json::Arr(rows) = &section {
+            println!();
+            println!("contended fabric replay (traced halo traffic, round-robin arbiter):");
+            for row in rows {
+                let num = |k: &str, f: &str| match row.get(k).and_then(|r| r.get(f)) {
+                    Some(Json::Num(x)) => *x,
+                    _ => f64::NAN,
+                };
+                let slow = |k: &str| match row.get(k) {
+                    Some(Json::Num(x)) => *x,
+                    _ => f64::NAN,
+                };
+                let ranks = match row.get("ranks") {
+                    Some(Json::UInt(n)) => *n,
+                    _ => 0,
+                };
+                println!(
+                    "  {:>3} ranks: IB {:>9.1}us vs NL {:>8.1}us -> slowdown {:>5.2}x \
+                     (analytic {:>4.2}x)",
+                    ranks,
+                    1e6 * num("infiniband", "contended_s"),
+                    1e6 * num("numalink", "contended_s"),
+                    slow("ib_slowdown"),
+                    slow("analytic_ib_slowdown"),
+                );
+            }
+        }
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("fabric_contention".into(), section));
         }
     }
 

@@ -19,8 +19,11 @@
 //! JSON. This is asserted by `tests/trace_report.rs`.
 
 use columbia_comm::workload::HaloWorkload;
-use columbia_comm::{ExecContext, Executor, FaultConfig, FaultPlan, RankTrace};
-use columbia_machine::{simulate_cycle, CycleProfile, Fabric, MachineConfig, RunConfig};
+use columbia_comm::{flows_from_traces, ExecContext, Executor, FaultConfig, FaultPlan, RankTrace};
+use columbia_machine::{
+    analytic_makespan, makespan, simulate, simulate_cycle, Arbiter, CycleProfile, Fabric,
+    MachineConfig, RunConfig, Topology,
+};
 use columbia_mesh::{wing_mesh, WingMeshSpec};
 use columbia_mg::CycleParams;
 use columbia_rans::parallel::run_parallel_smoothing;
@@ -239,6 +242,79 @@ pub fn chaos_section(spec: &MeasuredSpec) -> Json {
     ])
 }
 
+/// Rank counts of the discrete-event fabric section.
+pub const FABRIC_RANK_COUNTS: [usize; 4] = [2, 4, 8, 16];
+
+/// Discrete-event fabric comparison over real traced traffic.
+///
+/// Every rank count runs the synthetic multigrid halo workload on the
+/// event executor, replays its teardown ledgers as a packet burst
+/// ([`flows_from_traces`]) through the contended Columbia topology of
+/// each fabric, and compares the emergent makespan against the analytic
+/// closed form ([`analytic_makespan`]). The InfiniBand degradation the
+/// paper's fig15/fig21 measure shows up as `ib_slowdown` exceeding
+/// `analytic_ib_slowdown` from 8 ranks on: queueing on the shared
+/// HCA-pool uplinks, not a fitted curve. Every number derives from the
+/// deterministic simulator over deterministic traces, so the section is
+/// byte-stable across runs.
+pub fn fabric_contention_section(rank_counts: &[usize]) -> Json {
+    let spec = HaloWorkload {
+        points_per_rank: 64,
+        levels: 3,
+        cycles: 2,
+    };
+    let ctx = ExecContext::default().with_executor(Executor::Events);
+    Json::arr(rank_counts.iter().map(|&n| {
+        let report = spec.run(n, &ctx);
+        let flows = flows_from_traces(&report.traces);
+        let nodes = if n >= 2 { 2 } else { 1 };
+        let price = |fabric: Fabric| {
+            let topo = Topology::columbia(fabric, n, nodes);
+            let contended = makespan(&simulate(&topo, Arbiter::RoundRobin, &flows));
+            let analytic = analytic_makespan(fabric, nodes, &flows);
+            let row = Json::obj([
+                ("contended_s", Json::Num(contended)),
+                ("analytic_s", Json::Num(analytic)),
+                ("queueing_factor", Json::Num(contended / analytic)),
+            ]);
+            (contended, analytic, row)
+        };
+        let (nl_c, nl_a, nl) = price(Fabric::NumaLink4);
+        let (ib_c, ib_a, ib) = price(Fabric::InfiniBand);
+        let (_, _, ge) = price(Fabric::TenGigE);
+        let ib_slowdown = ib_c / nl_c;
+        let analytic_ib_slowdown = ib_a / nl_a;
+        let topo_ib = Topology::columbia(Fabric::InfiniBand, n, nodes);
+        let arb_ms = |arb: Arbiter| Json::Num(makespan(&simulate(&topo_ib, arb, &flows)));
+        Json::obj([
+            ("ranks", Json::UInt(n as u64)),
+            ("nodes", Json::UInt(nodes as u64)),
+            ("packets", Json::UInt(flows.len() as u64)),
+            (
+                "bytes",
+                Json::UInt(flows.iter().map(|p| p.bytes).sum::<u64>()),
+            ),
+            ("numalink", nl),
+            ("infiniband", ib),
+            ("tengige", ge),
+            ("ib_slowdown", Json::Num(ib_slowdown)),
+            ("analytic_ib_slowdown", Json::Num(analytic_ib_slowdown)),
+            (
+                "emergent_exceeds_analytic",
+                Json::Bool(ib_slowdown > analytic_ib_slowdown),
+            ),
+            (
+                "ib_arbiters",
+                Json::obj([
+                    ("round_robin", Json::Num(ib_c)),
+                    ("priority", arb_ms(Arbiter::Priority)),
+                    ("fair_share", arb_ms(Arbiter::FairShare)),
+                ]),
+            ),
+        ])
+    }))
+}
+
 /// World sizes of the paper-scale section: the fig14–fig22 rank counts
 /// the event executor hosts as *real rank programs* on one machine.
 pub const PAPER_WORLD_SIZES: [usize; 3] = [512, 1024, 2016];
@@ -445,6 +521,53 @@ mod tests {
             match row.get("total_bytes") {
                 Some(Json::UInt(n)) => assert!(*n > 0),
                 other => panic!("missing total_bytes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_contention_section_is_deterministic_and_emergent_at_8_ranks() {
+        let a = fabric_contention_section(&[2, 8]);
+        let b = fabric_contention_section(&[2, 8]);
+        assert_eq!(a.render(), b.render(), "section must be byte-stable");
+        let rows = match &a {
+            Json::Arr(rows) => rows,
+            _ => panic!("not an array"),
+        };
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            let ranks = match row.get("ranks") {
+                Some(Json::UInt(n)) => *n,
+                other => panic!("missing ranks: {other:?}"),
+            };
+            // Queueing factors are well-formed. (NUMAlink's can dip just
+            // below 1: the contended topology pipelines a source's intra
+            // channel and NIC, which the per-source-serialised analytic
+            // oracle cannot.)
+            let qf = |fabric: &str| match row.get(fabric).and_then(|f| f.get("queueing_factor")) {
+                Some(Json::Num(x)) => *x,
+                other => panic!("missing {fabric} queueing_factor: {other:?}"),
+            };
+            for fabric in ["numalink", "infiniband", "tengige"] {
+                let f = qf(fabric);
+                assert!(
+                    f.is_finite() && f > 0.5,
+                    "{fabric} queueing factor degenerate at {ranks} ranks: {f}"
+                );
+            }
+            assert!(
+                qf("infiniband") >= qf("numalink"),
+                "queueing must hit InfiniBand harder than NUMAlink at {ranks} ranks"
+            );
+            // The acceptance criterion: from 8 ranks on, the IB-vs-NL
+            // slowdown must exceed the analytic ratio — the degradation
+            // is emergent queueing, not the closed form restated.
+            if ranks >= 8 {
+                assert_eq!(
+                    row.get("emergent_exceeds_analytic"),
+                    Some(&Json::Bool(true)),
+                    "IB degradation not emergent at {ranks} ranks: {row:?}"
+                );
             }
         }
     }

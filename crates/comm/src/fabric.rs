@@ -1,0 +1,154 @@
+//! Fabric models for the event executor's virtual time.
+//!
+//! The event backend schedules message wakeups on a virtual clock; by
+//! default every cross-rank send costs one tick (the analytic regime —
+//! delivery cost lives in `columbia_machine::interconnect`'s closed-form
+//! curves, applied after the fact by the reports). Selecting
+//! [`FabricModel::Contention`](columbia_exec::FabricModel) attaches a
+//! [`FabricClock`] to the scheduler instead: each send walks its route
+//! through a `columbia_machine::contention` topology, occupying every
+//! link for the message's service time behind whatever traffic already
+//! holds it, and the receiver's wakeup lands when the last hop drains.
+//! Queueing delay on the virtual clock is therefore *emergent*.
+//!
+//! Two deliberate properties:
+//!
+//! * **Interleaving invariance is preserved.** The clock only reshapes
+//!   *when* a parked receiver wakes, never what it reads: payload bits,
+//!   `CommStats` and traces are bit-identical to the analytic regime
+//!   (pinned by `tests/fabric_contention.rs`). The thread backend has no
+//!   virtual clock, so the selection is a documented no-op there.
+//! * **Determinism.** The clock is consulted only by the token-holding
+//!   rank under the scheduler lock, and its state is a pure function of
+//!   the send history — so double runs stay bit-identical.
+//!
+//! This is the *online* flavour of the contention model: per-link FIFO
+//! occupancy without arbiter choice or finite capacity, cheap enough for
+//! every send of a 2016-rank world. The full batch simulator (arbiters,
+//! backpressure, head-of-line blocking) lives in
+//! [`columbia_machine::contention`] and drives the `scaling_report
+//! --fabric` section over [`flows_from_traces`] replays.
+
+use crate::runtime::RankTrace;
+use columbia_machine::contention::{Packet, Topology};
+use columbia_machine::Fabric;
+
+/// Per-link busy-until clock over a contention [`Topology`], in integer
+/// nanoseconds (the event executor's tick).
+pub struct FabricClock {
+    topo: Topology,
+    free_ns: Vec<u64>,
+}
+
+impl FabricClock {
+    /// A clock over an explicit topology.
+    pub fn new(topo: Topology) -> Self {
+        let n = topo.nlinks();
+        FabricClock {
+            topo,
+            free_ns: vec![0; n],
+        }
+    }
+
+    /// The default contention regime for `nranks` event-executor ranks:
+    /// the InfiniBand Columbia instantiation with ranks scattered over
+    /// two nodes — the smallest placement whose cross-node uplinks
+    /// actually contend, and the fabric whose degradation the paper's
+    /// fig15/fig21 investigate.
+    pub fn columbia_default(nranks: usize) -> Self {
+        let nodes = if nranks >= 2 { 2 } else { 1 };
+        FabricClock::new(Topology::columbia(Fabric::InfiniBand, nranks, nodes))
+    }
+
+    /// Route one `bytes`-sized message `src -> dst` injected at `now_ns`,
+    /// occupying every link on the route FIFO behind its current holder.
+    /// Returns the delivery delay in ticks (>= 1).
+    pub fn delay_ns(&mut self, src: usize, dst: usize, bytes: u64, now_ns: u64) -> u64 {
+        let mut t = now_ns;
+        for l in self.topo.route(src, dst) {
+            let svc = secs_to_ns(self.topo.link(l).service_s(bytes));
+            t = t.max(self.free_ns[l]).saturating_add(svc);
+            self.free_ns[l] = t;
+        }
+        (t - now_ns).max(1)
+    }
+}
+
+/// Whole seconds-to-ticks conversion, rounding up so even a sub-tick
+/// service occupies its link for one full tick.
+fn secs_to_ns(s: f64) -> u64 {
+    let ns = (s * 1e9).ceil();
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Replay a world's teardown ledgers as a packet burst: one packet per
+/// recorded message, sized at the stream's mean message size (remainder
+/// folded into the first packet), all injected at t = 0. Self-sends are
+/// skipped — the fabric never saw them. Deterministic: ledger iteration
+/// is `BTreeMap`-ordered and traces arrive in rank order.
+pub fn flows_from_traces(traces: &[RankTrace]) -> Vec<Packet> {
+    let mut packets = Vec::new();
+    for t in traces {
+        for (peer, msgs, bytes) in t.stats.peers() {
+            if peer == t.rank || msgs == 0 {
+                continue;
+            }
+            let per = bytes / msgs;
+            let extra = bytes % msgs;
+            for i in 0..msgs {
+                packets.push(Packet {
+                    src: t.rank,
+                    dst: peer,
+                    bytes: per + if i == 0 { extra } else { 0 },
+                    inject_s: 0.0,
+                });
+            }
+        }
+    }
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_delay_is_the_route_service_time() {
+        let mut clock = FabricClock::new(Topology::uncontended(Fabric::InfiniBand, 4, 2));
+        // Ranks 0 and 2 share node 0; 0 -> 2 is intra-node.
+        let intra = clock.delay_ns(0, 2, 8000, 0);
+        let expect =
+            secs_to_ns(Fabric::InfiniBand.latency(1) + 8000.0 / Fabric::InfiniBand.bandwidth(1));
+        assert_eq!(intra, expect);
+        // 0 -> 1 crosses nodes at the span-2 parameters (ideal uplink).
+        let cross = clock.delay_ns(0, 1, 8000, 0);
+        let expect =
+            secs_to_ns(Fabric::InfiniBand.latency(2) + 8000.0 / Fabric::InfiniBand.bandwidth(2));
+        assert_eq!(cross, expect);
+    }
+
+    #[test]
+    fn busy_links_queue_later_sends() {
+        let mut clock = FabricClock::columbia_default(4);
+        let first = clock.delay_ns(0, 1, 100_000, 0);
+        // Same route again at the same instant: waits out the first
+        // message's occupancy, so the delay at least doubles.
+        // The NIC pipelines into the uplink, so the second message waits
+        // out the NIC occupancy on top of its own full route.
+        let second = clock.delay_ns(0, 1, 100_000, 0);
+        assert!(second > first, "no queueing: {first} then {second}");
+        // After the wave passes, the link is free again.
+        let later = clock.delay_ns(0, 1, 100_000, u64::MAX / 2);
+        assert_eq!(later, first);
+    }
+
+    #[test]
+    fn delay_is_never_zero() {
+        let mut clock = FabricClock::columbia_default(2);
+        assert!(clock.delay_ns(0, 1, 0, 0) >= 1);
+    }
+}

@@ -28,15 +28,17 @@
 //! [`CommStats`] traces bit-identical across runs for a fixed seed.
 
 pub mod exchange;
+pub mod fabric;
 pub mod hybrid;
 pub mod runtime;
 mod sched;
 pub mod stats;
 pub mod workload;
 
-pub use columbia_exec::{ExecContext, Executor, ExecutorKind, PoolPolicy};
+pub use columbia_exec::{ExecContext, Executor, ExecutorKind, FabricKind, FabricModel, PoolPolicy};
 pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
 pub use exchange::{decompose, Decomposition, ExchangePlan, PackedSchedule, PeerRange};
+pub use fabric::{flows_from_traces, FabricClock};
 pub use hybrid::HybridLayout;
 pub use runtime::{run_ranks, run_world, Rank, RankTrace};
 pub use stats::{CommStats, FaultCounters, PoolCounters, WorldCommSummary};

@@ -46,9 +46,10 @@
 //!   arbitrarily long fills. Messages carry their epoch so a fast peer's
 //!   next-epoch traffic is never confused with the retiring streams.
 
+use crate::fabric::FabricClock;
 use crate::sched::EventSched;
 use crate::stats::CommStats;
-use columbia_exec::{ExecContext, ExecutorKind};
+use columbia_exec::{ExecContext, ExecutorKind, FabricKind};
 use columbia_rt::channel::{unbounded, Receiver, Sender, TryRecvError};
 use columbia_rt::fault::{FaultPlan, MessageAction};
 use columbia_rt::trace::{SpanKey, Tracer};
@@ -437,7 +438,7 @@ impl Rank {
             .expect("peer rank hung up");
         if let WaitBackend::Events { sched } = &self.backend {
             if to != self.rank {
-                sched.notify_mail(to);
+                sched.notify_mail(self.rank, to, bytes as u64);
             }
         }
         self.stats.record_send(to, bytes);
@@ -828,8 +829,17 @@ where
         );
     }
     match ctx.executor().resolve() {
+        // The thread backend has no virtual clock, so the fabric model
+        // selection is a documented no-op there: delivery cost lives in
+        // the analytic report path either way.
         ExecutorKind::Threads => run_world_threads(nranks, plan, pool_on, body),
-        ExecutorKind::Events => run_world_events(nranks, plan, pool_on, body),
+        ExecutorKind::Events => {
+            let fabric = match ctx.fabric_model().resolve() {
+                FabricKind::Analytic => None,
+                FabricKind::Contention => Some(FabricClock::columbia_default(nranks)),
+            };
+            run_world_events(nranks, plan, pool_on, fabric, body)
+        }
     }
 }
 
@@ -953,6 +963,7 @@ fn run_world_events<T, F>(
     nranks: usize,
     plan: Option<Arc<FaultPlan>>,
     pool_on: bool,
+    fabric: Option<FabricClock>,
     body: F,
 ) -> (Vec<T>, Vec<RankTrace>)
 where
@@ -960,7 +971,7 @@ where
     F: Fn(&mut Rank) -> T + Sync,
 {
     let (senders, receivers) = make_channels(nranks);
-    let sched = Arc::new(EventSched::new(nranks));
+    let sched = Arc::new(EventSched::with_fabric(nranks, fabric));
     let body = &body;
     let plan = &plan;
     let sink: Mutex<Vec<Option<RankTrace>>> = Mutex::new((0..nranks).map(|_| None).collect());
@@ -1238,6 +1249,44 @@ mod tests {
         .expect_err("deadlock must panic, not hang");
         let msg = err.downcast_ref::<String>().expect("string payload");
         assert!(msg.contains("deadlock"), "{msg}");
+    }
+
+    #[test]
+    fn deadlock_status_table_lists_every_rank_exactly_once() {
+        use columbia_exec::Executor;
+        // Four ranks, two distinct fates: ranks 0 and 1 recv from a rank
+        // that never sends; ranks 2 and 3 finish their bodies and park in
+        // the teardown barrier the world can never complete. The deadlock
+        // report must carry one status row per rank — no omissions, no
+        // duplicates.
+        let ctx = ExecContext::default().with_executor(Executor::Events);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_world(4, &ctx, |rank| match rank.rank() {
+                0 | 1 => {
+                    rank.recv(3, 42);
+                }
+                _ => {}
+            });
+        }))
+        .expect_err("deadlock must panic, not hang");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("deadlock"), "{msg}");
+        for row in [
+            "(0, RecvWait)",
+            "(1, RecvWait)",
+            "(2, BarrierWait)",
+            "(3, BarrierWait)",
+        ] {
+            assert_eq!(
+                msg.matches(row).count(),
+                1,
+                "status row {row} missing or repeated in: {msg}"
+            );
+        }
+        // Exactly the four rows — the table has no phantom ranks.
+        assert_eq!(msg.matches("(0,").count(), 1, "{msg}");
+        assert_eq!(msg.matches("RecvWait").count(), 2, "{msg}");
+        assert_eq!(msg.matches("BarrierWait").count(), 2, "{msg}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! unwind, and `run_world` re-reports the *first* panic (deterministic —
 //! only one rank runs at a time) prefixed with its rank id.
 
+use crate::fabric::FabricClock;
 use columbia_rt::timeq::TimeQueue;
 use std::sync::{Condvar, Mutex};
 
@@ -61,6 +62,11 @@ struct SchedState {
     live: usize,
     /// First panic `(rank, message)` — set once, reported by `run_world`.
     poisoned: Option<(usize, String)>,
+    /// Optional contention clock: when present, message wakeups are
+    /// scheduled at the fabric's emergent delivery time instead of one
+    /// tick out. Consulted only by the token holder under this lock, so
+    /// its occupancy state is a pure function of the send history.
+    fabric: Option<FabricClock>,
 }
 
 /// The shared scheduler for one event-backend world.
@@ -71,8 +77,10 @@ pub(crate) struct EventSched {
 
 impl EventSched {
     /// A world of `nranks` tasks, all ready at virtual time 0 in rank
-    /// order. No gate is open until [`EventSched::kick`].
-    pub(crate) fn new(nranks: usize) -> Self {
+    /// order, with an optional contention clock shaping message-wakeup
+    /// delays (`None` is the analytic regime: one tick per wakeup). No
+    /// gate is open until [`EventSched::kick`].
+    pub(crate) fn with_fabric(nranks: usize, fabric: Option<FabricClock>) -> Self {
         let mut queue = TimeQueue::new();
         for r in 0..nranks {
             queue.push(0, r as u64, ());
@@ -84,6 +92,7 @@ impl EventSched {
                 barrier_waiters: Vec::with_capacity(nranks),
                 live: nranks,
                 poisoned: None,
+                fabric,
             }),
             gates: (0..nranks)
                 .map(|_| Gate {
@@ -174,13 +183,23 @@ impl EventSched {
         self.wait_turn(rank);
     }
 
-    /// A message was pushed onto `to`'s channel by the running rank. If
-    /// `to` is parked on its channel, schedule it one tick from now.
-    pub(crate) fn notify_mail(&self, to: usize) {
+    /// A `bytes`-sized message was pushed onto `to`'s channel by the
+    /// running rank `from`. Under the analytic regime the wakeup lands
+    /// one tick out; under a contention clock it lands when the fabric
+    /// delivers — behind whatever traffic already occupies the route's
+    /// links. The clock is advanced for every send (the message occupies
+    /// the wire whether or not the receiver is parked), but only a
+    /// `RecvWait` receiver is actually scheduled.
+    pub(crate) fn notify_mail(&self, from: usize, to: usize, bytes: u64) {
         let mut st = self.state.lock().expect("scheduler poisoned");
+        let now = st.queue.now();
+        let delay = match &mut st.fabric {
+            Some(clock) => clock.delay_ns(from, to, bytes, now),
+            None => 1,
+        };
         if st.status[to] == RankStatus::RecvWait {
             st.status[to] = RankStatus::Ready;
-            st.queue.push_after(1, to as u64, ());
+            st.queue.push_after(delay, to as u64, ());
         }
     }
 

@@ -35,7 +35,7 @@ use columbia_rt::fault::{CasePlan, FaultPlan};
 use columbia_rt::trace::{Trace, Tracer};
 use std::sync::Arc;
 
-pub use columbia_rt::env::ExecutorKind;
+pub use columbia_rt::env::{ExecutorKind, FabricKind};
 
 /// Which `run_world` backend hosts the rank bodies.
 ///
@@ -71,6 +71,45 @@ impl Executor {
             Executor::Threads => ExecutorKind::Threads,
             Executor::Events => ExecutorKind::Events,
             Executor::Auto => columbia_rt::env::executor().unwrap_or(ExecutorKind::Threads),
+        }
+    }
+}
+
+/// Which interconnect delivery model shapes the event executor's virtual
+/// time.
+///
+/// * [`FabricModel::Analytic`] — the seed behaviour: message wakeups cost
+///   one virtual tick, delivery cost lives only in the closed-form curves
+///   of `columbia_machine::interconnect`. The reference oracle.
+/// * [`FabricModel::Contention`] — the event backend routes every
+///   cross-rank message through the discrete-event link/arbiter model
+///   (`columbia_machine::contention`), so wakeup delays carry emergent
+///   queueing. Payload bits, `CommStats` and traces are unchanged — the
+///   comm protocol is interleaving-invariant — only the virtual-time
+///   schedule moves. The thread backend has no virtual clock and ignores
+///   the selection.
+/// * [`FabricModel::Auto`] (the default) — consult the typed
+///   `COLUMBIA_FABRIC` env knob (`analytic` | `contention`), falling back
+///   to `Analytic` when unset.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FabricModel {
+    /// Resolve from `COLUMBIA_FABRIC`, default [`FabricModel::Analytic`].
+    #[default]
+    Auto,
+    /// Closed-form delivery cost (seed behaviour, reference oracle).
+    Analytic,
+    /// Discrete-event contention model on the event executor.
+    Contention,
+}
+
+impl FabricModel {
+    /// The concrete model this selection denotes, consulting the
+    /// environment only for [`FabricModel::Auto`].
+    pub fn resolve(self) -> FabricKind {
+        match self {
+            FabricModel::Analytic => FabricKind::Analytic,
+            FabricModel::Contention => FabricKind::Contention,
+            FabricModel::Auto => columbia_rt::env::fabric().unwrap_or(FabricKind::Analytic),
         }
     }
 }
@@ -148,6 +187,7 @@ pub struct ExecContext {
     fill: FillPolicy,
     tracer: Tracer,
     executor: Executor,
+    fabric: FabricModel,
 }
 
 impl ExecContext {
@@ -201,6 +241,14 @@ impl ExecContext {
         self
     }
 
+    /// Select the interconnect delivery model for the event executor's
+    /// virtual time. The default, [`FabricModel::Auto`], defers to the
+    /// `COLUMBIA_FABRIC` env knob.
+    pub fn with_fabric_model(mut self, fabric: FabricModel) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
     /// The fault plan, if any.
     pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
@@ -225,6 +273,12 @@ impl ExecContext {
     /// [`Executor::resolve`] for the concrete kind).
     pub fn executor(&self) -> Executor {
         self.executor
+    }
+
+    /// The selected interconnect delivery model (unresolved; call
+    /// [`FabricModel::resolve`] for the concrete kind).
+    pub fn fabric_model(&self) -> FabricModel {
+        self.fabric
     }
 
     /// The trace sink. Disabled by default; every `Tracer` entry point is
@@ -299,6 +353,18 @@ mod tests {
         // Auto is resolved from COLUMBIA_EXECUTOR at run_world time; its
         // grammar is pinned in columbia_rt::env (no env mutation here —
         // tests must not race over process state).
+    }
+
+    #[test]
+    fn fabric_selection_resolves_explicitly_without_the_environment() {
+        assert_eq!(FabricModel::Analytic.resolve(), FabricKind::Analytic);
+        assert_eq!(FabricModel::Contention.resolve(), FabricKind::Contention);
+        let ctx = ExecContext::default();
+        assert_eq!(ctx.fabric_model(), FabricModel::Auto);
+        let ctx = ctx.with_fabric_model(FabricModel::Contention);
+        assert_eq!(ctx.fabric_model(), FabricModel::Contention);
+        // Auto defers to COLUMBIA_FABRIC, whose grammar is pinned in
+        // columbia_rt::env (again no env mutation here).
     }
 
     #[test]

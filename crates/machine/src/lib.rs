@@ -25,6 +25,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately catches NaNs
 
 pub mod columbia;
+pub mod contention;
 pub mod faults;
 pub mod interconnect;
 pub mod model;
@@ -32,6 +33,9 @@ pub mod profile;
 pub mod scaling;
 
 pub use columbia::MachineConfig;
+pub use contention::{
+    analytic_makespan, makespan, simulate, Arbiter, Delivery, LinkSpec, Packet, Topology,
+};
 pub use faults::{fabric_fault_config, fabric_severity};
 pub use interconnect::{ib_rank_limit, Fabric};
 pub use model::{check_run, ProgModel, SimError};

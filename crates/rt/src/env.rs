@@ -12,12 +12,43 @@
 //! | `COLUMBIA_BENCH_QUICK`    | set ⇒ on                 | off          | [`crate::bench`] CI smoke mode             |
 //! | `COLUMBIA_PT_REPLAY`      | decimal or `0x`-hex u64  | unset        | [`crate::props`] single-case replay        |
 //! | `COLUMBIA_EXECUTOR`       | `threads` \| `events`    | unset        | `run_world` backend (CI executor matrix)   |
+//! | `COLUMBIA_FABRIC`         | `analytic` \| `contention` | unset      | interconnect delivery model (CI fabric matrix) |
 //!
 //! The parsers are split into pure `parse_*` functions (unit-testable
 //! without touching process state) and thin `std::env` wrappers, so the
 //! grammar is pinned by tests that never race over environment variables.
+//! Enum-valued knobs (`COLUMBIA_EXECUTOR`, `COLUMBIA_FABRIC`) report a
+//! typed [`EnvError`] carrying the variable name, the offending value and
+//! the accepted grammar, so harnesses can render or match on the failure
+//! instead of catching a panic.
 
 use crate::fault::FaultConfig;
+
+/// A malformed `COLUMBIA_*` environment value: which variable, what it
+/// held, and the grammar it violated. Returned by the enum-knob parsers
+/// ([`parse_executor`], [`parse_fabric`]) so callers get a matchable error
+/// instead of a formatted panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvError {
+    /// The environment variable the value came from.
+    pub var: &'static str,
+    /// The offending value, verbatim (pre-trim).
+    pub value: String,
+    /// The accepted grammar, e.g. `threads|events`.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: bad value {:?} (use {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
 
 /// Fault seed used when `COLUMBIA_FAULT_SEED` is unset.
 pub const DEFAULT_FAULT_SEED: u64 = 0xC01D_FA17;
@@ -117,19 +148,75 @@ pub enum ExecutorKind {
 }
 
 /// Parse a `COLUMBIA_EXECUTOR` value; `None` means unset (caller default).
-pub fn parse_executor(v: Option<&str>) -> Result<Option<ExecutorKind>, String> {
+/// Malformed values yield the typed [`EnvError`], never a panic.
+pub fn parse_executor(v: Option<&str>) -> Result<Option<ExecutorKind>, EnvError> {
     match v.map(str::trim) {
         None => Ok(None),
         Some("threads") => Ok(Some(ExecutorKind::Threads)),
         Some("events") => Ok(Some(ExecutorKind::Events)),
-        Some(other) => Err(format!("bad executor {other:?} (use threads|events)")),
+        Some(_) => Err(EnvError {
+            var: "COLUMBIA_EXECUTOR",
+            value: v.unwrap_or_default().to_string(),
+            expected: "threads|events",
+        }),
     }
 }
 
 /// `COLUMBIA_EXECUTOR` for this run; `None` when unset (the context picks
 /// its default, currently [`ExecutorKind::Threads`]).
 pub fn executor() -> Option<ExecutorKind> {
-    parse_executor(std::env::var("COLUMBIA_EXECUTOR").ok().as_deref()).expect("COLUMBIA_EXECUTOR")
+    try_executor().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`executor`]: the typed [`EnvError`] instead of a
+/// panic on a malformed value.
+pub fn try_executor() -> Result<Option<ExecutorKind>, EnvError> {
+    parse_executor(std::env::var("COLUMBIA_EXECUTOR").ok().as_deref())
+}
+
+/// The interconnect delivery model selected by `COLUMBIA_FABRIC`.
+///
+/// `Analytic` is the seed behaviour and the reference oracle: delivery
+/// cost comes from the closed-form latency/bandwidth curves in
+/// `columbia_machine::interconnect`. `Contention` routes every event-
+/// executor message through the discrete-event link/arbiter model in
+/// `columbia_machine::contention`, so queueing delay is emergent. Payload
+/// bits, `CommStats` and traces are identical either way (the model only
+/// reshapes the virtual-time schedule) — pinned by
+/// `tests/fabric_contention.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricKind {
+    /// Closed-form latency/bandwidth delivery cost (the default).
+    Analytic,
+    /// Discrete-event link/arbiter/backpressure delivery cost.
+    Contention,
+}
+
+/// Parse a `COLUMBIA_FABRIC` value; `None` means unset (caller default).
+/// Malformed values yield the typed [`EnvError`], never a panic.
+pub fn parse_fabric(v: Option<&str>) -> Result<Option<FabricKind>, EnvError> {
+    match v.map(str::trim) {
+        None => Ok(None),
+        Some("analytic") => Ok(Some(FabricKind::Analytic)),
+        Some("contention") => Ok(Some(FabricKind::Contention)),
+        Some(_) => Err(EnvError {
+            var: "COLUMBIA_FABRIC",
+            value: v.unwrap_or_default().to_string(),
+            expected: "analytic|contention",
+        }),
+    }
+}
+
+/// `COLUMBIA_FABRIC` for this run; `None` when unset (the context picks
+/// its default, currently [`FabricKind::Analytic`]).
+pub fn fabric() -> Option<FabricKind> {
+    try_fabric().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`fabric`]: the typed [`EnvError`] instead of a panic
+/// on a malformed value.
+pub fn try_fabric() -> Result<Option<FabricKind>, EnvError> {
+    parse_fabric(std::env::var("COLUMBIA_FABRIC").ok().as_deref())
 }
 
 #[cfg(test)]
@@ -170,6 +257,48 @@ mod tests {
         );
         assert!(parse_executor(Some("fibers")).is_err());
         assert!(parse_executor(Some("")).is_err());
+    }
+
+    #[test]
+    fn malformed_executor_yields_the_typed_error_not_a_panic() {
+        let err = parse_executor(Some("fibers")).unwrap_err();
+        assert_eq!(err.var, "COLUMBIA_EXECUTOR");
+        assert_eq!(err.value, "fibers");
+        assert_eq!(err.expected, "threads|events");
+        assert_eq!(
+            err.to_string(),
+            "COLUMBIA_EXECUTOR: bad value \"fibers\" (use threads|events)"
+        );
+        // The raw (pre-trim) value is preserved for faithful reporting.
+        let err = parse_executor(Some(" evnets ")).unwrap_err();
+        assert_eq!(err.value, " evnets ");
+    }
+
+    #[test]
+    fn fabric_grammar_is_analytic_contention_with_unset_passthrough() {
+        assert_eq!(parse_fabric(None), Ok(None));
+        assert_eq!(
+            parse_fabric(Some("analytic")),
+            Ok(Some(FabricKind::Analytic))
+        );
+        assert_eq!(
+            parse_fabric(Some(" contention ")),
+            Ok(Some(FabricKind::Contention))
+        );
+        assert!(parse_fabric(Some("quantum")).is_err());
+        assert!(parse_fabric(Some("")).is_err());
+    }
+
+    #[test]
+    fn malformed_fabric_yields_the_typed_error_not_a_panic() {
+        let err = parse_fabric(Some("quantum")).unwrap_err();
+        assert_eq!(err.var, "COLUMBIA_FABRIC");
+        assert_eq!(err.value, "quantum");
+        assert_eq!(err.expected, "analytic|contention");
+        assert_eq!(
+            err.to_string(),
+            "COLUMBIA_FABRIC: bad value \"quantum\" (use analytic|contention)"
+        );
     }
 
     #[test]
