@@ -1,0 +1,305 @@
+//! Kernel microbenchmark: the SoA/SIMD batch kernels against their scalar
+//! references across working-set sizes spanning the columbia cache
+//! model's L3 crossover.
+//!
+//! Usage:
+//!   bench_kernels [--json PATH] [--stable]
+//!
+//! Two sections:
+//!
+//! * **deterministic** — per kernel and size: software FLOP counts for
+//!   one pass, working-set bytes, FNV parity digests of the scalar and
+//!   batch outputs (asserted equal: the batch kernels replay the scalar
+//!   operation order per lane), and the roofline-predicted sustained
+//!   GFLOP/s of one Columbia CPU at that working-set size;
+//! * **measured** — min-of-reps wall time per pass for both paths,
+//!   achieved GFLOP/s against the roofline prediction, and the
+//!   batch-over-scalar speedup. `--stable` omits this section, so a
+//!   double run under `--stable` must be byte-identical (the CI smoke
+//!   check).
+
+use columbia_bench::kernels::{
+    axpy_pass_flops, axpy_scalar, axpy_set, axpy_simd, digest_lines, digest_states, line_set,
+    line_tridiag_scalar, line_tridiag_simd, point_lu_pass_flops, point_lu_scalar, point_lu_simd,
+    point_set, predicted_gflops, AXPY_SIZES, LINE_COUNTS, LINE_LEN, NB, POINT_SIZES,
+};
+use columbia_linalg::{flops, BlockTridiag, TridiagBatch};
+use columbia_rt::Json;
+use std::time::Instant;
+
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 9;
+/// Seed for every input set.
+const SEED: u64 = 0xC01D_B10C;
+
+/// One kernel/size row of the report.
+struct Row {
+    kernel: &'static str,
+    size: usize,
+    working_set_bytes: u64,
+    scalar_flops: u64,
+    simd_flops: u64,
+    digest: u64,
+    predicted_gflops: f64,
+    scalar_s: Option<f64>,
+    simd_s: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        match (self.scalar_s, self.simd_s) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+
+    fn json(&self) -> Json {
+        let mut j = Json::obj([
+            ("kernel", Json::Str(self.kernel.into())),
+            ("size", Json::UInt(self.size as u64)),
+            ("working_set_bytes", Json::UInt(self.working_set_bytes)),
+            ("scalar_flops", Json::UInt(self.scalar_flops)),
+            ("simd_flops", Json::UInt(self.simd_flops)),
+            ("digest", Json::Str(format!("{:016x}", self.digest))),
+            ("predicted_gflops", Json::Num(self.predicted_gflops)),
+        ]);
+        if let (Some(a), Some(b), Some(s)) = (self.scalar_s, self.simd_s, self.speedup()) {
+            j.set("scalar_s", Json::Num(a));
+            j.set("simd_s", Json::Num(b));
+            j.set(
+                "scalar_achieved_gflops",
+                Json::Num(self.scalar_flops as f64 / a / 1e9),
+            );
+            j.set(
+                "simd_achieved_gflops",
+                Json::Num(self.simd_flops as f64 / b / 1e9),
+            );
+            j.set("speedup", Json::Num(s));
+        }
+        j
+    }
+}
+
+fn min_of(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn point_rows(measure: bool) -> Vec<Row> {
+    POINT_SIZES
+        .iter()
+        .map(|&n| {
+            let set = point_set(n, SEED);
+            let mut a = vec![[0.0; NB]; n];
+            let mut b = vec![[0.0; NB]; n];
+            flops::take();
+            point_lu_scalar(&set, &mut a);
+            let scalar_flops = flops::take();
+            point_lu_simd(&set, &mut b);
+            let simd_flops = flops::take();
+            let (da, db) = (digest_states(&a), digest_states(&b));
+            assert_eq!(da, db, "point_lu6 parity broke at n = {n}");
+            assert_eq!(scalar_flops, point_lu_pass_flops(n));
+            let (mut scalar_s, mut simd_s) = (None, None);
+            if measure {
+                scalar_s = Some(min_of(|| {
+                    let t = Instant::now();
+                    point_lu_scalar(&set, &mut a);
+                    t.elapsed().as_secs_f64()
+                }));
+                simd_s = Some(min_of(|| {
+                    let t = Instant::now();
+                    point_lu_simd(&set, &mut b);
+                    t.elapsed().as_secs_f64()
+                }));
+            }
+            Row {
+                kernel: "point_lu6",
+                size: n,
+                working_set_bytes: set.working_set_bytes(),
+                scalar_flops,
+                simd_flops,
+                digest: da,
+                predicted_gflops: predicted_gflops(set.working_set_bytes() as f64),
+                scalar_s,
+                simd_s,
+            }
+        })
+        .collect()
+}
+
+fn line_rows(measure: bool) -> Vec<Row> {
+    LINE_COUNTS
+        .iter()
+        .map(|&nlines| {
+            let set = line_set(nlines, SEED);
+            let mut a = vec![vec![[0.0; NB]; LINE_LEN]; nlines];
+            let mut b = vec![vec![[0.0; NB]; LINE_LEN]; nlines];
+            let mut scalar_scratch = BlockTridiag::new();
+            let mut batch_scratch = TridiagBatch::new();
+            flops::take();
+            line_tridiag_scalar(&set, &mut scalar_scratch, &mut a);
+            let scalar_flops = flops::take();
+            line_tridiag_simd(&set, &mut batch_scratch, &mut b);
+            let simd_flops = flops::take();
+            let (da, db) = (digest_lines(&a), digest_lines(&b));
+            assert_eq!(da, db, "line_tridiag6 parity broke at nlines = {nlines}");
+            let (mut scalar_s, mut simd_s) = (None, None);
+            if measure {
+                scalar_s = Some(min_of(|| {
+                    let t = Instant::now();
+                    line_tridiag_scalar(&set, &mut scalar_scratch, &mut a);
+                    t.elapsed().as_secs_f64()
+                }));
+                simd_s = Some(min_of(|| {
+                    let t = Instant::now();
+                    line_tridiag_simd(&set, &mut batch_scratch, &mut b);
+                    t.elapsed().as_secs_f64()
+                }));
+            }
+            Row {
+                kernel: "line_tridiag6",
+                size: nlines,
+                working_set_bytes: set.working_set_bytes(),
+                scalar_flops,
+                simd_flops,
+                digest: da,
+                predicted_gflops: predicted_gflops(set.working_set_bytes() as f64),
+                scalar_s,
+                simd_s,
+            }
+        })
+        .collect()
+}
+
+fn axpy_rows(measure: bool) -> Vec<Row> {
+    AXPY_SIZES
+        .iter()
+        .map(|&n| {
+            let set = axpy_set(n, SEED);
+            let mut a = set.y0.clone();
+            let mut b = set.y0.clone();
+            flops::take();
+            axpy_scalar(0.37, &set.x, &mut a);
+            let scalar_flops = flops::take();
+            axpy_simd(0.37, &set.x, &mut b);
+            let simd_flops = flops::take();
+            let (da, db) = (digest_states(&a), digest_states(&b));
+            assert_eq!(da, db, "rk_axpy parity broke at n = {n}");
+            assert_eq!(scalar_flops, axpy_pass_flops(n));
+            let (mut scalar_s, mut simd_s) = (None, None);
+            if measure {
+                scalar_s = Some(min_of(|| {
+                    let mut y = set.y0.clone();
+                    let t = Instant::now();
+                    axpy_scalar(0.37, &set.x, &mut y);
+                    t.elapsed().as_secs_f64()
+                }));
+                simd_s = Some(min_of(|| {
+                    let mut y = set.y0.clone();
+                    let t = Instant::now();
+                    axpy_simd(0.37, &set.x, &mut y);
+                    t.elapsed().as_secs_f64()
+                }));
+            }
+            Row {
+                kernel: "rk_axpy",
+                size: n,
+                working_set_bytes: set.working_set_bytes(),
+                scalar_flops,
+                simd_flops,
+                digest: da,
+                predicted_gflops: predicted_gflops(set.working_set_bytes() as f64),
+                scalar_s,
+                simd_s,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut stable = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json requires a path")),
+            "--stable" => stable = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    columbia_bench::header(
+        "kernel bench",
+        "SoA/SIMD batch kernels vs scalar references, with roofline targets",
+    );
+
+    let measure = !stable;
+    let mut rows = point_rows(measure);
+    rows.extend(line_rows(measure));
+    rows.extend(axpy_rows(measure));
+
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>10}  parity digest",
+        "kernel", "size", "ws_bytes", "flops/pass", "pred GF/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>9} {:>12} {:>12} {:>10.3}  {:016x}",
+            r.kernel, r.size, r.working_set_bytes, r.scalar_flops, r.predicted_gflops, r.digest
+        );
+    }
+    if measure {
+        println!();
+        println!(
+            "{:<14} {:>9} {:>12} {:>12} {:>12} {:>8}",
+            "kernel", "size", "scalar µs", "simd µs", "achvd GF/s", "speedup"
+        );
+        for r in &rows {
+            let (a, b) = (r.scalar_s.unwrap(), r.simd_s.unwrap());
+            println!(
+                "{:<14} {:>9} {:>12.2} {:>12.2} {:>12.3} {:>7.2}x",
+                r.kernel,
+                r.size,
+                a * 1e6,
+                b * 1e6,
+                r.simd_flops as f64 / b / 1e9,
+                r.speedup().unwrap()
+            );
+        }
+    }
+
+    let mut root = Json::obj([
+        ("bench", Json::Str("kernels".into())),
+        (
+            "config",
+            Json::obj([
+                ("reps", Json::UInt(REPS as u64)),
+                ("seed", Json::UInt(SEED)),
+                ("line_len", Json::UInt(LINE_LEN as u64)),
+                ("lanes", Json::UInt(columbia_linalg::LANES as u64)),
+            ]),
+        ),
+        (
+            "deterministic",
+            Json::arr(rows.iter().map(|r| {
+                Json::obj([
+                    ("kernel", Json::Str(r.kernel.into())),
+                    ("size", Json::UInt(r.size as u64)),
+                    ("working_set_bytes", Json::UInt(r.working_set_bytes)),
+                    ("scalar_flops", Json::UInt(r.scalar_flops)),
+                    ("simd_flops", Json::UInt(r.simd_flops)),
+                    ("digest", Json::Str(format!("{:016x}", r.digest))),
+                    ("predicted_gflops", Json::Num(r.predicted_gflops)),
+                ])
+            })),
+        ),
+    ]);
+    if measure {
+        root.set("measured", Json::arr(rows.iter().map(Row::json)));
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, root.render_pretty()).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

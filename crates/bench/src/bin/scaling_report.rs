@@ -3,7 +3,7 @@
 //! (traced-runtime) per-level message attribution plus chaos overhead.
 //!
 //! Usage:
-//!   scaling_report [--measured] [--paper-scale] [--fabric] [--json PATH]
+//!   scaling_report [--measured] [--paper-scale] [--fabric] [--kernels] [--json PATH]
 //!
 //! `--measured` re-derives the workload profile from live solver runs;
 //! `--paper-scale` appends real event-executor runs at the paper's rank
@@ -11,12 +11,15 @@
 //! `--fabric` appends the discrete-event fabric comparison: traced halo
 //! traffic replayed through the contended Columbia topologies, emergent
 //! makespans against the analytic closed form;
+//! `--kernels` appends the deterministic kernel-roofline table: software
+//! FLOP counts and parity digests of the SoA/SIMD batch kernels with the
+//! machine model's predicted sustained rate per working-set size;
 //! `--json PATH` additionally writes the full report as deterministic JSON
 //! (two runs with the same seed are byte-identical).
 
 use columbia_bench::report::{
-    fabric_contention_section, paper_scale_section, per_level_table, scaling_report, MeasuredSpec,
-    FABRIC_RANK_COUNTS, PAPER_WORLD_SIZES,
+    fabric_contention_section, kernel_roofline_section, paper_scale_section, per_level_table,
+    scaling_report, MeasuredSpec, FABRIC_RANK_COUNTS, PAPER_WORLD_SIZES,
 };
 use columbia_machine::{MachineConfig, NSU3D_CPU_COUNTS};
 use columbia_rt::trace::ClockMode;
@@ -26,6 +29,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let fabric = args.iter().any(|a| a == "--fabric");
+    let kernels = args.iter().any(|a| a == "--kernels");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -110,6 +114,48 @@ fn main() {
         }
         if let Json::Obj(fields) = &mut report {
             fields.push(("fabric_contention".into(), section));
+        }
+    }
+
+    if kernels {
+        let section = kernel_roofline_section();
+        if let Json::Arr(rows) = &section {
+            println!();
+            println!("kernel roofline (deterministic: flops, parity digests, predicted rate):");
+            println!(
+                "  {:<14} {:>9} {:>12} {:>12} {:>10}  digest",
+                "kernel", "size", "ws_bytes", "flops/pass", "pred GF/s"
+            );
+            for row in rows {
+                let get_u = |k: &str| match row.get(k) {
+                    Some(Json::UInt(n)) => *n,
+                    _ => 0,
+                };
+                let pred = match row.get("predicted_gflops") {
+                    Some(Json::Num(x)) => *x,
+                    _ => f64::NAN,
+                };
+                let name = match row.get("kernel") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                let digest = match row.get("digest") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => String::new(),
+                };
+                println!(
+                    "  {:<14} {:>9} {:>12} {:>12} {:>10.3}  {}",
+                    name,
+                    get_u("size"),
+                    get_u("working_set_bytes"),
+                    get_u("flops_per_pass"),
+                    pred,
+                    digest,
+                );
+            }
+        }
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("kernel_roofline".into(), section));
         }
     }
 

@@ -15,6 +15,7 @@
 //!   ghost-surface laws, measured inter-grid locality, then rescaled to
 //!   paper size.
 
+pub mod kernels;
 pub mod report;
 
 use columbia_machine::{paper_cart3d_25m, paper_nsu3d_72m, CycleProfile};

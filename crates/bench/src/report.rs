@@ -365,6 +365,89 @@ pub fn paper_scale_section(sizes: &[usize]) -> Json {
 /// `mode` is recorded in the header: [`ClockMode::Logical`] is the
 /// byte-reproducible test mode; [`ClockMode::Wall`] marks a report whose
 /// traced runs also carried wall-clock spans (not byte-comparable).
+/// Deterministic kernel-roofline section: one pass of each SoA/SIMD
+/// kernel at each working-set size, reporting software FLOP counts,
+/// parity digests (scalar and batch outputs — equal by construction),
+/// and the machine model's roofline-predicted sustained GFLOP/s. No
+/// wall-clock numbers, so the section is byte-stable across runs; the
+/// achieved-rate comparison lives in `bench_kernels`.
+pub fn kernel_roofline_section() -> Json {
+    use crate::kernels::{self, LINE_LEN, NB};
+    use columbia_linalg::{flops, BlockTridiag, TridiagBatch};
+    let seed = 0xC01D_B10C;
+    let mut rows = Vec::new();
+    let mut push = |kernel: &str, size: usize, ws: u64, fl: u64, digest: u64| {
+        rows.push(Json::obj([
+            ("kernel", Json::Str(kernel.into())),
+            ("size", Json::UInt(size as u64)),
+            ("working_set_bytes", Json::UInt(ws)),
+            ("flops_per_pass", Json::UInt(fl)),
+            ("digest", Json::Str(format!("{digest:016x}"))),
+            (
+                "predicted_gflops",
+                Json::Num(kernels::predicted_gflops(ws as f64)),
+            ),
+        ]));
+    };
+    for &n in &kernels::POINT_SIZES {
+        let set = kernels::point_set(n, seed);
+        let mut a = vec![[0.0; NB]; n];
+        let mut b = vec![[0.0; NB]; n];
+        flops::take();
+        kernels::point_lu_scalar(&set, &mut a);
+        let fl = flops::take();
+        kernels::point_lu_simd(&set, &mut b);
+        flops::take();
+        assert_eq!(kernels::digest_states(&a), kernels::digest_states(&b));
+        push(
+            "point_lu6",
+            n,
+            set.working_set_bytes(),
+            fl,
+            kernels::digest_states(&a),
+        );
+    }
+    for &nlines in &kernels::LINE_COUNTS {
+        let set = kernels::line_set(nlines, seed);
+        let mut a = vec![vec![[0.0; NB]; LINE_LEN]; nlines];
+        let mut b = vec![vec![[0.0; NB]; LINE_LEN]; nlines];
+        let mut sc = BlockTridiag::new();
+        let mut bc = TridiagBatch::new();
+        flops::take();
+        kernels::line_tridiag_scalar(&set, &mut sc, &mut a);
+        let fl = flops::take();
+        kernels::line_tridiag_simd(&set, &mut bc, &mut b);
+        flops::take();
+        assert_eq!(kernels::digest_lines(&a), kernels::digest_lines(&b));
+        push(
+            "line_tridiag6",
+            nlines,
+            set.working_set_bytes(),
+            fl,
+            kernels::digest_lines(&a),
+        );
+    }
+    for &n in &kernels::AXPY_SIZES {
+        let set = kernels::axpy_set(n, seed);
+        let mut a = set.y0.clone();
+        let mut b = set.y0.clone();
+        flops::take();
+        kernels::axpy_scalar(0.37, &set.x, &mut a);
+        let fl = flops::take();
+        kernels::axpy_simd(0.37, &set.x, &mut b);
+        flops::take();
+        assert_eq!(kernels::digest_states(&a), kernels::digest_states(&b));
+        push(
+            "rk_axpy",
+            n,
+            set.working_set_bytes(),
+            fl,
+            kernels::digest_states(&a),
+        );
+    }
+    Json::Arr(rows)
+}
+
 pub fn scaling_report(
     profile: &CycleProfile,
     machine: &MachineConfig,

@@ -15,7 +15,79 @@
 use crate::database::DatabaseEntry;
 use columbia_mesh::Vec3;
 
+/// A structurally invalid aero table: the typed error returned by
+/// [`AeroDatabase::from_axes`]. Breakpoint axes must be finite and
+/// *strictly* increasing — a duplicated or descending breakpoint would
+/// make the interpolation weight `t = (x - v[i]) / (v[i+1] - v[i])`
+/// divide by zero (or flip sign), which the lookup used to paper over
+/// with a `1e-300` floor instead of reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableError {
+    /// An axis breakpoint is NaN or infinite.
+    NonFinite {
+        /// Axis name (`"deflection"`, `"mach"`, `"alpha"`).
+        axis: &'static str,
+        /// Index of the offending breakpoint.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An axis is not strictly increasing: `v[index + 1] <= v[index]`.
+    NonMonotonic {
+        /// Axis name.
+        axis: &'static str,
+        /// Index of the first violation.
+        index: usize,
+        /// `v[index]`.
+        prev: f64,
+        /// `v[index + 1]`.
+        next: f64,
+    },
+    /// An axis has no breakpoints.
+    EmptyAxis {
+        /// Axis name.
+        axis: &'static str,
+    },
+    /// Table length does not match the axis product.
+    BadShape {
+        /// Expected number of nodes (`nd * nm * na`).
+        expected: usize,
+        /// Supplied number of nodes.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::NonFinite { axis, index, value } => {
+                write!(f, "{axis} axis: breakpoint {index} is not finite ({value})")
+            }
+            TableError::NonMonotonic {
+                axis,
+                index,
+                prev,
+                next,
+            } => write!(
+                f,
+                "{axis} axis: breakpoints must be strictly increasing, \
+                 but v[{index}] = {prev} is followed by {next}"
+            ),
+            TableError::EmptyAxis { axis } => write!(f, "{axis} axis has no breakpoints"),
+            TableError::BadShape { expected, got } => {
+                write!(f, "table holds {got} nodes but the axes span {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// Structured (deflection x Mach x alpha) force/moment tables.
+///
+/// Invariant: every axis is finite and strictly increasing — enforced by
+/// [`Self::from_axes`], which every constructor funnels through, so
+/// [`Self::lookup`] never divides by a zero breakpoint gap.
 #[derive(Clone, Debug)]
 pub struct AeroDatabase {
     deflections: Vec<f64>,
@@ -24,6 +96,32 @@ pub struct AeroDatabase {
     /// `force[(d, m, a)]` in solver axes (x downstream, z up).
     force: Vec<Vec3>,
     moment: Vec<Vec3>,
+}
+
+fn validate_axis(axis: &'static str, v: &[f64]) -> Result<(), TableError> {
+    if v.is_empty() {
+        return Err(TableError::EmptyAxis { axis });
+    }
+    for (i, &x) in v.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(TableError::NonFinite {
+                axis,
+                index: i,
+                value: x,
+            });
+        }
+    }
+    for i in 0..v.len() - 1 {
+        if v[i + 1] <= v[i] {
+            return Err(TableError::NonMonotonic {
+                axis,
+                index: i,
+                prev: v[i],
+                next: v[i + 1],
+            });
+        }
+    }
+    Ok(())
 }
 
 impl AeroDatabase {
@@ -64,13 +162,43 @@ impl AeroDatabase {
             filled.iter().all(|&f| f),
             "database does not cover the full tensor grid"
         );
-        AeroDatabase {
+        AeroDatabase::from_axes(deflections, machs, alphas, force, moment)
+            .expect("from_entries produced an invalid axis after sort/dedup")
+    }
+
+    /// Assemble directly from breakpoint axes and flattened tables
+    /// (`force[(d * nm + m) * na + a]`).
+    ///
+    /// Each axis must be non-empty, finite, and strictly increasing; the
+    /// tables must span the full tensor grid. A duplicated or descending
+    /// breakpoint is rejected here with a typed error rather than silently
+    /// degrading the interpolation weight inside [`Self::lookup`].
+    pub fn from_axes(
+        deflections: Vec<f64>,
+        machs: Vec<f64>,
+        alphas: Vec<f64>,
+        force: Vec<Vec3>,
+        moment: Vec<Vec3>,
+    ) -> Result<AeroDatabase, TableError> {
+        validate_axis("deflection", &deflections)?;
+        validate_axis("mach", &machs)?;
+        validate_axis("alpha", &alphas)?;
+        let expected = deflections.len() * machs.len() * alphas.len();
+        for table in [&force, &moment] {
+            if table.len() != expected {
+                return Err(TableError::BadShape {
+                    expected,
+                    got: table.len(),
+                });
+            }
+        }
+        Ok(AeroDatabase {
             deflections,
             machs,
             alphas,
             force,
             moment,
-        }
+        })
     }
 
     fn bracket(v: &[f64], x: f64) -> (usize, f64) {
@@ -85,7 +213,11 @@ impl AeroDatabase {
                 break;
             }
         }
-        let t = (x - v[i]) / (v[i + 1] - v[i]).max(1e-300);
+        // Construction guarantees strictly increasing breakpoints, so the
+        // gap is positive; a zero gap here means the invariant was broken.
+        let dv = v[i + 1] - v[i];
+        debug_assert!(dv > 0.0, "non-increasing axis reached lookup: dv = {dv}");
+        let t = (x - v[i]) / dv;
         (i, t.clamp(0.0, 1.0))
     }
 
@@ -403,6 +535,114 @@ mod tests {
             "trim alpha {mean} should settle near 0.1"
         );
         assert!(spread < 0.05, "oscillation should be damped out: {spread}");
+    }
+
+    #[test]
+    fn duplicated_breakpoint_is_a_typed_error_not_a_masked_division() {
+        // Regression: `bracket` used to divide by `(v[i+1] - v[i]).max(1e-300)`,
+        // so a duplicated Mach breakpoint silently collapsed the weight to an
+        // edge instead of being reported. Construction now rejects it.
+        let err = AeroDatabase::from_axes(
+            vec![0.0],
+            vec![0.5, 1.0, 1.0, 2.0],
+            vec![0.0],
+            vec![Vec3::ZERO; 4],
+            vec![Vec3::ZERO; 4],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TableError::NonMonotonic {
+                axis: "mach",
+                index: 1,
+                prev: 1.0,
+                next: 1.0,
+            }
+        );
+        assert!(err.to_string().contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn descending_and_nonfinite_axes_are_rejected() {
+        let desc = AeroDatabase::from_axes(
+            vec![0.2, 0.0],
+            vec![1.0],
+            vec![0.0],
+            vec![Vec3::ZERO; 2],
+            vec![Vec3::ZERO; 2],
+        )
+        .unwrap_err();
+        assert_eq!(
+            desc,
+            TableError::NonMonotonic {
+                axis: "deflection",
+                index: 0,
+                prev: 0.2,
+                next: 0.0,
+            }
+        );
+        let nan = AeroDatabase::from_axes(
+            vec![0.0],
+            vec![1.0],
+            vec![0.0, f64::NAN],
+            vec![Vec3::ZERO; 2],
+            vec![Vec3::ZERO; 2],
+        )
+        .unwrap_err();
+        match nan {
+            TableError::NonFinite { axis, index, value } => {
+                assert_eq!((axis, index), ("alpha", 1));
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let empty =
+            AeroDatabase::from_axes(vec![], vec![1.0], vec![0.0], vec![], vec![]).unwrap_err();
+        assert_eq!(empty, TableError::EmptyAxis { axis: "deflection" });
+        let shape = AeroDatabase::from_axes(
+            vec![0.0],
+            vec![0.5, 1.0],
+            vec![0.0],
+            vec![Vec3::ZERO; 3],
+            vec![Vec3::ZERO; 3],
+        )
+        .unwrap_err();
+        assert_eq!(
+            shape,
+            TableError::BadShape {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn near_duplicate_entries_still_interpolate_with_bounded_weight() {
+        // `from_entries` dedups breakpoints closer than 1e-12, so gaps just
+        // above that survive; the interpolation weight must stay in [0, 1].
+        let mut entries = Vec::new();
+        for &m in &[1.0, 1.0 + 1e-11, 2.0] {
+            entries.push(DatabaseEntry {
+                deflection: 0.0,
+                mach: m,
+                alpha: 0.0,
+                beta: 0.0,
+                forces: Forces {
+                    force: Vec3::new(m, 0.0, 0.0),
+                    moment: Vec3::ZERO,
+                },
+                orders: 1.0,
+                status: CaseStatus::Converged,
+            });
+        }
+        let db = AeroDatabase::from_entries(&entries);
+        let (f, _) = db.lookup(0.0, 1.0 + 5e-12, 0.0);
+        assert!(f.x.is_finite());
+        assert!(
+            (1.0..=1.0 + 1e-11).contains(&f.x),
+            "weight escaped the bracket: {}",
+            f.x
+        );
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use crate::state::{flux, pressure, rusanov, spectral_radius, wall_flux, State5, GAMMA, NVARS5};
 use columbia_cartesian::CartMesh;
+use columbia_linalg::soa::LANES;
+use columbia_rt::env::{self, KernelKind};
 
 /// Jameson-style five-stage Runge-Kutta coefficients.
 pub const RK5: [f64; 5] = [0.25, 1.0 / 6.0, 0.375, 0.5, 1.0];
@@ -45,6 +47,11 @@ pub struct EulerLevel {
     pub flops: u64,
     /// Ownership mask (ghosts are inactive in the parallel solver).
     pub active: Vec<bool>,
+    /// Dense-kernel path for the RK stage updates. Resolved from
+    /// `COLUMBIA_KERNELS` at construction (default [`KernelKind::Simd`]);
+    /// both paths are bit-identical (`tests/kernel_parity.rs`), the field
+    /// is public so harnesses can pin one explicitly.
+    pub kernel: KernelKind,
 }
 
 impl EulerLevel {
@@ -64,6 +71,7 @@ impl EulerLevel {
             to_coarse: None,
             flops: 0,
             active: vec![true; n],
+            kernel: env::kernels().unwrap_or(KernelKind::Simd),
             mesh,
         }
     }
@@ -185,19 +193,65 @@ impl EulerLevel {
 
     /// Apply one RK stage with coefficient `alpha`, given `res` and `lam`
     /// are assembled for the current `u` and `u0` holds the stage-0 state.
+    ///
+    /// The SIMD path processes runs of [`LANES`] consecutive active cells
+    /// with the per-cell arithmetic unchanged (`u0 + (alpha * dt_v) * res`
+    /// element-wise, then the positivity guard) — the stage update is
+    /// cell-local, so chunking is bit-identical by construction.
     pub fn apply_stage(&mut self, alpha: f64) {
         let n = self.ncells();
-        for c in 0..n {
-            if !self.active[c] {
-                continue;
+        match self.kernel {
+            KernelKind::Scalar => {
+                for c in 0..n {
+                    if !self.active[c] {
+                        continue;
+                    }
+                    self.stage_cell(c, alpha);
+                }
             }
-            let dt_v = self.cfl / self.lam[c].max(1e-300); // dt / V
-            for k in 0..NVARS5 {
-                self.u[c][k] = self.u0[c][k] + alpha * dt_v * self.res[c][k];
+            KernelKind::Simd => {
+                let mut c = 0;
+                while c + LANES <= n {
+                    if self.active[c..c + LANES].iter().all(|&a| a) {
+                        let mut dt_v = [0.0; LANES];
+                        for (l, d) in dt_v.iter_mut().enumerate() {
+                            *d = self.cfl / self.lam[c + l].max(1e-300);
+                        }
+                        for k in 0..NVARS5 {
+                            for l in 0..LANES {
+                                self.u[c + l][k] =
+                                    self.u0[c + l][k] + alpha * dt_v[l] * self.res[c + l][k];
+                            }
+                        }
+                        for l in 0..LANES {
+                            self.guard_state(c + l);
+                        }
+                        c += LANES;
+                    } else {
+                        if self.active[c] {
+                            self.stage_cell(c, alpha);
+                        }
+                        c += 1;
+                    }
+                }
+                for c in c..n {
+                    if self.active[c] {
+                        self.stage_cell(c, alpha);
+                    }
+                }
             }
-            self.guard_state(c);
         }
         self.flops += n as u64 * flops::STAGE;
+    }
+
+    /// Scalar stage update of one cell (shared by both kernel paths).
+    #[inline]
+    fn stage_cell(&mut self, c: usize, alpha: f64) {
+        let dt_v = self.cfl / self.lam[c].max(1e-300); // dt / V
+        for k in 0..NVARS5 {
+            self.u[c][k] = self.u0[c][k] + alpha * dt_v * self.res[c][k];
+        }
+        self.guard_state(c);
     }
 
     /// One full multistage RK smoothing step (serial path).

@@ -12,17 +12,33 @@ use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinalgError {
     /// A pivot smaller than the singularity threshold was encountered.
+    ///
+    /// All indices refer to the *original* (unpivoted) matrix: partial
+    /// pivoting permutes rows only, so `col` is both the elimination step
+    /// and the original column whose pivot candidates all vanished, and
+    /// `row` is the original row index that the permutation had brought to
+    /// the pivot position when factorisation broke down. Solver
+    /// diagnostics can therefore point at the right unknown (`col`) and
+    /// the right equation (`row`) without undoing any permutation.
     Singular {
-        /// Pivot column at which factorisation broke down.
+        /// Original column index at which factorisation broke down.
         col: usize,
+        /// Original row index occupying the pivot position at breakdown.
+        row: usize,
+        /// Number of row swaps performed before the breakdown.
+        swaps: usize,
     },
 }
 
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::Singular { col } => {
-                write!(f, "singular block matrix (zero pivot in column {col})")
+            LinalgError::Singular { col, row, swaps } => {
+                write!(
+                    f,
+                    "singular block matrix (pivot underflow in original column {col}, \
+                     original row {row}, after {swaps} row swaps)"
+                )
             }
         }
     }
@@ -120,6 +136,7 @@ impl<const N: usize> BlockMat<N> {
     /// Matrix-vector product `y = A x`.
     #[inline]
     pub fn mul_vec(&self, x: &[f64; N]) -> [f64; N] {
+        crate::flops::add(crate::flops::matvec_flops(N as u64));
         let mut y = [0.0; N];
         for r in 0..N {
             let mut s = 0.0;
@@ -134,6 +151,7 @@ impl<const N: usize> BlockMat<N> {
     /// `y -= A x`, fused to avoid a temporary in the tridiagonal sweeps.
     #[inline]
     pub fn mul_vec_sub(&self, x: &[f64; N], y: &mut [f64; N]) {
+        crate::flops::add(crate::flops::matvec_flops(N as u64));
         for r in 0..N {
             let mut s = 0.0;
             for c in 0..N {
@@ -165,11 +183,13 @@ impl<const N: usize> BlockMat<N> {
     /// (`1e-300`), which in the solvers indicates a catastrophically bad
     /// Jacobian (e.g. vacuum state).
     pub fn lu(&self) -> Result<BlockLu<N>, LinalgError> {
+        crate::flops::add(crate::flops::lu_flops(N as u64));
         let mut lu = self.a;
         let mut piv = [0usize; N];
         for (i, p) in piv.iter_mut().enumerate() {
             *p = i;
         }
+        let mut swaps = 0usize;
         for k in 0..N {
             // Partial pivot: find the largest magnitude entry in column k.
             let mut pk = k;
@@ -182,11 +202,18 @@ impl<const N: usize> BlockMat<N> {
                 }
             }
             if pmax < 1e-300 {
-                return Err(LinalgError::Singular { col: k });
+                // Columns are never permuted, so k is the original column;
+                // piv[k] is the original row the swaps parked here.
+                return Err(LinalgError::Singular {
+                    col: k,
+                    row: piv[k],
+                    swaps,
+                });
             }
             if pk != k {
                 lu.swap(k, pk);
                 piv.swap(k, pk);
+                swaps += 1;
             }
             let inv_pivot = 1.0 / lu[k][k];
             for r in (k + 1)..N {
@@ -271,6 +298,7 @@ impl<const N: usize> Mul for BlockMat<N> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
+        crate::flops::add(crate::flops::matmul_flops(N as u64));
         let mut out = Self::zero();
         for r in 0..N {
             for k in 0..N {
@@ -311,6 +339,7 @@ impl<const N: usize> BlockLu<N> {
     /// Solve `A x = b` using the stored factorisation.
     #[inline]
     pub fn solve(&self, b: &[f64; N]) -> [f64; N] {
+        crate::flops::add(crate::flops::solve_flops(N as u64));
         // Apply the row permutation while loading b.
         let mut x = [0.0; N];
         for r in 0..N {
@@ -381,6 +410,53 @@ mod tests {
         // Two identical rows.
         let m = BlockMat::<3>::from_fn(|r, c| if r < 2 { (c + 1) as f64 } else { 1.0 });
         assert!(m.lu().is_err());
+    }
+
+    #[test]
+    fn singular_error_reports_original_indices_under_permutation() {
+        // Column 2 is identically zero, so elimination must break down at
+        // original column 2 no matter how the rows are ordered. Row 3
+        // carries the dominant column-0 entry, forcing a swap at step 0.
+        let base = |r: usize, c: usize| -> f64 {
+            if c == 2 {
+                0.0
+            } else {
+                [
+                    [4.0, 1.0, 0.0, 0.5],
+                    [1.0, 5.0, 0.0, 0.25],
+                    [0.5, 0.5, 0.0, 6.0],
+                    [9.0, 0.25, 0.0, 1.0],
+                ][r][c]
+            }
+        };
+        let m = BlockMat::<4>::from_fn(base);
+        match m.lu() {
+            Err(LinalgError::Singular { col, row, swaps }) => {
+                assert_eq!(col, 2, "must name the original zero column");
+                assert!(row < 4);
+                assert!(swaps >= 1, "the dominant row 3 forces at least one swap");
+            }
+            other => panic!("expected singular, got {other:?}"),
+        }
+        // Identity ordering (no dominant off-diagonal rows): zero swaps,
+        // and the unpermuted pivot row is reported.
+        let id = BlockMat::<3>::from_fn(|r, c| {
+            if c == 1 {
+                0.0
+            } else if r == c {
+                3.0 + r as f64
+            } else {
+                0.1
+            }
+        });
+        assert_eq!(
+            id.lu().map(|_| ()),
+            Err(LinalgError::Singular {
+                col: 1,
+                row: 1,
+                swaps: 0
+            })
+        );
     }
 
     #[test]

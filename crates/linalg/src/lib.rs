@@ -20,8 +20,11 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 0.0)` deliberately catches NaNs
 
 pub mod block;
+pub mod flops;
+pub mod soa;
 pub mod tridiag;
 pub mod vecops;
 
 pub use block::{BlockLu, BlockMat, LinalgError};
+pub use soa::{BlockBatch, BlockLuBatch, SoaStates, TridiagBatch, VecBatch, LANES};
 pub use tridiag::BlockTridiag;

@@ -6,8 +6,10 @@ use crate::state::{
     self, flux_jacobian, freestream, fv1, pressure, rusanov, sa, spectral_radius, velocity, State,
     GAMMA, NVARS,
 };
+use columbia_linalg::soa::{vec_batch_zero, BlockBatch, TridiagBatch, VecBatch, LANES};
 use columbia_linalg::{BlockMat, BlockTridiag};
 use columbia_mesh::{extract_lines, BoundaryKind, UnstructuredMesh};
+use columbia_rt::env::{self, KernelKind};
 
 /// Physical and numerical parameters shared by all levels.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +32,11 @@ pub struct SolverParams {
     pub line_threshold: f64,
     /// Free-stream turbulence variable as a multiple of laminar viscosity.
     pub nu_t_inf_ratio: f64,
+    /// Dense-kernel path: `None` defers to `COLUMBIA_KERNELS`, falling
+    /// back to the lane-interleaved SIMD batches ([`KernelKind::Simd`]).
+    /// Both paths are bit-identical (pinned by `tests/kernel_parity.rs`);
+    /// [`KernelKind::Scalar`] keeps the one-block-at-a-time oracle.
+    pub kernel: Option<KernelKind>,
 }
 
 impl Default for SolverParams {
@@ -43,6 +50,7 @@ impl Default for SolverParams {
             prolong_relax: 0.75,
             line_threshold: 10.0,
             nu_t_inf_ratio: 3.0,
+            kernel: None,
         }
     }
 }
@@ -86,6 +94,15 @@ pub struct RansLevel {
     lamsum: Vec<f64>,
     tridiag: BlockTridiag<NVARS>,
     line_x: Vec<State>,
+    /// Resolved dense-kernel path (params override, else env, else SIMD).
+    pub kernel: KernelKind,
+    /// Line indices grouped by (length, index): equal-length lines are
+    /// adjacent so the SIMD path can solve up to [`LANES`] of them in
+    /// lockstep. Lines are vertex-disjoint, so solving them in this order
+    /// is bit-identical to the construction order.
+    line_order: Vec<u32>,
+    tridiag_batch: TridiagBatch<NVARS>,
+    line_x_batch: Vec<VecBatch<NVARS>>,
     /// Solver parameters.
     pub params: SolverParams,
     /// Free-stream state (BC and initialisation).
@@ -139,10 +156,20 @@ impl RansLevel {
             line_edges.push(les);
         }
         let fs = params.freestream();
+        let mut line_order: Vec<u32> = (0..lines.len() as u32).collect();
+        line_order.sort_by_key(|&i| (lines[i as usize].len(), i));
+        let kernel = params
+            .kernel
+            .or_else(env::kernels)
+            .unwrap_or(KernelKind::Simd);
         RansLevel {
             lines,
             line_edges,
             in_line,
+            kernel,
+            line_order,
+            tridiag_batch: TridiagBatch::new(),
+            line_x_batch: Vec::new(),
             u: vec![fs; n],
             forcing: vec![[0.0; NVARS]; n],
             restricted_u: vec![fs; n],
@@ -410,27 +437,39 @@ impl RansLevel {
 
     /// The implicit solve + update of a sweep, given `res` and `diag` are
     /// assembled (the parallel solver assembles them with exchanges first).
+    ///
+    /// Dispatches on [`Self::kernel`]: the scalar path solves one block /
+    /// one line at a time (the reference oracle); the SIMD path batches up
+    /// to [`LANES`] point blocks and equal-length lines through the
+    /// lane-interleaved kernels in `columbia_linalg::soa`. The two paths
+    /// are bit-identical, so every golden holds under either.
     pub fn solve_implicit(&mut self) {
-        let n = self.nvertices();
-
-        // Line-implicit solves.
-        let lines = std::mem::take(&mut self.lines);
-        let line_edges = std::mem::take(&mut self.line_edges);
-        for (line, les) in lines.iter().zip(line_edges.iter()) {
-            self.solve_line(line, les);
+        match self.kernel {
+            KernelKind::Scalar => {
+                // Line-implicit solves.
+                let lines = std::mem::take(&mut self.lines);
+                let line_edges = std::mem::take(&mut self.line_edges);
+                for (line, les) in lines.iter().zip(line_edges.iter()) {
+                    self.solve_line(line, les);
+                }
+                self.lines = lines;
+                self.line_edges = line_edges;
+                self.solve_points_scalar();
+            }
+            KernelKind::Simd => {
+                self.solve_lines_simd();
+                self.solve_points_simd();
+            }
         }
-        self.lines = lines;
-        self.line_edges = line_edges;
+        self.apply_bcs();
+    }
 
-        // Point-implicit for everything not in a line. Vertices with no
-        // incident edges (possible on degenerate coarsest levels) have no
-        // physics to advance and are skipped.
-        for v in 0..n {
-            if self.in_line[v]
-                || !self.active[v]
-                || self.lamsum[v] <= 0.0
-                || self.mesh.bc[v] == BoundaryKind::FarField
-            {
+    /// Point-implicit update for everything not in a line, one block at a
+    /// time. Vertices with no incident edges (possible on degenerate
+    /// coarsest levels) have no physics to advance and are skipped.
+    fn solve_points_scalar(&mut self) {
+        for v in 0..self.nvertices() {
+            if !self.point_eligible(v) {
                 continue;
             }
             if let Ok(lu) = self.diag[v].lu() {
@@ -441,7 +480,128 @@ impl RansLevel {
             }
             self.flops.add(flops::LU_SOLVE + flops::UPDATE);
         }
-        self.apply_bcs();
+    }
+
+    #[inline]
+    fn point_eligible(&self, v: usize) -> bool {
+        !(self.in_line[v]
+            || !self.active[v]
+            || self.lamsum[v] <= 0.0
+            || self.mesh.bc[v] == BoundaryKind::FarField)
+    }
+
+    /// Point-implicit update batching up to [`LANES`] eligible vertices
+    /// (in the same ascending order the scalar path visits them) through
+    /// one interleaved LU factorise + solve. Point updates touch only
+    /// their own vertex, so batching cannot change any result bit; lanes
+    /// whose block is singular are discarded exactly as the scalar path
+    /// skips `Err` factorisations.
+    fn solve_points_simd(&mut self) {
+        let n = self.nvertices();
+        let mut batch = [0usize; LANES];
+        let mut count = 0usize;
+        for v in 0..n {
+            if !self.point_eligible(v) {
+                continue;
+            }
+            batch[count] = v;
+            count += 1;
+            if count == LANES {
+                self.flush_point_batch(&batch[..count]);
+                count = 0;
+            }
+        }
+        if count > 0 {
+            self.flush_point_batch(&batch[..count]);
+        }
+    }
+
+    fn flush_point_batch(&mut self, vs: &[usize]) {
+        let nl = vs.len();
+        let mut mats = BlockBatch::<NVARS>::identity();
+        let mut rhs = vec_batch_zero::<NVARS>();
+        for (l, &v) in vs.iter().enumerate() {
+            mats.set_lane(l, &self.diag[v]);
+            for (k, row) in rhs.iter_mut().enumerate() {
+                row[l] = self.res[v][k];
+            }
+        }
+        let lu = mats.lu(nl);
+        let du = lu.solve(&rhs, nl);
+        for (l, &v) in vs.iter().enumerate() {
+            if lu.ok()[l] {
+                for k in 0..NVARS {
+                    self.u[v][k] += du[k][l];
+                }
+            }
+            self.flops.add(flops::LU_SOLVE + flops::UPDATE);
+        }
+    }
+
+    /// Line-implicit solves in (length, index) order, batching up to
+    /// [`LANES`] equal-length lines per interleaved tridiagonal solve.
+    /// Lines are vertex-disjoint (proven by the mesh line-extraction
+    /// tests), so both the reordering and the batching leave every line's
+    /// arithmetic untouched.
+    fn solve_lines_simd(&mut self) {
+        let order = std::mem::take(&mut self.line_order);
+        let lines = std::mem::take(&mut self.lines);
+        let line_edges = std::mem::take(&mut self.line_edges);
+        let mut i = 0;
+        while i < order.len() {
+            let len = lines[order[i] as usize].len();
+            let mut j = i + 1;
+            while j < order.len() && j - i < LANES && lines[order[j] as usize].len() == len {
+                j += 1;
+            }
+            self.solve_line_batch(&order[i..j], &lines, &line_edges);
+            i = j;
+        }
+        self.line_order = order;
+        self.lines = lines;
+        self.line_edges = line_edges;
+    }
+
+    fn solve_line_batch(
+        &mut self,
+        chunk: &[u32],
+        lines: &[Vec<u32>],
+        line_edges: &[Vec<(u32, f64)>],
+    ) {
+        let m = lines[chunk[0] as usize].len();
+        let nl = chunk.len();
+        let mut tb = std::mem::take(&mut self.tridiag_batch);
+        tb.reset(m, nl);
+        for (l, &li) in chunk.iter().enumerate() {
+            let line = &lines[li as usize];
+            let les = &line_edges[li as usize];
+            for (i, &v) in line.iter().enumerate() {
+                tb.set_diag(i, l, &self.diag[v as usize]);
+                tb.set_rhs(i, l, &self.res[v as usize]);
+            }
+            for (i, &(ei, sign)) in les.iter().enumerate() {
+                let (upper, lower) = self.line_edge_blocks(line, i, ei, sign);
+                tb.set_upper(i, l, &upper);
+                tb.set_lower(i + 1, l, &lower);
+            }
+        }
+        self.line_x_batch.clear();
+        self.line_x_batch.resize(m, vec_batch_zero());
+        let mut x = std::mem::take(&mut self.line_x_batch);
+        let ok = tb.solve_into(&mut x);
+        for (l, &li) in chunk.iter().enumerate() {
+            let line = &lines[li as usize];
+            if ok[l] {
+                for (i, &v) in line.iter().enumerate() {
+                    for k in 0..NVARS {
+                        self.u[v as usize][k] += x[i][k][l];
+                    }
+                }
+            }
+            self.flops.add(line.len() as u64 * flops::TRIDIAG_ROW);
+        }
+        self.line_x_batch = x;
+        self.tridiag_batch = tb;
     }
 
     /// Assemble the implicit diagonal blocks and local time steps
@@ -523,6 +683,33 @@ impl RansLevel {
         }
     }
 
+    /// Off-diagonal Jacobian blocks for line edge `i` (joining `line[i]`
+    /// to `line[i+1]`): the `(upper_i, lower_{i+1})` pair. Shared by the
+    /// scalar and the batched line solvers so the assembly arithmetic is
+    /// one piece of code.
+    fn line_edge_blocks(
+        &self,
+        line: &[u32],
+        i: usize,
+        ei: u32,
+        sign: f64,
+    ) -> (BlockMat<NVARS>, BlockMat<NVARS>) {
+        let e = &self.mesh.edges[ei as usize];
+        let s = e.normal * sign; // oriented line[i] -> line[i+1]
+        let (vi, vj) = (line[i] as usize, line[i + 1] as usize);
+        let lam = spectral_radius(&self.u[vi], s).max(spectral_radius(&self.u[vj], s));
+        let coef = e.normal.norm() / e.length;
+        let me = self.mu_eff(vi, vj);
+        let visc = me * coef / self.u[vi][0].min(self.u[vj][0]);
+        // dN_i/du_j = 0.5 A(u_j, S_out) - (0.5 lam + visc) I.
+        let mut upper = flux_jacobian(&self.u[vj], s) * 0.5;
+        upper.add_diagonal(-(0.5 * lam + visc));
+        // dN_{i+1}/du_i with outward normal -S.
+        let mut lower = flux_jacobian(&self.u[vi], -s) * 0.5;
+        lower.add_diagonal(-(0.5 * lam + visc));
+        (upper, lower)
+    }
+
     /// Solve the block-tridiagonal system along one line and update.
     fn solve_line(&mut self, line: &[u32], les: &[(u32, f64)]) {
         let m = line.len();
@@ -532,20 +719,8 @@ impl RansLevel {
             *self.tridiag.rhs_mut(i) = self.res[v as usize];
         }
         for (i, &(ei, sign)) in les.iter().enumerate() {
-            let e = &self.mesh.edges[ei as usize];
-            let s = e.normal * sign; // oriented line[i] -> line[i+1]
-            let (vi, vj) = (line[i] as usize, line[i + 1] as usize);
-            let lam = spectral_radius(&self.u[vi], s).max(spectral_radius(&self.u[vj], s));
-            let coef = e.normal.norm() / e.length;
-            let me = self.mu_eff(vi, vj);
-            let visc = me * coef / self.u[vi][0].min(self.u[vj][0]);
-            // dN_i/du_j = 0.5 A(u_j, S_out) - (0.5 lam + visc) I.
-            let mut upper = flux_jacobian(&self.u[vj], s) * 0.5;
-            upper.add_diagonal(-(0.5 * lam + visc));
+            let (upper, lower) = self.line_edge_blocks(line, i, ei, sign);
             *self.tridiag.upper_mut(i) = upper;
-            // dN_{i+1}/du_i with outward normal -S.
-            let mut lower = flux_jacobian(&self.u[vi], -s) * 0.5;
-            lower.add_diagonal(-(0.5 * lam + visc));
             *self.tridiag.lower_mut(i + 1) = lower;
         }
         self.line_x.resize(m, [0.0; NVARS]);

@@ -42,9 +42,66 @@ pub fn pressure(u: &State) -> f64 {
     (GAMMA - 1.0) * (u[4] - 0.5 * q2)
 }
 
+/// A state on which the acoustic wavespeed is undefined: nonpositive (or
+/// non-finite) `c^2 = GAMMA p / rho`, i.e. vacuum, negative pressure or a
+/// NaN-contaminated state. Carries the offending quantities so solver
+/// diagnostics can report the actual bad state instead of a symptom.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonPhysicalState {
+    /// Density of the offending state.
+    pub rho: f64,
+    /// Static pressure of the offending state.
+    pub pressure: f64,
+    /// The squared wavespeed that failed the `> 0` check.
+    pub c2: f64,
+}
+
+impl std::fmt::Display for NonPhysicalState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nonphysical state: c^2 = GAMMA p / rho = {:e} (rho = {:e}, p = {:e})",
+            self.c2, self.rho, self.pressure
+        )
+    }
+}
+
+impl std::error::Error for NonPhysicalState {}
+
+/// Speed of sound, reporting nonphysical states instead of masking them.
+pub fn try_sound_speed(u: &State) -> Result<f64, NonPhysicalState> {
+    let p = pressure(u);
+    let c2 = GAMMA * p / u[0];
+    if c2.is_finite() && c2 > 0.0 {
+        Ok(c2.sqrt())
+    } else {
+        Err(NonPhysicalState {
+            rho: u[0],
+            pressure: p,
+            c2,
+        })
+    }
+}
+
 /// Speed of sound.
+///
+/// The `1e-300` floor exists so a *release* solver keeps marching on a
+/// transiently bad state (the positivity guards in `apply_bcs` repair it
+/// within the sweep); in debug builds a nonphysical state trips the
+/// assert instead of silently yielding a near-zero wavespeed (and so a
+/// near-zero CFL time step). Diagnostics that want the error as a value
+/// use [`try_sound_speed`].
 #[inline]
 pub fn sound_speed(u: &State) -> f64 {
+    debug_assert!(
+        {
+            let c2 = GAMMA * pressure(u) / u[0];
+            c2.is_finite() && c2 > 0.0
+        },
+        "nonphysical state in sound_speed: rho = {:e}, p = {:e} (the 1e-300 floor would mask it)",
+        u[0],
+        pressure(u),
+    );
     (GAMMA * pressure(u) / u[0]).max(1e-300).sqrt()
 }
 
@@ -263,6 +320,35 @@ mod tests {
         assert!(fv1(1.0, 1e-6) > 0.999);
         let mid = fv1(7.1e-3, 1e-3); // chi = cv1 -> 0.5
         assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_pressure_is_reported_not_masked() {
+        // Kinetic energy exceeding total energy => negative pressure.
+        let bad: State = [1.0, 2.0, 0.0, 0.0, 0.5, 0.0];
+        assert!(pressure(&bad) < 0.0);
+        let err = try_sound_speed(&bad).unwrap_err();
+        assert_eq!(err.rho, 1.0);
+        assert!(err.pressure < 0.0 && err.c2 < 0.0);
+        let msg = err.to_string();
+        assert!(msg.contains("nonphysical"), "{msg}");
+        // Vacuum density: c^2 becomes non-finite, also reported.
+        let vacuum: State = [0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        assert!(try_sound_speed(&vacuum).is_err());
+        // Physical states round-trip through both entry points bit-equal.
+        let good = freestream(0.75, 0.05, 1e-4);
+        assert_eq!(
+            try_sound_speed(&good).unwrap().to_bits(),
+            sound_speed(&good).to_bits()
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nonphysical state in sound_speed")]
+    fn debug_sound_speed_asserts_on_negative_pressure() {
+        let bad: State = [1.0, 2.0, 0.0, 0.0, 0.5, 0.0];
+        let _ = sound_speed(&bad);
     }
 
     columbia_rt::props! {

@@ -1,0 +1,230 @@
+//! Scalar-vs-SIMD kernel parity: the lane-interleaved batch kernels of
+//! `columbia_linalg::soa` must be *bit-identical* to the scalar
+//! references, at every layer — raw LU/tridiagonal solves, the bench
+//! harness's kernel runners, a full `RansLevel` smoothing sweep, the
+//! Cart3D Runge-Kutta stage, and a 2-rank domain-decomposed run.
+//!
+//! This is the contract that lets the SIMD path be the default while
+//! every FNV golden in `tests/exec_context.rs` (recorded on the scalar
+//! path) keeps holding verbatim.
+
+use columbia_bench::kernels::{self, digest_states};
+use columbia_cartesian::{build_octree, extract_mesh, CutCellConfig, Geometry, TriMesh};
+use columbia_comm::ExecContext;
+use columbia_euler::state::freestream5;
+use columbia_euler::EulerLevel;
+use columbia_linalg::soa::vec_batch_zero;
+use columbia_linalg::{BlockBatch, BlockMat, LinalgError, LANES};
+use columbia_mesh::{wing_mesh, Vec3, WingMeshSpec};
+use columbia_rans::level::SolverParams;
+use columbia_rans::RansLevel;
+use columbia_rt::env::KernelKind;
+use columbia_rt::Pcg32;
+use columbia_sfc::CurveKind;
+
+fn random_mat<const N: usize>(rng: &mut Pcg32, dominance: f64) -> BlockMat<N> {
+    let mut m = BlockMat::from_fn(|_, _| rng.gen_f64() - 0.5);
+    m.add_diagonal(dominance);
+    m
+}
+
+/// LU + solve parity for one block width, across conditioning regimes:
+/// dominant, barely-conditioned, and near-singular blocks must all give
+/// bitwise-equal factorisations and solutions lane by lane.
+fn lu_parity_prop<const N: usize>(seed: u64) {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    for &dominance in &[4.0, 0.5, 1e-8] {
+        for _ in 0..16 {
+            let mats: Vec<BlockMat<N>> = (0..LANES)
+                .map(|_| random_mat(&mut rng, dominance))
+                .collect();
+            let rhs: Vec<[f64; N]> = (0..LANES)
+                .map(|_| std::array::from_fn(|_| rng.gen_f64() - 0.5))
+                .collect();
+            let batch = BlockBatch::from_lanes(&mats);
+            let mut b = vec_batch_zero::<N>();
+            for l in 0..LANES {
+                for k in 0..N {
+                    b[k][l] = rhs[l][k];
+                }
+            }
+            let blu = batch.lu(LANES);
+            let x = blu.solve(&b, LANES);
+            for l in 0..LANES {
+                match mats[l].lu() {
+                    Ok(slu) => {
+                        assert!(blu.ok()[l], "lane {l} flagged singular, scalar succeeded");
+                        let sx = slu.solve(&rhs[l]);
+                        for k in 0..N {
+                            assert_eq!(
+                                sx[k].to_bits(),
+                                x[k][l].to_bits(),
+                                "lane {l} var {k} diverged (dominance {dominance})"
+                            );
+                        }
+                    }
+                    Err(LinalgError::Singular { .. }) => {
+                        assert!(!blu.ok()[l], "lane {l} ok, scalar saw singular");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lu_solve_parity_holds_for_5_and_6_variable_blocks() {
+    lu_parity_prop::<5>(11);
+    lu_parity_prop::<6>(12);
+}
+
+#[test]
+fn singular_lane_is_flagged_without_poisoning_its_neighbours() {
+    let mut rng = Pcg32::seed_from_u64(7);
+    let mut mats: Vec<BlockMat<6>> = (0..LANES).map(|_| random_mat(&mut rng, 4.0)).collect();
+    // Lane 2: a rank-deficient block (duplicate the first two rows).
+    for c in 0..6 {
+        let v = mats[2].get(0, c);
+        mats[2].set(1, c, v);
+    }
+    let batch = BlockBatch::from_lanes(&mats);
+    let blu = batch.lu(LANES);
+    assert!(!blu.ok()[2]);
+    for l in [0usize, 1, 3] {
+        assert!(blu.ok()[l]);
+        let rhs = [1.0, -1.0, 0.5, 0.25, 2.0, -0.75];
+        let mut b = vec_batch_zero::<6>();
+        for k in 0..6 {
+            b[k][l] = rhs[k];
+        }
+        let x = blu.solve(&b, LANES);
+        let sx = mats[l].lu().unwrap().solve(&rhs);
+        for k in 0..6 {
+            assert_eq!(sx[k].to_bits(), x[k][l].to_bits());
+        }
+    }
+}
+
+#[test]
+fn bench_kernel_runners_agree_at_awkward_sizes() {
+    // Partial final batches (n % LANES != 0) are where scatter/gather
+    // bugs live; sweep the remainders.
+    for n in [1usize, 3, 5, 9, 17] {
+        let set = kernels::point_set(n, 99);
+        let mut a = vec![[0.0; kernels::NB]; n];
+        let mut b = vec![[0.0; kernels::NB]; n];
+        kernels::point_lu_scalar(&set, &mut a);
+        kernels::point_lu_simd(&set, &mut b);
+        assert_eq!(digest_states(&a), digest_states(&b), "n = {n}");
+    }
+    for nlines in [1usize, 2, 5] {
+        let set = kernels::line_set(nlines, 99);
+        let mut a = vec![vec![[0.0; kernels::NB]; kernels::LINE_LEN]; nlines];
+        let mut b = a.clone();
+        let mut sc = columbia_linalg::BlockTridiag::new();
+        let mut bc = columbia_linalg::TridiagBatch::new();
+        kernels::line_tridiag_scalar(&set, &mut sc, &mut a);
+        kernels::line_tridiag_simd(&set, &mut bc, &mut b);
+        assert_eq!(
+            kernels::digest_lines(&a),
+            kernels::digest_lines(&b),
+            "nlines = {nlines}"
+        );
+    }
+}
+
+fn rans_level(kernel: KernelKind) -> RansLevel {
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(900)
+    });
+    let params = SolverParams {
+        mach: 0.5,
+        kernel: Some(kernel),
+        ..Default::default()
+    };
+    RansLevel::new(mesh, params)
+}
+
+#[test]
+fn rans_smoothing_sweeps_are_bit_identical_and_flop_matched() {
+    let mut scalar = rans_level(KernelKind::Scalar);
+    let mut simd = rans_level(KernelKind::Simd);
+    for sweep in 0..4 {
+        scalar.smooth_sweep();
+        simd.smooth_sweep();
+        assert_eq!(
+            digest_states(&scalar.u),
+            digest_states(&simd.u),
+            "state diverged at sweep {sweep}"
+        );
+    }
+    assert_eq!(
+        scalar.flops.total(),
+        simd.flops.total(),
+        "ambient FLOP accounting must not depend on the kernel path"
+    );
+}
+
+fn euler_level(kernel: KernelKind) -> EulerLevel {
+    let prof: Vec<(f64, f64)> = (0..=12)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / 12.0;
+            (-0.3 * t.cos(), 0.3 * t.sin())
+        })
+        .collect();
+    let geom = Geometry::new(&[TriMesh::body_of_revolution(&prof, 12)]);
+    let config = CutCellConfig {
+        min_level: 3,
+        max_level: 4,
+        origin: Vec3::new(-1.0, -1.0, -1.0),
+        size: 2.0,
+    };
+    let tree = build_octree(&geom, &config);
+    let mesh = extract_mesh(&tree, &geom, CurveKind::Hilbert, 0.1);
+    let mut lvl = EulerLevel::new(mesh, freestream5(0.8, 0.05, 0.0), 1.5);
+    lvl.kernel = kernel;
+    lvl
+}
+
+#[test]
+fn euler_rk_steps_are_bit_identical_and_flop_matched() {
+    let mut scalar = euler_level(KernelKind::Scalar);
+    let mut simd = euler_level(KernelKind::Simd);
+    for step in 0..3 {
+        scalar.rk_step();
+        simd.rk_step();
+        assert_eq!(
+            digest_states(&scalar.u),
+            digest_states(&simd.u),
+            "state diverged at step {step}"
+        );
+    }
+    assert_eq!(scalar.flops, simd.flops);
+}
+
+#[test]
+fn two_rank_parallel_smoothing_agrees_across_kernel_paths() {
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(900)
+    });
+    let run = |kernel| {
+        let params = SolverParams {
+            mach: 0.5,
+            kernel: Some(kernel),
+            ..Default::default()
+        };
+        columbia_rans::parallel::run_parallel_smoothing(
+            &mesh,
+            params,
+            2,
+            3,
+            &mut ExecContext::default(),
+        )
+    };
+    let (u_scalar, rms_scalar, _) = run(KernelKind::Scalar);
+    let (u_simd, rms_simd, _) = run(KernelKind::Simd);
+    assert_eq!(rms_scalar.to_bits(), rms_simd.to_bits());
+    assert_eq!(digest_states(&u_scalar), digest_states(&u_simd));
+}
