@@ -1,0 +1,159 @@
+//! Database-server storm benchmark, committed as `BENCH_database.json`.
+//!
+//! Usage:
+//!   bench_database [--json PATH] [--stable]
+//!
+//! Two sections:
+//!
+//! * **deterministic** — seeded cold/hot query storms on a synthetic
+//!   filled table plus the closed refinement loop on an injected-hole
+//!   table: service counters, FNV response digests, and the proof that
+//!   the refined table answers bit-identically to a never-holed one.
+//!   `--stable` emits only this section, so a double run under `--stable`
+//!   must be byte-identical (the CI smoke check).
+//! * **measured** — wall-clock throughput of the same storms: uncached
+//!   batched `AeroDatabase::lookup` as the baseline, the served cold
+//!   storm, and the served hot storm (cache + dedup), with the
+//!   hot-over-uncached speedup the server exists to deliver. The run
+//!   aborts if that speedup falls under 3x (the committed report shows
+//!   >= 5x; the floor leaves headroom for loaded CI machines).
+
+use columbia_bench::database::{
+    cold_queries, database_storm_section, hot_queries, storm_policy, synthetic_entries, BATCH_LEN,
+    STORM_SEED,
+};
+use columbia_core::{AeroDatabase, DatabaseServer, Fallback, Response};
+use columbia_rt::Json;
+use std::time::Instant;
+
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 7;
+/// Queries per measured storm.
+const MEASURED_QUERIES: usize = 256 * BATCH_LEN;
+
+fn min_of(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut stable = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(args.next().expect("--json requires a path")),
+            "--stable" => stable = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    columbia_bench::header(
+        "database storm",
+        "batched interpolation service: cache, dedup, quarantine refinement",
+    );
+
+    let deterministic = database_storm_section();
+    let digest = |storm: &str| match deterministic.get(storm).and_then(|s| s.get("digest")) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    println!("deterministic storms (seed {STORM_SEED:#x}):");
+    println!("  cold digest {}", digest("cold"));
+    println!("  hot  digest {}", digest("hot"));
+    println!("  refinement loop converged: holed table answers == clean table");
+
+    let mut root = Json::obj([
+        ("bench", Json::Str("database".into())),
+        ("schema", Json::Str("columbia-bench-database/1".into())),
+        ("deterministic", deterministic),
+    ]);
+
+    if !stable {
+        let db = AeroDatabase::from_entries(&synthetic_entries()).expect("clean synthetic fill");
+        let cold = cold_queries(MEASURED_QUERIES, STORM_SEED);
+        let hot = hot_queries(MEASURED_QUERIES, STORM_SEED);
+
+        // Baseline: uncached batched lookups — the same hot stream, the
+        // same materialized per-batch response vectors, but every query
+        // pays the full trilinear lookup against the table.
+        let mut sink = 0usize;
+        let uncached_s = min_of(|| {
+            let t = Instant::now();
+            for chunk in hot.chunks(BATCH_LEN) {
+                let batch: Vec<Result<Response, _>> = chunk
+                    .iter()
+                    .map(|q| {
+                        db.lookup_checked(q.deflection, q.mach, q.alpha)
+                            .map(|(force, moment)| Response {
+                                force,
+                                moment,
+                                degraded: false,
+                            })
+                    })
+                    .collect();
+                sink += batch.len();
+            }
+            t.elapsed().as_secs_f64()
+        });
+
+        // Served storms (server rebuilt per rep: cold cache every time).
+        let mut served = |queries: &[columbia_core::Query]| {
+            let mut server = DatabaseServer::new(db.clone(), &storm_policy(Fallback::Strict));
+            let t = Instant::now();
+            for chunk in queries.chunks(BATCH_LEN) {
+                sink += server.serve_batch(chunk).len();
+            }
+            t.elapsed().as_secs_f64()
+        };
+        let cold_s = min_of(|| served(&cold));
+        let hot_s = min_of(|| served(&hot));
+        assert_eq!(sink, (2 * REPS + REPS) * MEASURED_QUERIES);
+
+        let nq = MEASURED_QUERIES as f64;
+        let speedup = uncached_s / hot_s;
+        println!();
+        println!(
+            "measured ({MEASURED_QUERIES} queries, min of {REPS} reps, {BATCH_LEN}-query batches):"
+        );
+        println!(
+            "  uncached lookup : {:>8.1} ns/query  {:>7.2} Mq/s",
+            1e9 * uncached_s / nq,
+            nq / uncached_s / 1e6
+        );
+        println!(
+            "  served cold     : {:>8.1} ns/query  {:>7.2} Mq/s",
+            1e9 * cold_s / nq,
+            nq / cold_s / 1e6
+        );
+        println!(
+            "  served hot      : {:>8.1} ns/query  {:>7.2} Mq/s",
+            1e9 * hot_s / nq,
+            nq / hot_s / 1e6
+        );
+        println!("  hot-over-uncached speedup: {speedup:.2}x");
+        assert!(
+            speedup >= 3.0,
+            "hot-cache speedup {speedup:.2}x under the 3x floor"
+        );
+
+        root.set(
+            "measured",
+            Json::obj([
+                ("queries", Json::UInt(MEASURED_QUERIES as u64)),
+                ("reps", Json::UInt(REPS as u64)),
+                ("uncached_s", Json::Num(uncached_s)),
+                ("cold_s", Json::Num(cold_s)),
+                ("hot_s", Json::Num(hot_s)),
+                ("uncached_mqps", Json::Num(nq / uncached_s / 1e6)),
+                ("cold_mqps", Json::Num(nq / cold_s / 1e6)),
+                ("hot_mqps", Json::Num(nq / hot_s / 1e6)),
+                ("hot_speedup", Json::Num(speedup)),
+            ]),
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, root.render_pretty()).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -3,7 +3,7 @@
 //! (traced-runtime) per-level message attribution plus chaos overhead.
 //!
 //! Usage:
-//!   scaling_report [--measured] [--paper-scale] [--fabric] [--kernels] [--json PATH]
+//!   scaling_report [--measured] [--paper-scale] [--fabric] [--kernels] [--database] [--json PATH]
 //!
 //! `--measured` re-derives the workload profile from live solver runs;
 //! `--paper-scale` appends real event-executor runs at the paper's rank
@@ -14,6 +14,9 @@
 //! `--kernels` appends the deterministic kernel-roofline table: software
 //! FLOP counts and parity digests of the SoA/SIMD batch kernels with the
 //! machine model's predicted sustained rate per working-set size;
+//! `--database` appends the deterministic database-server storm section:
+//! seeded cold/hot query storms with service counters and response
+//! digests, plus the closed quarantine-refinement loop;
 //! `--json PATH` additionally writes the full report as deterministic JSON
 //! (two runs with the same seed are byte-identical).
 
@@ -30,6 +33,7 @@ fn main() {
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let fabric = args.iter().any(|a| a == "--fabric");
     let kernels = args.iter().any(|a| a == "--kernels");
+    let database = args.iter().any(|a| a == "--database");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -156,6 +160,41 @@ fn main() {
         }
         if let Json::Obj(fields) = &mut report {
             fields.push(("kernel_roofline".into(), section));
+        }
+    }
+
+    if database {
+        let section = columbia_bench::database::database_storm_section();
+        println!();
+        println!("database-server storms (deterministic: counters, response digests):");
+        for storm in ["cold", "hot"] {
+            let stat = |k: &str| match section
+                .get(storm)
+                .and_then(|s| s.get("stats"))
+                .and_then(|s| s.get(k))
+            {
+                Some(Json::UInt(n)) => *n,
+                _ => 0,
+            };
+            let digest = match section.get(storm).and_then(|s| s.get("digest")) {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            };
+            println!(
+                "  {storm:<5}: {:>6} queries, {:>6} cache hits, {:>6} dedup hits, digest {digest}",
+                stat("queries"),
+                stat("cache_hits"),
+                stat("dedup_hits"),
+            );
+        }
+        if let Some(Json::Arr(rounds)) = section.get("refinement").and_then(|r| r.get("rounds")) {
+            println!(
+                "  refinement loop: {} round(s) to a hole-free table",
+                rounds.len()
+            );
+        }
+        if let Json::Obj(fields) = &mut report {
+            fields.push(("database_storm".into(), section));
         }
     }
 

@@ -15,6 +15,7 @@
 //!   ghost-surface laws, measured inter-grid locality, then rescaled to
 //!   paper size.
 
+pub mod database;
 pub mod kernels;
 pub mod report;
 

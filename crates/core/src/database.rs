@@ -200,30 +200,65 @@ impl DatabaseFill {
 
     /// Re-run a single case on demand ("virtual database": it is often
     /// faster to re-run a case than to retrieve it from mass storage").
+    ///
+    /// The re-run goes through exactly the same [`run_case`] path as the
+    /// fill, so it obeys the context's [`FillPolicy`] — retry budget,
+    /// chaos schedule, finite-load validation — and honestly reports
+    /// [`CaseStatus::Recovered`]/[`CaseStatus::Quarantined`] instead of
+    /// unconditionally stamping [`CaseStatus::Converged`] the way the seed
+    /// did (which let an injected or real failure masquerade as a
+    /// converged solution). `case_id` addresses the chaos
+    /// [`columbia_rt::fault::CasePlan`] the same way fill-time ids do, so
+    /// an on-demand re-run of a poisoned case fails deterministically on
+    /// replay; `DatabaseServer` refinement derives it from the grid node
+    /// index.
+    ///
+    /// With tracing enabled on `ctx`, the re-run is recorded under a
+    /// `database_rerun` span with one `case` child (attempt count,
+    /// outcome, convergence gauge) — the same shape as fill-time case
+    /// spans.
+    #[allow(clippy::too_many_arguments)] // case coordinates + context, as for run_case
     pub fn rerun(
         &self,
+        case_id: u64,
         defl: f64,
         mach: f64,
         alpha: f64,
         beta: f64,
         cycles: usize,
+        ctx: &mut ExecContext,
     ) -> DatabaseEntry {
+        let policy = ctx.fill().clone();
         let geom = (self.geometry)(defl);
         let mesh = self.analysis.mesh(&geom);
-        let report = self
-            .analysis
-            .clone()
-            .wind(mach, alpha, beta)
-            .run_on_mesh(mesh, cycles);
-        DatabaseEntry {
-            deflection: defl,
+        let entry = run_case(
+            &self.analysis,
+            &mesh,
+            &policy,
+            case_id,
+            defl,
             mach,
             alpha,
             beta,
-            forces: report.forces,
-            orders: report.history.orders_reduced(),
-            status: CaseStatus::Converged,
+            cycles,
+        );
+        if ctx.tracing_enabled() {
+            ctx.tracer().scoped(SpanKey::new("database_rerun"), |t| {
+                let (outcome, attempts) = match &entry.status {
+                    CaseStatus::Converged => ("converged", 1),
+                    CaseStatus::Recovered { attempts } => ("recovered", *attempts),
+                    CaseStatus::Quarantined { attempts, .. } => ("quarantined", *attempts),
+                };
+                t.scoped(SpanKey::new("case").case_id(case_id as usize), |t| {
+                    t.add(outcome, 1);
+                    t.add("attempts", attempts as u64);
+                    t.gauge("orders_reduced", entry.orders);
+                });
+                t.add(outcome, 1);
+                t.add("attempts", attempts as u64);
+            });
         }
+        entry
     }
 }
 
@@ -473,11 +508,93 @@ mod tests {
     fn rerun_matches_database_entry() {
         let (fill, spec) = tiny_fill();
         let db = fill.run(&spec, 1, &mut ExecContext::default());
-        let again = fill.rerun(0.2, 2.0, 0.0, 0.0, spec.cycles);
+        let again = fill.rerun(
+            3,
+            0.2,
+            2.0,
+            0.0,
+            0.0,
+            spec.cycles,
+            &mut ExecContext::default(),
+        );
+        assert_eq!(again.status, CaseStatus::Converged);
         let orig = db
             .iter()
             .find(|e| e.deflection == 0.2 && e.mach == 2.0)
             .unwrap();
         assert!((again.forces.force.x - orig.forces.force.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rerun_obeys_the_fill_policy_instead_of_stamping_converged() {
+        // Regression: `rerun` used to bypass run_case entirely — no retry
+        // budget, no chaos, no finite-load validation — and unconditionally
+        // stamped CaseStatus::Converged. A poisoned re-run must now consume
+        // its whole attempt budget and report quarantine, bit-identically
+        // on replay.
+        let (fill, spec) = tiny_fill();
+        let policy = FillPolicy {
+            max_attempts: 2,
+            chaos: Some(CasePlan::transient(11, 0.0).poison(3)),
+        };
+        let run = || {
+            let mut ctx = ExecContext::traced().with_fill(policy.clone());
+            let e = fill.rerun(3, 0.2, 2.0, 0.0, 0.0, spec.cycles, &mut ctx);
+            (e, ctx.finish_trace())
+        };
+        let (entry, trace) = run();
+        match &entry.status {
+            CaseStatus::Quarantined { attempts, reason } => {
+                assert_eq!(*attempts, 2, "whole retry budget consumed");
+                assert!(reason.contains("injected"), "reason reported: {reason}");
+            }
+            s => panic!("expected quarantine, got {s:?}"),
+        }
+        // The trace records the re-run like a fill-time case.
+        let span = trace.find("database_rerun").unwrap();
+        assert_eq!(span.counters["quarantined"], 1);
+        assert_eq!(span.counters["attempts"], 2);
+        assert_eq!(span.children[0].key.case_id, Some(3));
+        // Replay is bit-identical: same status, same trace shape.
+        let (entry2, trace2) = run();
+        assert_eq!(entry.status, entry2.status);
+        assert_eq!(trace.to_json().render(), trace2.to_json().render());
+        // A non-poisoned case id under the same plan still converges.
+        let clean = fill.rerun(
+            2,
+            0.2,
+            2.0,
+            0.0,
+            0.0,
+            spec.cycles,
+            &mut ExecContext::default().with_fill(policy),
+        );
+        assert_eq!(clean.status, CaseStatus::Converged);
+    }
+
+    #[test]
+    fn rerun_recovers_from_transient_chaos() {
+        let (fill, spec) = tiny_fill();
+        // Locate a case id whose first attempt fails transiently and whose
+        // second succeeds under this schedule — the chaos plan is a pure
+        // function of (seed, case, attempt), so the probe is deterministic.
+        let plan = CasePlan::transient(0xC0FFEE, 0.5);
+        let case = (0..64)
+            .find(|&c| plan.fails(c, 0) && !plan.fails(c, 1))
+            .expect("some case fails exactly once under this seed");
+        let policy = FillPolicy {
+            max_attempts: 3,
+            chaos: Some(plan),
+        };
+        let entry = fill.rerun(
+            case,
+            0.0,
+            0.5,
+            0.0,
+            0.0,
+            spec.cycles,
+            &mut ExecContext::default().with_fill(policy),
+        );
+        assert_eq!(entry.status, CaseStatus::Recovered { attempts: 2 });
     }
 }

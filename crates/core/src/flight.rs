@@ -15,6 +15,63 @@
 use crate::database::DatabaseEntry;
 use columbia_mesh::Vec3;
 
+/// A lookup that cannot be answered from the table: the typed error
+/// returned by [`AeroDatabase::lookup_checked`] (and surfaced per query by
+/// `columbia_core::server::DatabaseServer`). Quarantine holes are *typed*,
+/// never silently interpolated as placeholder zero loads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LookupError {
+    /// The interpolation stencil at the (clamped) flight condition touches
+    /// quarantined grid nodes, so any answer would blend placeholder loads.
+    QuarantinedRegion {
+        /// Queried deflection (pre-clamp).
+        deflection: f64,
+        /// Queried Mach number (pre-clamp).
+        mach: f64,
+        /// Queried angle of attack (pre-clamp).
+        alpha: f64,
+        /// Number of quarantined nodes with nonzero interpolation weight.
+        holes: usize,
+    },
+    /// A query coordinate is NaN or infinite; clamping cannot repair it.
+    NonFiniteQuery {
+        /// Queried deflection.
+        deflection: f64,
+        /// Queried Mach number.
+        mach: f64,
+        /// Queried angle of attack.
+        alpha: f64,
+    },
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::QuarantinedRegion {
+                deflection,
+                mach,
+                alpha,
+                holes,
+            } => write!(
+                f,
+                "lookup (defl {deflection}, M {mach}, alpha {alpha}) touches \
+                 {holes} quarantined node(s); re-run the hole or opt into a \
+                 degraded fallback"
+            ),
+            LookupError::NonFiniteQuery {
+                deflection,
+                mach,
+                alpha,
+            } => write!(
+                f,
+                "non-finite query (defl {deflection}, M {mach}, alpha {alpha})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
 /// A structurally invalid aero table: the typed error returned by
 /// [`AeroDatabase::from_axes`]. Breakpoint axes must be finite and
 /// *strictly* increasing — a duplicated or descending breakpoint would
@@ -55,6 +112,19 @@ pub enum TableError {
         /// Supplied number of nodes.
         got: usize,
     },
+    /// An entry carries [`crate::database::CaseStatus::Quarantined`]: its
+    /// loads are the fill's placeholder zeros, not a solution. Strict
+    /// construction ([`AeroDatabase::from_entries`]) rejects the whole
+    /// table; [`AeroDatabase::from_entries_masked`] admits it as a typed
+    /// hole instead.
+    QuarantinedNode {
+        /// Deflection of the quarantined entry.
+        deflection: f64,
+        /// Mach number of the quarantined entry.
+        mach: f64,
+        /// Angle of attack of the quarantined entry.
+        alpha: f64,
+    },
 }
 
 impl std::fmt::Display for TableError {
@@ -77,6 +147,16 @@ impl std::fmt::Display for TableError {
             TableError::BadShape { expected, got } => {
                 write!(f, "table holds {got} nodes but the axes span {expected}")
             }
+            TableError::QuarantinedNode {
+                deflection,
+                mach,
+                alpha,
+            } => write!(
+                f,
+                "entry (defl {deflection}, M {mach}, alpha {alpha}) is \
+                 quarantined: placeholder loads must not be interpolated \
+                 (re-run the case, or build with from_entries_masked)"
+            ),
         }
     }
 }
@@ -96,6 +176,11 @@ pub struct AeroDatabase {
     /// `force[(d, m, a)]` in solver axes (x downstream, z up).
     force: Vec<Vec3>,
     moment: Vec<Vec3>,
+    /// Quarantine mask: `true` nodes hold placeholder loads, never real
+    /// solutions. Strict constructors leave this all-false.
+    quarantined: Vec<bool>,
+    /// Number of `true` bits in `quarantined` (hole count).
+    nholes: usize,
 }
 
 fn validate_axis(axis: &'static str, v: &[f64]) -> Result<(), TableError> {
@@ -129,9 +214,31 @@ impl AeroDatabase {
     /// (deflection, Mach, alpha) tensor grid (beta is ignored: longitudinal
     /// database).
     ///
+    /// Strict construction: an entry whose [`DatabaseEntry::status`] is
+    /// [`crate::database::CaseStatus::Quarantined`] holds the fill's
+    /// placeholder zero loads, not a solution, and is rejected with
+    /// [`TableError::QuarantinedNode`] — it must never be tensor-filled
+    /// and interpolated as if real. To keep the holes as typed,
+    /// explicitly-masked nodes instead, use
+    /// [`AeroDatabase::from_entries_masked`].
+    ///
     /// # Panics
     /// If any grid node is missing.
-    pub fn from_entries(entries: &[DatabaseEntry]) -> AeroDatabase {
+    pub fn from_entries(entries: &[DatabaseEntry]) -> Result<AeroDatabase, TableError> {
+        Self::assemble(entries, false)
+    }
+
+    /// Assemble from database entries, admitting quarantined entries as
+    /// explicit holes: their nodes are masked, [`Self::lookup_checked`]
+    /// reports any stencil that touches them with
+    /// [`LookupError::QuarantinedRegion`], and the infallible
+    /// [`Self::lookup`] refuses to run at all (see its panic contract).
+    /// Holes are repaired with [`Self::fill_node`] once a re-run converges.
+    pub fn from_entries_masked(entries: &[DatabaseEntry]) -> Result<AeroDatabase, TableError> {
+        Self::assemble(entries, true)
+    }
+
+    fn assemble(entries: &[DatabaseEntry], mask: bool) -> Result<AeroDatabase, TableError> {
         let mut deflections: Vec<f64> = entries.iter().map(|e| e.deflection).collect();
         let mut machs: Vec<f64> = entries.iter().map(|e| e.mach).collect();
         let mut alphas: Vec<f64> = entries.iter().map(|e| e.alpha).collect();
@@ -145,6 +252,8 @@ impl AeroDatabase {
         let mut force = vec![Vec3::ZERO; nd * nm * na];
         let mut moment = vec![Vec3::ZERO; nd * nm * na];
         let mut filled = vec![false; nd * nm * na];
+        let mut quarantined = vec![false; nd * nm * na];
+        let mut nholes = 0usize;
         let find = |v: &[f64], x: f64| {
             v.iter()
                 .position(|&y| (y - x).abs() < 1e-12)
@@ -154,6 +263,23 @@ impl AeroDatabase {
             let idx = find(&deflections, e.deflection) * nm * na
                 + find(&machs, e.mach) * na
                 + find(&alphas, e.alpha);
+            if !e.status.is_ok() {
+                if !mask {
+                    return Err(TableError::QuarantinedNode {
+                        deflection: e.deflection,
+                        mach: e.mach,
+                        alpha: e.alpha,
+                    });
+                }
+                // The node exists (no missing-node panic) but its
+                // placeholder loads stay zero and masked.
+                if !quarantined[idx] {
+                    quarantined[idx] = true;
+                    nholes += 1;
+                }
+                filled[idx] = true;
+                continue;
+            }
             force[idx] = e.forces.force;
             moment[idx] = e.forces.moment;
             filled[idx] = true;
@@ -162,8 +288,11 @@ impl AeroDatabase {
             filled.iter().all(|&f| f),
             "database does not cover the full tensor grid"
         );
-        AeroDatabase::from_axes(deflections, machs, alphas, force, moment)
-            .expect("from_entries produced an invalid axis after sort/dedup")
+        let mut db = AeroDatabase::from_axes(deflections, machs, alphas, force, moment)
+            .expect("from_entries produced an invalid axis after sort/dedup");
+        db.quarantined = quarantined;
+        db.nholes = nholes;
+        Ok(db)
     }
 
     /// Assemble directly from breakpoint axes and flattened tables
@@ -193,6 +322,8 @@ impl AeroDatabase {
             }
         }
         Ok(AeroDatabase {
+            quarantined: vec![false; force.len()],
+            nholes: 0,
             deflections,
             machs,
             alphas,
@@ -201,18 +332,24 @@ impl AeroDatabase {
         })
     }
 
-    fn bracket(v: &[f64], x: f64) -> (usize, f64) {
+    /// Bracket `x` on a strictly increasing breakpoint axis: the cell index
+    /// `i` and interpolation weight `t` in `[0, 1]`, with out-of-range
+    /// inputs clamped to the edge cells.
+    ///
+    /// This is a `partition_point` binary search over the upper breakpoints
+    /// `v[1..]`, replacing the seed's O(n) linear scan; it reproduces the
+    /// scan's `(i, t)` exactly, including the convention that an exact
+    /// interior breakpoint lands in the *lower* cell with `t = 1.0`
+    /// (pinned by the `bracket_binary_search_matches_linear_scan` parity
+    /// test).
+    pub fn bracket(v: &[f64], x: f64) -> (usize, f64) {
         if v.len() == 1 {
             return (0, 0.0);
         }
         let x = x.clamp(v[0], v[v.len() - 1]);
-        let mut i = v.len() - 2;
-        for k in 0..v.len() - 1 {
-            if x <= v[k + 1] {
-                i = k;
-                break;
-            }
-        }
+        // First upper breakpoint >= x, i.e. the linear scan's first k with
+        // x <= v[k + 1]; out-of-range x already clamped above.
+        let i = v[1..].partition_point(|&y| y < x).min(v.len() - 2);
         // Construction guarantees strictly increasing breakpoints, so the
         // gap is positive; a zero gap here means the invariant was broken.
         let dv = v[i + 1] - v[i];
@@ -223,7 +360,54 @@ impl AeroDatabase {
 
     /// Trilinear interpolation of (force, moment) at a flight condition;
     /// inputs outside the tables are clamped to the edges.
+    ///
+    /// # Panics
+    /// If the table carries quarantine holes
+    /// ([`Self::from_entries_masked`] with quarantined entries): an
+    /// infallible lookup on a holed table is exactly the silent
+    /// placeholder-load corruption this type exists to prevent. Masked
+    /// tables must be queried through [`Self::lookup_checked`] (or a
+    /// `columbia_core::server::DatabaseServer` with an explicit degraded
+    /// policy).
     pub fn lookup(&self, deflection: f64, mach: f64, alpha: f64) -> (Vec3, Vec3) {
+        assert!(
+            self.nholes == 0,
+            "infallible lookup on a masked database with {} quarantine \
+             hole(s); use lookup_checked",
+            self.nholes
+        );
+        match self.interpolate(deflection, mach, alpha, false) {
+            Ok(fm) => fm,
+            Err(e) => panic!("lookup failed on a hole-free table: {e}"),
+        }
+    }
+
+    /// Trilinear interpolation with typed failure: quarantine holes under
+    /// the stencil and non-finite queries are errors, never silently
+    /// blended placeholder loads.
+    pub fn lookup_checked(
+        &self,
+        deflection: f64,
+        mach: f64,
+        alpha: f64,
+    ) -> Result<(Vec3, Vec3), LookupError> {
+        self.interpolate(deflection, mach, alpha, true)
+    }
+
+    fn interpolate(
+        &self,
+        deflection: f64,
+        mach: f64,
+        alpha: f64,
+        checked: bool,
+    ) -> Result<(Vec3, Vec3), LookupError> {
+        if !(deflection.is_finite() && mach.is_finite() && alpha.is_finite()) {
+            return Err(LookupError::NonFiniteQuery {
+                deflection,
+                mach,
+                alpha,
+            });
+        }
         let (id, td) = Self::bracket(&self.deflections, deflection);
         let (im, tm) = Self::bracket(&self.machs, mach);
         let (ia, ta) = Self::bracket(&self.alphas, alpha);
@@ -232,6 +416,7 @@ impl AeroDatabase {
         let idx = |d: usize, m: usize, a: usize| d * nm * na + m * na + a;
         let mut f = Vec3::ZERO;
         let mut mo = Vec3::ZERO;
+        let mut holes = 0usize;
         for (dd, wd) in [(0usize, 1.0 - td), (1, td)] {
             if wd == 0.0 && dd == 1 {
                 continue;
@@ -247,18 +432,95 @@ impl AeroDatabase {
                         continue;
                     }
                     let a = (ia + da).min(na - 1);
+                    let n = idx(d, m, a);
+                    if checked && self.quarantined[n] {
+                        holes += 1;
+                        continue;
+                    }
                     let w = wd * wm * wa;
-                    f += self.force[idx(d, m, a)] * w;
-                    mo += self.moment[idx(d, m, a)] * w;
+                    f += self.force[n] * w;
+                    mo += self.moment[n] * w;
                 }
             }
         }
-        (f, mo)
+        if holes > 0 {
+            return Err(LookupError::QuarantinedRegion {
+                deflection,
+                mach,
+                alpha,
+                holes,
+            });
+        }
+        Ok((f, mo))
     }
 
     /// Grid extents (useful for choosing initial conditions).
     pub fn mach_range(&self) -> (f64, f64) {
         (self.machs[0], *self.machs.last().unwrap())
+    }
+
+    /// Axis lengths `(nd, nm, na)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.deflections.len(), self.machs.len(), self.alphas.len())
+    }
+
+    /// The breakpoint axes `(deflections, machs, alphas)`.
+    pub fn axes(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.deflections, &self.machs, &self.alphas)
+    }
+
+    /// Bracket a flight condition on all three axes:
+    /// `[(id, td), (im, tm), (ia, ta)]`. The cell identity is what
+    /// `columbia_core::server::DatabaseServer` keys its hot-region cache
+    /// on.
+    pub fn cell(&self, deflection: f64, mach: f64, alpha: f64) -> [(usize, f64); 3] {
+        [
+            Self::bracket(&self.deflections, deflection),
+            Self::bracket(&self.machs, mach),
+            Self::bracket(&self.alphas, alpha),
+        ]
+    }
+
+    /// The (force, moment) stored at grid node `(d, m, a)`.
+    pub fn node(&self, d: usize, m: usize, a: usize) -> (Vec3, Vec3) {
+        let n = (d * self.machs.len() + m) * self.alphas.len() + a;
+        (self.force[n], self.moment[n])
+    }
+
+    /// Is grid node `(d, m, a)` a quarantine hole?
+    pub fn node_quarantined(&self, d: usize, m: usize, a: usize) -> bool {
+        self.quarantined[(d * self.machs.len() + m) * self.alphas.len() + a]
+    }
+
+    /// Number of quarantine holes in the table.
+    pub fn holes(&self) -> usize {
+        self.nholes
+    }
+
+    /// Grid coordinates of every quarantine hole, in node order.
+    pub fn hole_coords(&self) -> Vec<(usize, usize, usize)> {
+        let (_, nm, na) = self.shape();
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q)
+            .map(|(n, _)| (n / (nm * na), (n / na) % nm, n % na))
+            .collect()
+    }
+
+    /// Repair a quarantine hole with a converged re-run's loads: stores the
+    /// values and clears the mask. Returns `false` (and changes nothing) if
+    /// the node was not masked.
+    pub fn fill_node(&mut self, d: usize, m: usize, a: usize, force: Vec3, moment: Vec3) -> bool {
+        let n = (d * self.machs.len() + m) * self.alphas.len() + a;
+        if !self.quarantined[n] {
+            return false;
+        }
+        self.force[n] = force;
+        self.moment[n] = moment;
+        self.quarantined[n] = false;
+        self.nholes -= 1;
+        true
     }
 }
 
@@ -363,9 +625,17 @@ impl SixDof {
         let alpha = s.alpha();
         let (f_body, m_body) = self.db.lookup(defl, mach, alpha);
         // Database force convention: x = downstream (drag), z = lift. In
-        // body axes drag opposes the body-frame velocity direction.
-        let vb = s.world_to_body(s.vel).normalized();
-        let drag_dir = -vb;
+        // body axes drag opposes the body-frame velocity direction. At zero
+        // airspeed there is no flow direction to oppose: the drag term
+        // vanishes instead of normalising a zero vector into NaN that the
+        // RK4 stages would silently propagate through the whole trajectory.
+        let vb = s.world_to_body(s.vel);
+        let speed = vb.norm();
+        let drag_dir = if speed > 0.0 {
+            -(vb / speed)
+        } else {
+            Vec3::ZERO
+        };
         let f_aero_body = drag_dir * f_body.x + Vec3::new(0.0, f_body.y, f_body.z);
         let f_world = s.body_to_world(f_aero_body) + self.gravity * self.mass;
         let acc = f_world / self.mass;
@@ -457,7 +727,7 @@ mod tests {
                 }
             }
         }
-        AeroDatabase::from_entries(&entries)
+        AeroDatabase::from_entries(&entries).unwrap()
     }
 
     fn vehicle(db: AeroDatabase) -> SixDof {
@@ -635,7 +905,7 @@ mod tests {
                 status: CaseStatus::Converged,
             });
         }
-        let db = AeroDatabase::from_entries(&entries);
+        let db = AeroDatabase::from_entries(&entries).unwrap();
         let (f, _) = db.lookup(0.0, 1.0 + 5e-12, 0.0);
         assert!(f.x.is_finite());
         assert!(
@@ -669,6 +939,181 @@ mod tests {
             orders: 1.0,
             status: CaseStatus::Converged,
         });
-        AeroDatabase::from_entries(&entries);
+        let _ = AeroDatabase::from_entries(&entries);
+    }
+
+    /// One entry of `synthetic_db`'s grid turned into a quarantined
+    /// placeholder (zero loads), the way a node failure leaves it.
+    fn poisoned_entries() -> Vec<DatabaseEntry> {
+        let mut entries = Vec::new();
+        for &d in &[0.0, 0.2] {
+            for &m in &[0.5, 1.0, 2.0] {
+                for &a in &[-0.1, 0.0, 0.1] {
+                    let poisoned = d == 0.0 && m == 1.0 && a == 0.1;
+                    entries.push(DatabaseEntry {
+                        deflection: d,
+                        mach: m,
+                        alpha: a,
+                        beta: 0.0,
+                        forces: if poisoned {
+                            Forces::default()
+                        } else {
+                            Forces {
+                                force: Vec3::new(0.1 + m * m / 10.0, 0.0, 2.0 * a),
+                                moment: Vec3::new(0.0, 0.5 * d - a, 0.0),
+                            }
+                        },
+                        orders: if poisoned { 0.0 } else { 5.0 },
+                        status: if poisoned {
+                            CaseStatus::Quarantined {
+                                attempts: 3,
+                                reason: "node failure".into(),
+                            }
+                        } else {
+                            CaseStatus::Converged
+                        },
+                    });
+                }
+            }
+        }
+        entries
+    }
+
+    #[test]
+    fn quarantined_entry_is_a_typed_construction_error_not_silent_zeros() {
+        // Regression: `from_entries` used to tensor-fill quarantined
+        // entries' placeholder zero loads, so a poisoned fill silently
+        // corrupted every nearby lookup (and any SixDof trajectory flown
+        // through it). Strict construction now rejects the table outright.
+        let err = AeroDatabase::from_entries(&poisoned_entries()).unwrap_err();
+        assert_eq!(
+            err,
+            TableError::QuarantinedNode {
+                deflection: 0.0,
+                mach: 1.0,
+                alpha: 0.1,
+            }
+        );
+        assert!(err.to_string().contains("quarantined"), "{err}");
+    }
+
+    #[test]
+    fn masked_database_reports_holes_instead_of_blending_placeholders() {
+        let db = AeroDatabase::from_entries_masked(&poisoned_entries()).unwrap();
+        assert_eq!(db.holes(), 1);
+        assert_eq!(db.hole_coords(), vec![(0, 1, 2)]);
+        assert!(db.node_quarantined(0, 1, 2));
+        // A stencil touching the hole is a typed error...
+        let err = db.lookup_checked(0.0, 1.0, 0.09).unwrap_err();
+        match err {
+            LookupError::QuarantinedRegion { holes, .. } => assert!(holes >= 1),
+            other => panic!("expected QuarantinedRegion, got {other:?}"),
+        }
+        // ...while stencils clear of it still answer, identically to the
+        // clean table.
+        let clean = synthetic_db();
+        let (f, m) = db.lookup_checked(0.2, 2.0, -0.05).unwrap();
+        let (fc, mc) = clean.lookup(0.2, 2.0, -0.05);
+        assert_eq!((f, m), (fc, mc));
+        // Repairing the hole restores full coverage.
+        let mut db = db;
+        assert!(db.fill_node(0, 1, 2, Vec3::new(0.2, 0.0, 0.2), Vec3::new(0.0, -0.1, 0.0)));
+        assert_eq!(db.holes(), 0);
+        let (f, _) = db.lookup_checked(0.0, 1.0, 0.1).unwrap();
+        assert!((f.z - 0.2).abs() < 1e-12);
+        // A second fill of the same node is a no-op.
+        assert!(!db.fill_node(0, 1, 2, Vec3::ZERO, Vec3::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "masked database")]
+    fn infallible_lookup_on_a_holed_table_panics_instead_of_corrupting() {
+        let db = AeroDatabase::from_entries_masked(&poisoned_entries()).unwrap();
+        // Flying a SixDof through a holed table would silently blend
+        // placeholder zeros into the trajectory; the infallible path
+        // refuses outright.
+        db.lookup(0.0, 1.0, 0.1);
+    }
+
+    #[test]
+    fn non_finite_queries_are_typed_errors() {
+        let db = synthetic_db();
+        let err = db.lookup_checked(0.0, f64::NAN, 0.0).unwrap_err();
+        match err {
+            LookupError::NonFiniteQuery { mach, .. } => assert!(mach.is_nan()),
+            other => panic!("expected NonFiniteQuery, got {other:?}"),
+        }
+        assert!(db.lookup_checked(f64::INFINITY, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bracket_binary_search_matches_linear_scan() {
+        // The seed's O(n) per-axis scan, kept verbatim as the oracle.
+        fn oracle(v: &[f64], x: f64) -> (usize, f64) {
+            if v.len() == 1 {
+                return (0, 0.0);
+            }
+            let x = x.clamp(v[0], v[v.len() - 1]);
+            let mut i = v.len() - 2;
+            for k in 0..v.len() - 1 {
+                if x <= v[k + 1] {
+                    i = k;
+                    break;
+                }
+            }
+            let t = (x - v[i]) / (v[i + 1] - v[i]);
+            (i, t.clamp(0.0, 1.0))
+        }
+        let axes: [&[f64]; 4] = [
+            &[0.0],
+            &[0.5, 2.0],
+            &[-0.3, -0.1, 0.0, 0.4, 1.7],
+            &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5],
+        ];
+        for v in axes {
+            let mut probes: Vec<f64> = Vec::new();
+            // Every breakpoint (exact interior breakpoints land in the
+            // lower cell with t = 1.0 — the convention the parity pins),
+            // every midpoint, and clamped out-of-range inputs both sides.
+            probes.extend_from_slice(v);
+            for w in v.windows(2) {
+                probes.push(0.5 * (w[0] + w[1]));
+            }
+            probes.extend_from_slice(&[v[0] - 10.0, v[v.len() - 1] + 10.0]);
+            // A seeded sweep between and beyond the extremes.
+            let mut rng = columbia_rt::Pcg32::seed_from_u64(0x0B4A_C4E7 ^ v.len() as u64);
+            let span = v[v.len() - 1] - v[0];
+            for _ in 0..200 {
+                probes.push(v[0] - 0.6 * span + 2.2 * span * rng.gen_f64());
+            }
+            for x in probes {
+                let (i, t) = AeroDatabase::bracket(v, x);
+                let (oi, ot) = oracle(v, x);
+                assert_eq!((i, t), (oi, ot), "axis {v:?}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_airspeed_state_stays_finite() {
+        // Regression: deriv normalised the body-frame velocity for the
+        // drag direction; from rest that is 0/0. The guard zeroes the drag
+        // term instead, so a vehicle at rest (no gravity, symmetric aero)
+        // must integrate cleanly and stay put.
+        let v = vehicle(synthetic_db());
+        let mut s = RigidState::level(0.0);
+        s.omega = Vec3::new(0.0, 0.01, 0.0);
+        let traj = v.fly(s, 0.02, 50);
+        for (_, s) in &traj {
+            for c in [
+                s.pos.x, s.pos.y, s.pos.z, s.vel.x, s.vel.y, s.vel.z, s.omega.x, s.omega.y,
+                s.omega.z,
+            ] {
+                assert!(c.is_finite(), "state went non-finite: {s:?}");
+            }
+            for q in s.quat {
+                assert!(q.is_finite());
+            }
+        }
     }
 }

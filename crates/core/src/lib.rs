@@ -19,12 +19,17 @@ pub mod database;
 pub mod flight;
 pub mod optimize;
 pub mod performance;
+pub mod server;
 
 pub use analysis::{FlowAnalysis, FlowReport};
 pub use cart_analysis::{CartAnalysis, CartReport};
 pub use database::{
     CaseStatus, DatabaseEntry, DatabaseFill, DatabaseSpec, ExecContext, FillPolicy,
 };
-pub use flight::{AeroDatabase, RigidState, SixDof};
+pub use flight::{AeroDatabase, LookupError, RigidState, SixDof, TableError};
 pub use optimize::{golden_section, trim_bisection, Optimum};
 pub use performance::{PerformanceStudy, StudyRow};
+pub use server::{
+    digest_responses, DatabaseServer, Fallback, FallbackKind, Query, Response, ServePolicy,
+    ServerStats,
+};

@@ -56,9 +56,19 @@ fn main() {
     }
 
     // Virtual database: re-run one case on demand instead of storing the
-    // full flow field (the paper: often faster than mass storage).
+    // full flow field (the paper: often faster than mass storage). The
+    // re-run goes through the same retry/quarantine policy as the fill;
+    // case id 0 addresses any chaos plan armed on the context.
     println!("\nvirtual-database re-run of (defl 0.15, M 2.6, alpha 2.09 deg):");
-    let again = fill.rerun(0.15, 2.6, 0.0365, 0.0, spec.cycles);
+    let again = fill.rerun(
+        0,
+        0.15,
+        2.6,
+        0.0365,
+        0.0,
+        spec.cycles,
+        &mut ExecContext::default(),
+    );
     println!(
         "  Fx {:+.4}  Fz {:+.4}  ({:.1} orders)",
         again.forces.force.x, again.forces.force.z, again.orders

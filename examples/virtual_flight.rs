@@ -47,7 +47,7 @@ fn main() {
         entries.len(),
         t0.elapsed().as_secs_f64()
     );
-    let db = AeroDatabase::from_entries(&entries);
+    let db = AeroDatabase::from_entries(&entries).expect("clean fill has no quarantined entries");
 
     // Fly: start at Mach 2.2 with a pitch-rate disturbance and a mid-flight
     // elevon pulse (a G&C-style control input).

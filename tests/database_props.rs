@@ -1,0 +1,161 @@
+//! Property suite for the aero-database lookup path (satellite of the
+//! quarantine-safe server PR): random tables and random queries pin the
+//! interpolation invariants the server's cached gather relies on —
+//! bracket weights in `[0, 1]`, convexity of the blend (answers bounded
+//! by the stencil's corner values), edge clamping, and bit-exact
+//! server/table agreement.
+
+use columbia_core::{AeroDatabase, DatabaseServer, Fallback, Query, ServePolicy};
+use columbia_mesh::Vec3;
+use columbia_rt::rng::Pcg32;
+
+/// Random strictly increasing axis of `len` breakpoints in roughly
+/// `[lo, hi]` (gaps are random but bounded away from zero).
+fn random_axis(rng: &mut Pcg32, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut v = Vec::with_capacity(len);
+    let mut x = lo + rng.gen_range(0.0..0.1) * (hi - lo);
+    let step = (hi - lo) / len as f64;
+    for _ in 0..len {
+        v.push(x);
+        x += step * rng.gen_range(0.1..=1.0);
+    }
+    v
+}
+
+/// Random filled table with axis lengths in `1..=4` per dimension
+/// (length-1 axes exercise the degenerate-axis path).
+fn random_db(rng: &mut Pcg32) -> AeroDatabase {
+    let nd = rng.gen_range(1usize..5);
+    let nm = rng.gen_range(1usize..5);
+    let na = rng.gen_range(1usize..5);
+    let ds = random_axis(rng, nd, -0.5, 0.5);
+    let ms = random_axis(rng, nm, 0.5, 3.0);
+    let aas = random_axis(rng, na, -0.2, 0.2);
+    let mut force = Vec::with_capacity(nd * nm * na);
+    let mut moment = Vec::with_capacity(nd * nm * na);
+    for _ in 0..nd * nm * na {
+        let v3 = |rng: &mut Pcg32| {
+            Vec3::new(
+                rng.gen_range(-1.0..=1.0),
+                rng.gen_range(-1.0..=1.0),
+                rng.gen_range(-1.0..=1.0),
+            )
+        };
+        force.push(v3(rng));
+        moment.push(v3(rng));
+    }
+    AeroDatabase::from_axes(ds, ms, aas, force, moment).expect("axes built strictly increasing")
+}
+
+/// Random query over (and 20% beyond) the table envelope.
+fn random_query(rng: &mut Pcg32, db: &AeroDatabase) -> (f64, f64, f64) {
+    let (ds, ms, aas) = db.axes();
+    let sample = |v: &[f64], rng: &mut Pcg32| {
+        let (lo, hi) = (v[0], v[v.len() - 1]);
+        let pad = 0.2 * (hi - lo).max(0.1);
+        rng.gen_range(lo - pad..=hi + pad)
+    };
+    (sample(ds, rng), sample(ms, rng), sample(aas, rng))
+}
+
+columbia_rt::props! {
+    config: columbia_rt::props::Config::with_cases(64);
+
+    /// `bracket` always lands inside the axis with a weight in `[0, 1]`,
+    /// and reconstructing the coordinate from `(i, t)` recovers the
+    /// clamped input.
+    fn prop_bracket_weights_in_unit_interval(seed in 0u64..u64::MAX) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let len = rng.gen_range(2usize..12);
+        let axis = random_axis(&mut rng, len, -2.0, 2.0);
+        for _ in 0..32 {
+            let x = rng.gen_range(-3.0..=3.0);
+            let (i, t) = AeroDatabase::bracket(&axis, x);
+            assert!(i + 1 < axis.len(), "bracket index {i} out of axis");
+            assert!((0.0..=1.0).contains(&t), "weight {t} outside [0, 1]");
+            let rebuilt = axis[i] + t * (axis[i + 1] - axis[i]);
+            let clamped = x.clamp(axis[0], axis[len - 1]);
+            assert!(
+                (rebuilt - clamped).abs() <= 1e-12 * (1.0 + clamped.abs()),
+                "seed {seed}: bracket({x}) = ({i}, {t}) rebuilds {rebuilt}, want {clamped}"
+            );
+        }
+    }
+
+    /// The trilinear blend is convex: every component of a looked-up load
+    /// lies within the min/max of the stencil's corner nodes.
+    fn prop_lookup_is_convex_in_corner_values(seed in 0u64..u64::MAX) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let db = random_db(&mut rng);
+        for _ in 0..16 {
+            let (d, m, a) = random_query(&mut rng, &db);
+            let [(id, _), (im, _), (ia, _)] = db.cell(d, m, a);
+            let (nd, nm, na) = db.shape();
+            let mut lo = [f64::INFINITY; 6];
+            let mut hi = [f64::NEG_INFINITY; 6];
+            for corner in 0..8 {
+                let cd = (id + (corner >> 2 & 1)).min(nd - 1);
+                let cm = (im + (corner >> 1 & 1)).min(nm - 1);
+                let ca = (ia + (corner & 1)).min(na - 1);
+                let (f, mo) = db.node(cd, cm, ca);
+                for (k, c) in [f.x, f.y, f.z, mo.x, mo.y, mo.z].into_iter().enumerate() {
+                    lo[k] = lo[k].min(c);
+                    hi[k] = hi[k].max(c);
+                }
+            }
+            let (f, mo) = db.lookup(d, m, a);
+            for (k, c) in [f.x, f.y, f.z, mo.x, mo.y, mo.z].into_iter().enumerate() {
+                assert!(
+                    c >= lo[k] - 1e-12 && c <= hi[k] + 1e-12,
+                    "seed {seed}: component {k} = {c} escapes [{}, {}]",
+                    lo[k],
+                    hi[k]
+                );
+            }
+        }
+    }
+
+    /// Out-of-envelope queries clamp: the answer equals the answer at the
+    /// nearest in-envelope coordinate, bit for bit.
+    fn prop_lookup_clamps_at_the_envelope(seed in 0u64..u64::MAX) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let db = random_db(&mut rng);
+        let (ds, ms, aas) = db.axes();
+        let (ds, ms, aas) = (ds.to_vec(), ms.to_vec(), aas.to_vec());
+        let clamp = |v: &[f64], x: f64| x.clamp(v[0], v[v.len() - 1]);
+        for _ in 0..16 {
+            let (d, m, a) = random_query(&mut rng, &db);
+            let far = db.lookup(d, m, a);
+            let near = db.lookup(clamp(&ds, d), clamp(&ms, m), clamp(&aas, a));
+            assert_eq!(far, near, "seed {seed}: clamped lookup diverged");
+        }
+    }
+
+    /// The server is transparent on clean tables: served answers equal the
+    /// direct table lookup bit for bit, for every cache capacity.
+    fn prop_server_matches_table_bitwise(seed in 0u64..u64::MAX) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let db = random_db(&mut rng);
+        let queries: Vec<Query> = (0..48)
+            .map(|_| random_query(&mut rng, &db).into())
+            .collect();
+        for capacity in [1usize, 3, 64] {
+            let policy = ServePolicy {
+                cache_capacity: Some(capacity),
+                fallback: Fallback::Strict,
+                refine_budget: None,
+            };
+            let mut server = DatabaseServer::new(db.clone(), &policy);
+            for (q, r) in queries.iter().zip(server.serve_batch(&queries)) {
+                let (force, moment) = db.lookup(q.deflection, q.mach, q.alpha);
+                let r = r.expect("clean table never errors");
+                assert!(!r.degraded);
+                assert_eq!(
+                    (r.force, r.moment),
+                    (force, moment),
+                    "seed {seed}: capacity {capacity} diverged from the table"
+                );
+            }
+        }
+    }
+}

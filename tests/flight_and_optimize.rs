@@ -36,6 +36,7 @@ fn build_db() -> AeroDatabase {
         cycles: 10,
     };
     AeroDatabase::from_entries(&fill.run(&spec, 4, &mut ExecContext::default()))
+        .expect("clean fill has no quarantined entries")
 }
 
 #[test]
