@@ -30,20 +30,20 @@ fn bench_rans(c: &mut Bench) {
     g.bench_function("residual_8k", |bench| {
         bench.iter(|| {
             lvl.compute_residual();
-            black_box(lvl.res[0][0])
+            black_box(lvl.res.at(0, 0))
         })
     });
     g.bench_function("smooth_sweep_8k", |bench| {
         bench.iter(|| {
             lvl.smooth_sweep();
-            black_box(lvl.u[0][0])
+            black_box(lvl.u.at(0, 0))
         })
     });
     let mut solver = RansSolver::new(mesh, rans_params(), 4);
     g.bench_function("w_cycle_4lvl_8k", |bench| {
         bench.iter(|| {
             solver.cycle(&CycleParams::default());
-            black_box(solver.levels[0].u[0][0])
+            black_box(solver.levels[0].u.at(0, 0))
         })
     });
     g.finish();
@@ -100,14 +100,14 @@ fn bench_euler(c: &mut Bench) {
     g.bench_function("rk5_step", |bench| {
         bench.iter(|| {
             lvl.rk_step();
-            black_box(lvl.u[0][0])
+            black_box(lvl.u.at(0, 0))
         })
     });
     let mut solver = EulerSolver::new(mesh, EulerParams::default());
     g.bench_function("w_cycle_4lvl", |bench| {
         bench.iter(|| {
             solver.cycle(&CycleParams::default());
-            black_box(solver.levels[0].u[0][0])
+            black_box(solver.levels[0].u.at(0, 0))
         })
     });
     g.finish();

@@ -17,11 +17,19 @@
 //!   batch-over-scalar speedup. `--stable` omits this section, so a
 //!   double run under `--stable` must be byte-identical (the CI smoke
 //!   check).
+//!
+//! For the `resident_sweep6` rows the two columns are storage layouts,
+//! not instruction paths: "scalar" is the convert-at-boundary baseline
+//! (state round-tripped through AoS around every sweep) and "simd" is
+//! the plane-resident sweep; both run the batched kernels, so the
+//! speedup is the conversion tax the plane-resident migration removed.
 
 use columbia_bench::kernels::{
     axpy_pass_flops, axpy_scalar, axpy_set, axpy_simd, digest_lines, digest_states, line_set,
     line_tridiag_scalar, line_tridiag_simd, point_lu_pass_flops, point_lu_scalar, point_lu_simd,
-    point_set, predicted_gflops, AXPY_SIZES, LINE_COUNTS, LINE_LEN, NB, POINT_SIZES,
+    point_set, predicted_gflops, sweep_convert_at_boundary, sweep_level, sweep_pass_flops,
+    sweep_reset, sweep_resident, sweep_working_set_bytes, AXPY_SIZES, LINE_COUNTS, LINE_LEN, NB,
+    POINT_SIZES, SWEEP_PASSES, SWEEP_POINTS,
 };
 use columbia_linalg::{flops, BlockTridiag, TridiagBatch};
 use columbia_rt::Json;
@@ -29,6 +37,9 @@ use std::time::Instant;
 
 /// Timing repetitions; the minimum is reported.
 const REPS: usize = 9;
+/// Timing repetitions for the full-sweep rows (each pass is whole
+/// smoothing sweeps on a ~100k-point mesh; three reps bound the runtime).
+const SWEEP_REPS: usize = 3;
 /// Seed for every input set.
 const SEED: u64 = 0xC01D_B10C;
 
@@ -80,8 +91,12 @@ impl Row {
     }
 }
 
-fn min_of(mut f: impl FnMut() -> f64) -> f64 {
-    (0..REPS).map(|_| f()).fold(f64::INFINITY, f64::min)
+fn min_of_reps(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn min_of(f: impl FnMut() -> f64) -> f64 {
+    min_of_reps(REPS, f)
 }
 
 fn point_rows(measure: bool) -> Vec<Row> {
@@ -216,6 +231,64 @@ fn axpy_rows(measure: bool) -> Vec<Row> {
         .collect()
 }
 
+fn sweep_rows(measure: bool) -> Vec<Row> {
+    SWEEP_POINTS
+        .iter()
+        .map(|&target| {
+            let mut lvl = sweep_level(target);
+            let n = lvl.mesh.nvertices();
+            let ws = sweep_working_set_bytes(&lvl);
+            // Deterministic part: FLOPs of one resident pass off the
+            // level's own counter, and the post-pass state digest.
+            let sweep_flops = sweep_pass_flops(&mut lvl);
+            let digest = digest_states(&lvl.u.to_aos());
+            // The baseline must land on exactly the same bits: same
+            // sweeps, only the storage layout around them differs.
+            sweep_reset(&mut lvl);
+            let mut u_aos = lvl.u.to_aos();
+            let mut res_aos = lvl.res.to_aos();
+            sweep_convert_at_boundary(&mut lvl, &mut u_aos, &mut res_aos);
+            assert_eq!(
+                digest,
+                digest_states(&u_aos),
+                "resident_sweep6 parity broke at n = {n}"
+            );
+            let (mut scalar_s, mut simd_s) = (None, None);
+            if measure {
+                // Passes take hundreds of ms, so reps alternate variants:
+                // clock/turbo drift over the run then biases both mins
+                // equally instead of penalising whichever ran last.
+                let (mut base, mut resident) = (f64::INFINITY, f64::INFINITY);
+                for _ in 0..SWEEP_REPS {
+                    sweep_reset(&mut lvl);
+                    let t = Instant::now();
+                    sweep_resident(&mut lvl);
+                    resident = resident.min(t.elapsed().as_secs_f64());
+                    sweep_reset(&mut lvl);
+                    let mut u_aos = lvl.u.to_aos();
+                    let mut res_aos = lvl.res.to_aos();
+                    let t = Instant::now();
+                    sweep_convert_at_boundary(&mut lvl, &mut u_aos, &mut res_aos);
+                    base = base.min(t.elapsed().as_secs_f64());
+                }
+                scalar_s = Some(base);
+                simd_s = Some(resident);
+            }
+            Row {
+                kernel: "resident_sweep6",
+                size: n,
+                working_set_bytes: ws,
+                scalar_flops: sweep_flops,
+                simd_flops: sweep_flops,
+                digest,
+                predicted_gflops: predicted_gflops(ws as f64),
+                scalar_s,
+                simd_s,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let mut json_path: Option<String> = None;
     let mut stable = false;
@@ -237,27 +310,28 @@ fn main() {
     let mut rows = point_rows(measure);
     rows.extend(line_rows(measure));
     rows.extend(axpy_rows(measure));
+    rows.extend(sweep_rows(measure));
 
     println!(
-        "{:<14} {:>9} {:>12} {:>12} {:>10}  parity digest",
+        "{:<16} {:>9} {:>12} {:>12} {:>10}  parity digest",
         "kernel", "size", "ws_bytes", "flops/pass", "pred GF/s"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>9} {:>12} {:>12} {:>10.3}  {:016x}",
+            "{:<16} {:>9} {:>12} {:>12} {:>10.3}  {:016x}",
             r.kernel, r.size, r.working_set_bytes, r.scalar_flops, r.predicted_gflops, r.digest
         );
     }
     if measure {
         println!();
         println!(
-            "{:<14} {:>9} {:>12} {:>12} {:>12} {:>8}",
+            "{:<16} {:>9} {:>12} {:>12} {:>12} {:>8}",
             "kernel", "size", "scalar µs", "simd µs", "achvd GF/s", "speedup"
         );
         for r in &rows {
             let (a, b) = (r.scalar_s.unwrap(), r.simd_s.unwrap());
             println!(
-                "{:<14} {:>9} {:>12.2} {:>12.2} {:>12.3} {:>7.2}x",
+                "{:<16} {:>9} {:>12.2} {:>12.2} {:>12.3} {:>7.2}x",
                 r.kernel,
                 r.size,
                 a * 1e6,
@@ -274,6 +348,8 @@ fn main() {
             "config",
             Json::obj([
                 ("reps", Json::UInt(REPS as u64)),
+                ("sweep_reps", Json::UInt(SWEEP_REPS as u64)),
+                ("sweep_passes", Json::UInt(SWEEP_PASSES as u64)),
                 ("seed", Json::UInt(SEED)),
                 ("line_len", Json::UInt(LINE_LEN as u64)),
                 ("lanes", Json::UInt(columbia_linalg::LANES as u64)),

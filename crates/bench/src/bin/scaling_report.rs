@@ -127,7 +127,7 @@ fn main() {
             println!();
             println!("kernel roofline (deterministic: flops, parity digests, predicted rate):");
             println!(
-                "  {:<14} {:>9} {:>12} {:>12} {:>10}  digest",
+                "  {:<16} {:>9} {:>12} {:>12} {:>10}  digest",
                 "kernel", "size", "ws_bytes", "flops/pass", "pred GF/s"
             );
             for row in rows {
@@ -148,7 +148,7 @@ fn main() {
                     _ => String::new(),
                 };
                 println!(
-                    "  {:<14} {:>9} {:>12} {:>12} {:>10.3}  {}",
+                    "  {:<16} {:>9} {:>12} {:>12} {:>10.3}  {}",
                     name,
                     get_u("size"),
                     get_u("working_set_bytes"),

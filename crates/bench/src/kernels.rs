@@ -3,14 +3,21 @@
 //! references, at several working-set sizes spanning the
 //! `columbia-machine` cache model's L3 crossover.
 //!
-//! Three kernels, matching the solvers' hot loops:
+//! Four kernels, matching the solvers' hot loops:
 //!
 //! * **point_lu6** — per-point 6x6 block factorise + solve, the RANS
 //!   point-implicit update (`RansLevel::solve_points_*`);
 //! * **line_tridiag6** — block-tridiagonal line solves of length 32, the
 //!   RANS line-implicit smoother (`RansLevel::solve_lines_*`);
 //! * **rk_axpy** — 5-wide state AXPY, the Cart3D Runge-Kutta stage
-//!   update (`EulerLevel::apply_stage`).
+//!   update (`EulerLevel::apply_stage`);
+//! * **resident_sweep6** — full `RansLevel::smooth_sweep` passes on a
+//!   wing mesh, plane-resident state against a convert-at-boundary
+//!   baseline that round-trips `u` through AoS around every sweep (the
+//!   storage layout the plane-resident migration replaced). Here the
+//!   "scalar" column is the conversion baseline and "simd" is the
+//!   resident path; both run the same batched kernels, so the speedup
+//!   isolates the storage layout.
 //!
 //! Every scalar/batch runner pair is bit-identical by construction (the
 //! batch kernels replay the scalar operation order per lane), so the
@@ -18,9 +25,14 @@
 //! outputs and asserts they match; wall-clock comparisons ride in the
 //! `measured` section on exactly the same data.
 
-use columbia_linalg::soa::vec_batch_zero;
+use columbia_linalg::soa::{vec_batch_zero, SoaStates};
 use columbia_linalg::{flops, BlockBatch, BlockMat, BlockTridiag, TridiagBatch, LANES};
 use columbia_machine::MachineConfig;
+use columbia_mesh::{wing_mesh, WingMeshSpec};
+use columbia_rans::level::SolverParams;
+use columbia_rans::state::{State, NVARS};
+use columbia_rans::RansLevel;
+use columbia_rt::env::KernelKind;
 use columbia_rt::{derive_seed, Pcg32};
 
 /// Block size: the RANS mean-flow + turbulence system (6 variables).
@@ -316,6 +328,95 @@ pub fn axpy_pass_flops(n: usize) -> u64 {
     flops::axpy_flops((n * NVARS5) as u64)
 }
 
+// ---------------------------------------------------------------------------
+// resident_sweep6
+// ---------------------------------------------------------------------------
+
+/// Target point counts for `resident_sweep6`: one comfortably in-cache
+/// size and one at the paper's per-CPU working set (~100k vertices,
+/// tens of MB of level state — well past the L3 crossover).
+pub const SWEEP_POINTS: [usize; 2] = [8_000, 100_000];
+/// Smoothing sweeps per timed pass.
+pub const SWEEP_PASSES: usize = 2;
+
+/// A freshly initialised RANS level on the jitter-free wing mesh, batched
+/// kernel path. Both sweep variants run on levels built exactly like
+/// this, so the comparison isolates the storage layout.
+pub fn sweep_level(target_points: usize) -> RansLevel {
+    let mesh = wing_mesh(&WingMeshSpec {
+        jitter: 0.0,
+        ..WingMeshSpec::with_target_points(target_points)
+    });
+    let params = SolverParams {
+        mach: 0.5,
+        kernel: Some(KernelKind::Simd),
+        ..Default::default()
+    };
+    let mut lvl = RansLevel::new(mesh, params);
+    lvl.apply_bcs();
+    lvl
+}
+
+/// Rewind a level to its post-construction state so every timed pass
+/// starts from identical inputs (and identical FP history).
+pub fn sweep_reset(lvl: &mut RansLevel) {
+    let fs = lvl.fs;
+    lvl.u.fill_with(&fs);
+    lvl.forcing.fill_zero();
+    lvl.cfl_now = lvl.params.cfl_start.min(lvl.params.cfl);
+    lvl.apply_bcs();
+}
+
+/// Plane-resident pass: [`SWEEP_PASSES`] smoothing sweeps straight on the
+/// level's resident `SoaStates` planes. No conversions anywhere.
+pub fn sweep_resident(lvl: &mut RansLevel) {
+    for _ in 0..SWEEP_PASSES {
+        lvl.smooth_sweep();
+    }
+}
+
+/// Convert-at-boundary baseline: the pre-migration layout kept solver
+/// state in AoS between phases, so every batched kernel and every ghost
+/// exchange converted on entry and exit. Modelled here by round-tripping
+/// `u`, the gradients and the residual through AoS buffers at each phase
+/// boundary of the sweep — the same sweeps (round-trips are bit-exact),
+/// plus the conversion tax the resident layout removed.
+pub fn sweep_convert_at_boundary(
+    lvl: &mut RansLevel,
+    u_aos: &mut Vec<State>,
+    res_aos: &mut Vec<State>,
+) {
+    for _ in 0..SWEEP_PASSES {
+        lvl.u = SoaStates::from_aos(u_aos);
+        lvl.compute_residual();
+        let grad_aos = lvl.grad_mut().to_aos();
+        *lvl.grad_mut() = SoaStates::from_aos(&grad_aos);
+        *res_aos = lvl.res.to_aos();
+        lvl.res = SoaStates::from_aos(res_aos);
+        lvl.assemble_diagonal();
+        lvl.solve_implicit();
+        *u_aos = lvl.u.to_aos();
+        *res_aos = lvl.res.to_aos();
+    }
+}
+
+/// Bytes one smoothing sweep touches: the four state fields + gradients
+/// + diagonal blocks + lamsum per vertex, plus the edge list.
+pub fn sweep_working_set_bytes(lvl: &RansLevel) -> u64 {
+    let nv = lvl.mesh.nvertices() as u64;
+    let ne = lvl.mesh.nedges() as u64;
+    nv * ((4 * NVARS as u64 + 9 + NVARS as u64 * NVARS as u64 + 1) * 8) + ne * 40
+}
+
+/// Nominal FLOPs of one resident pass, measured off the level's own
+/// counter (the sweep mixes too many phases for a closed form).
+pub fn sweep_pass_flops(lvl: &mut RansLevel) -> u64 {
+    sweep_reset(lvl);
+    lvl.flops.take();
+    sweep_resident(lvl);
+    lvl.flops.take()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +460,21 @@ mod tests {
         axpy_scalar(0.37, &set.x, &mut a);
         axpy_simd(0.37, &set.x, &mut b);
         assert_eq!(digest_states(&a), digest_states(&b));
+    }
+
+    #[test]
+    fn sweep_variants_are_bit_identical() {
+        let mut lvl = sweep_level(900);
+        sweep_reset(&mut lvl);
+        sweep_resident(&mut lvl);
+        let resident_u = digest_states(&lvl.u.to_aos());
+        let resident_res = digest_states(&lvl.res.to_aos());
+        sweep_reset(&mut lvl);
+        let mut u_aos = lvl.u.to_aos();
+        let mut res_aos = lvl.res.to_aos();
+        sweep_convert_at_boundary(&mut lvl, &mut u_aos, &mut res_aos);
+        assert_eq!(resident_u, digest_states(&u_aos));
+        assert_eq!(resident_res, digest_states(&res_aos));
     }
 
     #[test]

@@ -445,6 +445,21 @@ pub fn kernel_roofline_section() -> Json {
             kernels::digest_states(&a),
         );
     }
+    for &target in &kernels::SWEEP_POINTS {
+        let mut lvl = kernels::sweep_level(target);
+        let n = lvl.mesh.nvertices();
+        let ws = kernels::sweep_working_set_bytes(&lvl);
+        let fl = kernels::sweep_pass_flops(&mut lvl);
+        let digest = kernels::digest_states(&lvl.u.to_aos());
+        // Replay the convert-at-boundary baseline from the same reset
+        // state: the layouts must land on identical bits.
+        kernels::sweep_reset(&mut lvl);
+        let mut u_aos = lvl.u.to_aos();
+        let mut res_aos = lvl.res.to_aos();
+        kernels::sweep_convert_at_boundary(&mut lvl, &mut u_aos, &mut res_aos);
+        assert_eq!(digest, kernels::digest_states(&u_aos));
+        push("resident_sweep6", n, ws, fl, digest);
+    }
     Json::Arr(rows)
 }
 

@@ -15,10 +15,126 @@
 //! the pool reaches a zero-miss fixed point after one warm-up cycle.
 //! [`ExchangePlan::exchange_add2`] coalesces two fields into one message
 //! per peer (the paper's "fewer larger messages").
+//!
+//! Fields are addressed through the [`HaloField`] trait, so the same
+//! compiled schedule packs AoS block slices (`[[f64; N]]`), scalar planes
+//! (`[f64]`), and plane-resident [`SoaStates`] storage without an AoS
+//! round-trip: the wire format (entry-major, `WIDTH` values per exchanged
+//! vertex in component order) and the pooled-buffer sizing are identical
+//! for every layout, so payload bytes — and therefore digests — do not
+//! depend on how the field is stored.
 
 use crate::runtime::Rank;
+use columbia_linalg::SoaStates;
 use std::collections::HashMap;
 use std::sync::OnceLock;
+
+/// A field the packed halo exchange can pack and unpack entry by entry,
+/// independent of its memory layout. `WIDTH` values travel per exchanged
+/// vertex, in component order; implementations must read and write those
+/// values in exactly that order so the wire bytes match the historical
+/// AoS path bit for bit.
+pub trait HaloField {
+    /// Values per exchanged entry.
+    const WIDTH: usize;
+    /// Append entry `i`'s `WIDTH` values to `buf`, in component order.
+    fn pack_entry(&self, i: usize, buf: &mut Vec<f64>);
+    /// Overwrite entry `i` from `vals` (`WIDTH` values, component order).
+    fn set_entry(&mut self, i: usize, vals: &[f64]);
+    /// Accumulate `vals` into entry `i`, component by component in order.
+    fn add_entry(&mut self, i: usize, vals: &[f64]);
+    /// Zero entry `i` (ghost reset after an accumulation pack).
+    fn zero_entry(&mut self, i: usize);
+}
+
+impl<const N: usize> HaloField for [[f64; N]] {
+    const WIDTH: usize = N;
+
+    #[inline]
+    fn pack_entry(&self, i: usize, buf: &mut Vec<f64>) {
+        buf.extend_from_slice(&self[i]);
+    }
+
+    #[inline]
+    fn set_entry(&mut self, i: usize, vals: &[f64]) {
+        self[i].copy_from_slice(vals);
+    }
+
+    #[inline]
+    fn add_entry(&mut self, i: usize, vals: &[f64]) {
+        let row = &mut self[i];
+        for c in 0..N {
+            row[c] += vals[c];
+        }
+    }
+
+    #[inline]
+    fn zero_entry(&mut self, i: usize) {
+        self[i] = [0.0; N];
+    }
+}
+
+/// A bare scalar plane (one value per vertex). Wire-compatible with the
+/// old `[[f64; 1]]` staging buffers, so migrating a `Vec<[f64; 1]>`
+/// round-trip to a direct `Vec<f64>` exchange changes no payload byte.
+impl HaloField for [f64] {
+    const WIDTH: usize = 1;
+
+    #[inline]
+    fn pack_entry(&self, i: usize, buf: &mut Vec<f64>) {
+        buf.push(self[i]);
+    }
+
+    #[inline]
+    fn set_entry(&mut self, i: usize, vals: &[f64]) {
+        self[i] = vals[0];
+    }
+
+    #[inline]
+    fn add_entry(&mut self, i: usize, vals: &[f64]) {
+        self[i] += vals[0];
+    }
+
+    #[inline]
+    fn zero_entry(&mut self, i: usize) {
+        self[i] = 0.0;
+    }
+}
+
+/// Plane-resident state: entries gather and scatter across the component
+/// planes with stride `len`, producing the same component-ordered wire
+/// values as the AoS impl — no transpose buffer on the hot path.
+impl<const N: usize> HaloField for SoaStates<N> {
+    const WIDTH: usize = N;
+
+    #[inline]
+    fn pack_entry(&self, i: usize, buf: &mut Vec<f64>) {
+        for k in 0..N {
+            buf.push(self.at(k, i));
+        }
+    }
+
+    #[inline]
+    fn set_entry(&mut self, i: usize, vals: &[f64]) {
+        for (k, v) in vals.iter().enumerate() {
+            *self.at_mut(k, i) = *v;
+        }
+    }
+
+    #[inline]
+    fn add_entry(&mut self, i: usize, vals: &[f64]) {
+        for (k, v) in vals.iter().enumerate() {
+            *self.at_mut(k, i) += *v;
+        }
+    }
+
+    #[inline]
+    fn zero_entry(&mut self, i: usize) {
+        for k in 0..N {
+            *self.at_mut(k, i) = 0.0;
+        }
+    }
+}
 
 /// Packed ghost-exchange schedule for one partition.
 pub struct ExchangePlan {
@@ -151,20 +267,33 @@ impl ExchangePlan {
     /// buffer per peer, unpack into `data[recv_idx]` (overwrite).
     /// Payloads come from (and return to) the rank's buffer pool.
     pub fn exchange_copy<const N: usize>(&self, rank: &mut Rank, tag: u64, data: &mut [[f64; N]]) {
+        self.exchange_copy_field(rank, tag, data);
+    }
+
+    /// Layout-generic owner-to-ghost copy; see
+    /// [`ExchangePlan::exchange_copy`]. Wire bytes, peer order, and pooled
+    /// buffer sizing are identical for every [`HaloField`] layout.
+    pub fn exchange_copy_field<F: HaloField + ?Sized>(
+        &self,
+        rank: &mut Rank,
+        tag: u64,
+        data: &mut F,
+    ) {
+        let w = F::WIDTH;
         let sched = self.compiled();
         for pr in &sched.send {
-            let mut buf = rank.buffer(pr.peer, N * pr.max_n as usize);
+            let mut buf = rank.buffer(pr.peer, w * pr.max_n as usize);
             for &i in &sched.send_idx[pr.start as usize..pr.end as usize] {
-                buf.extend_from_slice(&data[i as usize]);
+                data.pack_entry(i as usize, &mut buf);
             }
             rank.send(pr.peer, tag, buf);
         }
         for pr in &sched.recv {
             let idx = &sched.recv_idx[pr.start as usize..pr.end as usize];
             let buf = rank.recv(pr.peer, tag);
-            check_len(rank, pr.peer, tag, idx.len(), N, buf.len());
+            check_len(rank, pr.peer, tag, idx.len(), w, buf.len());
             for (k, &i) in idx.iter().enumerate() {
-                data[i as usize].copy_from_slice(&buf[k * N..(k + 1) * N]);
+                data.set_entry(i as usize, &buf[k * w..(k + 1) * w]);
             }
             rank.recycle(pr.peer, buf);
         }
@@ -176,24 +305,33 @@ impl ExchangePlan {
     /// stay consistent. Payloads come from (and return to) the rank's
     /// buffer pool.
     pub fn exchange_add<const N: usize>(&self, rank: &mut Rank, tag: u64, data: &mut [[f64; N]]) {
+        self.exchange_add_field(rank, tag, data);
+    }
+
+    /// Layout-generic ghost-to-owner accumulation; see
+    /// [`ExchangePlan::exchange_add`].
+    pub fn exchange_add_field<F: HaloField + ?Sized>(
+        &self,
+        rank: &mut Rank,
+        tag: u64,
+        data: &mut F,
+    ) {
+        let w = F::WIDTH;
         let sched = self.compiled();
         for pr in &sched.recv {
-            let mut buf = rank.buffer(pr.peer, N * pr.max_n as usize);
+            let mut buf = rank.buffer(pr.peer, w * pr.max_n as usize);
             for &i in &sched.recv_idx[pr.start as usize..pr.end as usize] {
-                buf.extend_from_slice(&data[i as usize]);
-                data[i as usize] = [0.0; N];
+                data.pack_entry(i as usize, &mut buf);
+                data.zero_entry(i as usize);
             }
             rank.send(pr.peer, tag, buf);
         }
         for pr in &sched.send {
             let idx = &sched.send_idx[pr.start as usize..pr.end as usize];
             let buf = rank.recv(pr.peer, tag);
-            check_len(rank, pr.peer, tag, idx.len(), N, buf.len());
+            check_len(rank, pr.peer, tag, idx.len(), w, buf.len());
             for (k, &i) in idx.iter().enumerate() {
-                let row = &mut data[i as usize];
-                for c in 0..N {
-                    row[c] += buf[k * N + c];
-                }
+                data.add_entry(i as usize, &buf[k * w..(k + 1) * w]);
             }
             rank.recycle(pr.peer, buf);
         }
@@ -213,15 +351,30 @@ impl ExchangePlan {
         a: &mut [[f64; A]],
         b: &mut [[f64; B]],
     ) {
-        let w = A + B;
+        self.exchange_add2_field(rank, tag, a, b);
+    }
+
+    /// Layout-generic coalesced two-field accumulation; see
+    /// [`ExchangePlan::exchange_add2`]. The two fields may use different
+    /// [`HaloField`] layouts (e.g. plane-resident state riding with an AoS
+    /// scratch block) — the interleaved wire format is unchanged.
+    pub fn exchange_add2_field<FA: HaloField + ?Sized, FB: HaloField + ?Sized>(
+        &self,
+        rank: &mut Rank,
+        tag: u64,
+        a: &mut FA,
+        b: &mut FB,
+    ) {
+        let (wa, wb) = (FA::WIDTH, FB::WIDTH);
+        let w = wa + wb;
         let sched = self.compiled();
         for pr in &sched.recv {
             let mut buf = rank.buffer(pr.peer, w * pr.max_n as usize);
             for &i in &sched.recv_idx[pr.start as usize..pr.end as usize] {
-                buf.extend_from_slice(&a[i as usize]);
-                buf.extend_from_slice(&b[i as usize]);
-                a[i as usize] = [0.0; A];
-                b[i as usize] = [0.0; B];
+                a.pack_entry(i as usize, &mut buf);
+                b.pack_entry(i as usize, &mut buf);
+                a.zero_entry(i as usize);
+                b.zero_entry(i as usize);
             }
             rank.send(pr.peer, tag, buf);
             rank.record_coalesced(2);
@@ -232,14 +385,8 @@ impl ExchangePlan {
             check_len(rank, pr.peer, tag, idx.len(), w, buf.len());
             for (k, &i) in idx.iter().enumerate() {
                 let base = k * w;
-                let ra = &mut a[i as usize];
-                for c in 0..A {
-                    ra[c] += buf[base + c];
-                }
-                let rb = &mut b[i as usize];
-                for c in 0..B {
-                    rb[c] += buf[base + A + c];
-                }
+                a.add_entry(i as usize, &buf[base..base + wa]);
+                b.add_entry(i as usize, &buf[base + wa..base + w]);
             }
             rank.recycle(pr.peer, buf);
         }
@@ -258,13 +405,26 @@ impl ExchangePlan {
         a: &mut [[f64; A]],
         b: &mut [[f64; B]],
     ) {
-        let w = A + B;
+        self.exchange_copy2_field(rank, tag, a, b);
+    }
+
+    /// Layout-generic coalesced two-field copy; see
+    /// [`ExchangePlan::exchange_copy2`].
+    pub fn exchange_copy2_field<FA: HaloField + ?Sized, FB: HaloField + ?Sized>(
+        &self,
+        rank: &mut Rank,
+        tag: u64,
+        a: &mut FA,
+        b: &mut FB,
+    ) {
+        let (wa, wb) = (FA::WIDTH, FB::WIDTH);
+        let w = wa + wb;
         let sched = self.compiled();
         for pr in &sched.send {
             let mut buf = rank.buffer(pr.peer, w * pr.max_n as usize);
             for &i in &sched.send_idx[pr.start as usize..pr.end as usize] {
-                buf.extend_from_slice(&a[i as usize]);
-                buf.extend_from_slice(&b[i as usize]);
+                a.pack_entry(i as usize, &mut buf);
+                b.pack_entry(i as usize, &mut buf);
             }
             rank.send(pr.peer, tag, buf);
             rank.record_coalesced(2);
@@ -275,8 +435,8 @@ impl ExchangePlan {
             check_len(rank, pr.peer, tag, idx.len(), w, buf.len());
             for (k, &i) in idx.iter().enumerate() {
                 let base = k * w;
-                a[i as usize].copy_from_slice(&buf[base..base + A]);
-                b[i as usize].copy_from_slice(&buf[base + A..base + w]);
+                a.set_entry(i as usize, &buf[base..base + wa]);
+                b.set_entry(i as usize, &buf[base + wa..base + w]);
             }
             rank.recycle(pr.peer, buf);
         }

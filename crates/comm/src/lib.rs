@@ -37,7 +37,7 @@ pub mod workload;
 
 pub use columbia_exec::{ExecContext, Executor, ExecutorKind, FabricKind, FabricModel, PoolPolicy};
 pub use columbia_rt::fault::{FaultConfig, FaultPlan, MessageAction};
-pub use exchange::{decompose, Decomposition, ExchangePlan, PackedSchedule, PeerRange};
+pub use exchange::{decompose, Decomposition, ExchangePlan, HaloField, PackedSchedule, PeerRange};
 pub use fabric::{flows_from_traces, FabricClock};
 pub use hybrid::HybridLayout;
 pub use runtime::{run_ranks, run_world, Rank, RankTrace};

@@ -2,7 +2,7 @@
 
 use crate::state::{flux, pressure, rusanov, spectral_radius, wall_flux, State5, GAMMA, NVARS5};
 use columbia_cartesian::CartMesh;
-use columbia_linalg::soa::LANES;
+use columbia_linalg::soa::{SoaStates, LANES};
 use columbia_rt::env::{self, KernelKind};
 
 /// Jameson-style five-stage Runge-Kutta coefficients.
@@ -23,18 +23,19 @@ pub mod flops {
 pub struct EulerLevel {
     /// Mesh geometry (fine: extracted; coarse: SFC-coarsened).
     pub mesh: CartMesh,
-    /// Conservative state per cell.
-    pub u: Vec<State5>,
+    /// Conservative state, one plane per component.
+    pub u: SoaStates<NVARS5>,
     /// FAS forcing (zero on the finest level).
-    pub forcing: Vec<State5>,
+    pub forcing: SoaStates<NVARS5>,
     /// Restricted state stored at restriction time.
-    pub restricted_u: Vec<State5>,
+    pub restricted_u: SoaStates<NVARS5>,
     /// Residual scratch `r = forcing - N(u)`.
-    pub res: Vec<State5>,
+    pub res: SoaStates<NVARS5>,
     /// `u^n` storage for the RK stages.
-    pub u0: Vec<State5>,
-    /// Spectral-radius accumulator for local time steps.
-    lam: Vec<f64>,
+    pub u0: SoaStates<NVARS5>,
+    /// Spectral-radius accumulator for local time steps. Exchanged as a
+    /// width-1 `HaloField` plane, coalesced with the residual planes.
+    pub lam: Vec<f64>,
     /// Free-stream state.
     pub fs: State5,
     /// CFL number per RK cycle.
@@ -58,12 +59,14 @@ impl EulerLevel {
     /// Build a level with the given free stream.
     pub fn new(mesh: CartMesh, fs: State5, cfl: f64) -> Self {
         let n = mesh.ncells();
+        let mut filled = SoaStates::zeros(n);
+        filled.fill_with(&fs);
         EulerLevel {
-            u: vec![fs; n],
-            forcing: vec![[0.0; NVARS5]; n],
-            restricted_u: vec![fs; n],
-            res: vec![[0.0; NVARS5]; n],
-            u0: vec![fs; n],
+            u: filled.clone(),
+            forcing: SoaStates::zeros(n),
+            restricted_u: filled.clone(),
+            res: SoaStates::zeros(n),
+            u0: filled,
             lam: vec![0.0; n],
             fs,
             cfl,
@@ -91,77 +94,87 @@ impl EulerLevel {
 
     /// Face-loop accumulation of `-N(u)` (flux part) and spectral radii.
     pub fn accumulate_residual(&mut self) {
-        let n = self.ncells();
-        for r in self.res.iter_mut() {
-            *r = [0.0; NVARS5];
-        }
-        for l in self.lam.iter_mut() {
+        let Self {
+            mesh,
+            u,
+            res,
+            lam,
+            fs,
+            active,
+            flops: fc,
+            ..
+        } = self;
+        let n = mesh.ncells();
+        res.fill_zero();
+        for l in lam.iter_mut() {
             *l = 0.0;
         }
-        for f in &self.mesh.faces {
+        let mut rp = res.planes_mut();
+        for f in &mesh.faces {
             let a = f.a as usize;
             if f.is_boundary() {
                 // Far-field characteristic state via the upwind flux.
-                let fb = rusanov(&self.u[a], &self.fs, f.normal);
-                for k in 0..NVARS5 {
-                    self.res[a][k] -= fb[k];
+                let ua = u.get(a);
+                let fb = rusanov(&ua, fs, f.normal);
+                for (k, rk) in rp.iter_mut().enumerate() {
+                    rk[a] -= fb[k];
                 }
-                self.lam[a] += spectral_radius(&self.u[a], f.normal);
-                self.flops += flops::BOUNDARY;
+                lam[a] += spectral_radius(&ua, f.normal);
+                *fc += flops::BOUNDARY;
                 continue;
             }
             let b = f.b as usize;
-            let fx = rusanov(&self.u[a], &self.u[b], f.normal);
-            for k in 0..NVARS5 {
-                self.res[a][k] -= fx[k];
-                self.res[b][k] += fx[k];
+            let ua = u.get(a);
+            let ub = u.get(b);
+            let fx = rusanov(&ua, &ub, f.normal);
+            for (k, rk) in rp.iter_mut().enumerate() {
+                rk[a] -= fx[k];
+                rk[b] += fx[k];
             }
-            let lam =
-                spectral_radius(&self.u[a], f.normal).max(spectral_radius(&self.u[b], f.normal));
-            self.lam[a] += lam;
-            self.lam[b] += lam;
-            self.flops += flops::FACE;
+            let l2 = spectral_radius(&ua, f.normal).max(spectral_radius(&ub, f.normal));
+            lam[a] += l2;
+            lam[b] += l2;
+            *fc += flops::FACE;
         }
         // Wall closure fluxes (cut cells). Only the owning rank evaluates
         // a cell's wall term — ghosts would double-count after exchange.
         for c in 0..n {
-            if !self.active[c] {
+            if !active[c] {
                 continue;
             }
-            let w = self.mesh.wall_normal[c];
+            let w = mesh.wall_normal[c];
             if w.norm2() > 0.0 {
-                let fw = wall_flux(&self.u[c], w);
-                for k in 0..NVARS5 {
-                    self.res[c][k] -= fw[k];
+                let uc = u.get(c);
+                let fw = wall_flux(&uc, w);
+                for (k, rk) in rp.iter_mut().enumerate() {
+                    rk[c] -= fw[k];
                 }
-                self.lam[c] += spectral_radius(&self.u[c], w);
-                self.flops += flops::BOUNDARY;
+                lam[c] += spectral_radius(&uc, w);
+                *fc += flops::BOUNDARY;
             }
         }
     }
 
     /// Add forcing and zero inactive rows.
     pub fn finalize_residual(&mut self) {
-        for c in 0..self.ncells() {
-            if !self.active[c] {
-                self.res[c] = [0.0; NVARS5];
+        let Self {
+            mesh,
+            res,
+            forcing,
+            active,
+            ..
+        } = self;
+        let mut rp = res.planes_mut();
+        for c in 0..mesh.ncells() {
+            if !active[c] {
+                for rk in rp.iter_mut() {
+                    rk[c] = 0.0;
+                }
                 continue;
             }
-            for k in 0..NVARS5 {
-                self.res[c][k] += self.forcing[c][k];
+            for (k, rk) in rp.iter_mut().enumerate() {
+                rk[c] += forcing.at(k, c);
             }
-        }
-    }
-
-    /// Direct access to the spectral-radius accumulators (ghost exchange).
-    pub fn lam_as_blocks(&mut self) -> Vec<[f64; 1]> {
-        self.lam.iter().map(|&l| [l]).collect()
-    }
-
-    /// Restore the spectral-radius accumulators after exchange.
-    pub fn set_lam_from_blocks(&mut self, blocks: &[[f64; 1]]) {
-        for (l, b) in self.lam.iter_mut().zip(blocks.iter()) {
-            *l = b[0];
         }
     }
 
@@ -180,9 +193,10 @@ impl EulerLevel {
     pub fn residual_sumsq(&self) -> (f64, usize) {
         let mut ss = 0.0;
         let mut cnt = 0;
-        for (c, r) in self.res.iter().enumerate() {
+        for c in 0..self.res.len() {
             if self.active[c] {
-                for x in r {
+                for k in 0..NVARS5 {
+                    let x = self.res.at(k, c);
                     ss += x * x;
                 }
                 cnt += NVARS5;
@@ -218,9 +232,11 @@ impl EulerLevel {
                             *d = self.cfl / self.lam[c + l].max(1e-300);
                         }
                         for k in 0..NVARS5 {
+                            let u0p = self.u0.plane(k);
+                            let rp = self.res.plane(k);
+                            let up = self.u.plane_mut(k);
                             for l in 0..LANES {
-                                self.u[c + l][k] =
-                                    self.u0[c + l][k] + alpha * dt_v[l] * self.res[c + l][k];
+                                up[c + l] = u0p[c + l] + alpha * dt_v[l] * rp[c + l];
                             }
                         }
                         for l in 0..LANES {
@@ -249,14 +265,14 @@ impl EulerLevel {
     fn stage_cell(&mut self, c: usize, alpha: f64) {
         let dt_v = self.cfl / self.lam[c].max(1e-300); // dt / V
         for k in 0..NVARS5 {
-            self.u[c][k] = self.u0[c][k] + alpha * dt_v * self.res[c][k];
+            *self.u.at_mut(k, c) = self.u0.at(k, c) + alpha * dt_v * self.res.at(k, c);
         }
         self.guard_state(c);
     }
 
     /// One full multistage RK smoothing step (serial path).
     pub fn rk_step(&mut self) {
-        self.u0.copy_from_slice(&self.u);
+        self.u0.copy_from(&self.u);
         for &alpha in RK5.iter() {
             self.compute_residual();
             self.apply_stage(alpha);
@@ -265,7 +281,8 @@ impl EulerLevel {
 
     /// Positivity guard on cell `c`.
     pub fn guard_state(&mut self, c: usize) {
-        let u = &mut self.u[c];
+        let mut view = self.u.point_mut(c);
+        let mut u = view.load();
         u[0] = u[0].clamp(0.05, 20.0);
         let q2 = (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / u[0];
         let p = (GAMMA - 1.0) * (u[4] - 0.5 * q2);
@@ -273,6 +290,7 @@ impl EulerLevel {
         if p < pmin {
             u[4] = pmin / (GAMMA - 1.0) + 0.5 * q2;
         }
+        view.store(&u);
     }
 
     /// Free-stream consistency defect: with `u == fs` everywhere, `N(u)`
@@ -280,9 +298,8 @@ impl EulerLevel {
     /// geometrically closed mesh up to the wall pressure terms.
     pub fn freestream_defect(&mut self) -> f64 {
         let saved = self.u.clone();
-        for u in self.u.iter_mut() {
-            *u = self.fs;
-        }
+        let fs = self.fs;
+        self.u.fill_with(&fs);
         let rms = self.residual_rms();
         self.u = saved;
         rms
@@ -299,7 +316,7 @@ impl EulerLevel {
         for c in 0..self.ncells() {
             let w = self.mesh.wall_normal[c];
             if w.norm2() > 0.0 {
-                f += w * pressure(&self.u[c]);
+                f += w * pressure(&self.u.get(c));
             }
         }
         f
@@ -354,9 +371,9 @@ mod tests {
         }
         let r1 = lvl.residual_rms();
         assert!(r1 < 0.5 * r0, "residual {r0} -> {r1}");
-        for u in &lvl.u {
+        for u in lvl.u.to_aos() {
             assert!(u.iter().all(|x| x.is_finite()));
-            assert!(pressure(u) > 0.0);
+            assert!(pressure(&u) > 0.0);
         }
     }
 
@@ -389,7 +406,7 @@ mod tests {
         // Without a body the scheme must hold the free stream to round-off.
         assert!(lvl.residual_rms() < 1e-12);
         lvl.rk_step();
-        for u in &lvl.u {
+        for u in lvl.u.to_aos() {
             for k in 0..NVARS5 {
                 assert!((u[k] - lvl.fs[k]).abs() < 1e-12);
             }

@@ -93,23 +93,24 @@ pub fn build_local_levels(
 pub fn parallel_rk_step(local: &mut LocalEuler, decomp: &Decomposition, rank: &mut Rank) {
     let plan = &decomp.plans[rank.rank()];
     let lvl = &mut local.level;
-    lvl.u0.copy_from_slice(&lvl.u);
+    lvl.u0.copy_from(&lvl.u);
     for (stage, &alpha) in RK5.iter().enumerate() {
         let tag = 100 + 10 * stage as u64;
-        plan.exchange_copy::<NVARS5>(rank, tag, &mut lvl.u);
+        plan.exchange_copy_field(rank, tag, &mut lvl.u);
         lvl.accumulate_residual();
         // Ghost residuals and spectral radii ride ONE coalesced message
-        // per peer (5 + 1 values per exchanged cell); `lam_as_blocks`
-        // only snapshots `lam`, so hoisting it past the residual add
-        // changes no accumulated bit.
-        let mut lam = lvl.lam_as_blocks();
-        plan.exchange_add2::<NVARS5, 1>(rank, tag + 1, &mut lvl.res, &mut lam);
-        lvl.set_lam_from_blocks(&lam);
+        // per peer (5 + 1 values per exchanged cell); the residual planes
+        // and the `lam` plane are packed straight from the resident
+        // storage — no AoS staging buffer.
+        {
+            let EulerLevel { res, lam, .. } = lvl;
+            plan.exchange_add2_field(rank, tag + 1, res, &mut lam[..]);
+        }
         lvl.finalize_residual();
         lvl.apply_stage(alpha);
     }
     let plan = &decomp.plans[rank.rank()];
-    plan.exchange_copy::<NVARS5>(rank, 99, &mut local.level.u);
+    plan.exchange_copy_field(rank, 99, &mut local.level.u);
 }
 
 /// Parallel residual RMS (collective).
@@ -120,9 +121,9 @@ pub fn parallel_residual_rms(
 ) -> f64 {
     let plan = &decomp.plans[rank.rank()];
     let lvl = &mut local.level;
-    plan.exchange_copy::<NVARS5>(rank, 200, &mut lvl.u);
+    plan.exchange_copy_field(rank, 200, &mut lvl.u);
     lvl.accumulate_residual();
-    plan.exchange_add::<NVARS5>(rank, 201, &mut lvl.res);
+    plan.exchange_add_field(rank, 201, &mut lvl.res);
     lvl.finalize_residual();
     let (ss, cnt) = lvl.residual_sumsq();
     let gss = rank.allreduce_sum(ss);
@@ -168,7 +169,7 @@ pub fn run_parallel_smoothing(
         }
         let rms = parallel_residual_rms(&mut local, &decomp, rank);
         let owned: Vec<(u32, State5)> = (0..local.n_owned)
-            .map(|c| (local.local_to_global[c], local.level.u[c]))
+            .map(|c| (local.local_to_global[c], local.level.u.get(c)))
             .collect();
         (owned, rms)
     });
@@ -231,7 +232,7 @@ mod tests {
             let (u, rms, traces) =
                 run_parallel_smoothing(&mesh, fs, 1.5, nparts, 3, &mut ExecContext::default());
             let mut max_diff = 0.0f64;
-            for (c, su) in serial.u.iter().enumerate() {
+            for (c, su) in serial.u.to_aos().iter().enumerate() {
                 for k in 0..NVARS5 {
                     max_diff = max_diff.max((u[c][k] - su[k]).abs());
                 }

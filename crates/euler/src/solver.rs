@@ -68,25 +68,23 @@ impl MultigridLevel for EulerLevel {
             let vol = self.mesh.volumes[c];
             let g = g as usize;
             for k in 0..NVARS5 {
-                acc[g][k] += vol * self.u[c][k];
-                racc[g][k] += self.res[c][k];
+                acc[g][k] += vol * self.u.at(k, c);
+                racc[g][k] += self.res.at(k, c);
             }
         }
         for g in 0..nc {
             let iv = 1.0 / coarse.mesh.volumes[g];
             for k in 0..NVARS5 {
-                coarse.u[g][k] = acc[g][k] * iv;
+                *coarse.u.at_mut(k, g) = acc[g][k] * iv;
             }
             coarse.guard_state(g);
         }
-        coarse.restricted_u.copy_from_slice(&coarse.u);
-        for f in coarse.forcing.iter_mut() {
-            *f = [0.0; NVARS5];
-        }
+        coarse.restricted_u.copy_from(&coarse.u);
+        coarse.forcing.fill_zero();
         coarse.compute_residual(); // res = -N_c(u_hat)
         for g in 0..nc {
             for k in 0..NVARS5 {
-                coarse.forcing[g][k] = -coarse.res[g][k] + racc[g][k];
+                *coarse.forcing.at_mut(k, g) = -coarse.res.at(k, g) + racc[g][k];
             }
         }
     }
@@ -100,7 +98,7 @@ impl MultigridLevel for EulerLevel {
         for (c, &g) in map.iter().enumerate() {
             let g = g as usize;
             for k in 0..NVARS5 {
-                self.u[c][k] += relax * (coarse.u[g][k] - coarse.restricted_u[g][k]);
+                *self.u.at_mut(k, c) += relax * (coarse.u.at(k, g) - coarse.restricted_u.at(k, g));
             }
             self.guard_state(c);
         }
@@ -168,7 +166,7 @@ impl EulerSolver {
         for c in 0..lvl.ncells() {
             let w = lvl.mesh.wall_normal[c];
             if w.norm2() > 0.0 {
-                let p = pressure(&lvl.u[c]);
+                let p = pressure(&lvl.u.get(c));
                 let f = w * p;
                 force += f;
                 moment += lvl.mesh.centers[c].cross(f);

@@ -489,10 +489,15 @@ fn and_flags(acc: &mut [bool; LANES], flags: &[bool; LANES]) {
 
 /// Plain structure-of-arrays state storage: `N` contiguous component
 /// planes of `len` points each (`plane(k)[i]` is component `k` of point
-/// `i`). The solvers keep their at-rest state in arrays of small blocks
-/// (`Vec<[f64; N]>`, which exchange buffers address directly); this
-/// container is the fully transposed layout used by the layout-comparison
-/// benchmarks and available for stream-style kernels.
+/// `i`). This is the *resident* representation of solver state: the RANS
+/// and Euler levels keep `u`/`res`/forcing/gradients in these planes,
+/// the halo exchange packs and unpacks entries straight out of them
+/// (`columbia_comm`'s `HaloField`), and the cache-blocked sweeps stream
+/// over plane chunks. Per-point access goes through [`SoaStates::get`] /
+/// [`SoaStates::set`] / [`SoaStates::point_mut`], which gather a block
+/// `[f64; N]` in component order — reading a gathered block and operating
+/// on it is bit-identical to the old AoS access, so kernels migrated from
+/// `Vec<[f64; N]>` keep their digests.
 #[derive(Clone, Debug)]
 pub struct SoaStates<const N: usize> {
     data: Vec<f64>,
@@ -556,6 +561,132 @@ impl<const N: usize> SoaStates<N> {
     pub fn axpy(&mut self, a: f64, x: &SoaStates<N>) {
         assert_eq!(self.len, x.len, "SoA axpy length mismatch");
         crate::vecops::axpy_flat(a, &x.data, &mut self.data);
+    }
+
+    /// Gather point `i` as a block, in component order.
+    #[inline]
+    pub fn get(&self, i: usize) -> [f64; N] {
+        debug_assert!(i < self.len);
+        let mut out = [0.0; N];
+        for (k, v) in out.iter_mut().enumerate() {
+            *v = self.data[k * self.len + i];
+        }
+        out
+    }
+
+    /// Scatter a block into point `i`, in component order.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: &[f64; N]) {
+        debug_assert!(i < self.len);
+        for (k, x) in v.iter().enumerate() {
+            self.data[k * self.len + i] = *x;
+        }
+    }
+
+    /// Component `k` of point `i`.
+    #[inline]
+    pub fn at(&self, k: usize, i: usize) -> f64 {
+        debug_assert!(k < N && i < self.len);
+        self.data[k * self.len + i]
+    }
+
+    /// Mutable component `k` of point `i`.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, i: usize) -> &mut f64 {
+        debug_assert!(k < N && i < self.len);
+        &mut self.data[k * self.len + i]
+    }
+
+    /// Set every point to the same block (freestream init).
+    pub fn fill_with(&mut self, v: &[f64; N]) {
+        for k in 0..N {
+            self.plane_mut(k).fill(v[k]);
+        }
+    }
+
+    /// Zero every plane.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Plane-wise memcpy from another container of the same length.
+    pub fn copy_from(&mut self, other: &SoaStates<N>) {
+        assert_eq!(self.len, other.len, "SoA copy length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// All `N` planes at once as disjoint mutable slices, for sweeps that
+    /// update several components per pass without re-borrowing.
+    pub fn planes_mut(&mut self) -> [&mut [f64]; N] {
+        let len = self.len;
+        let mut out: [&mut [f64]; N] = [(); N].map(|_| Default::default());
+        if len == 0 {
+            return out;
+        }
+        for (k, chunk) in self.data.chunks_exact_mut(len).enumerate() {
+            out[k] = chunk;
+        }
+        out
+    }
+
+    /// Per-point mutable view for boundary fixups: load/store the whole
+    /// block or poke single components without exposing the planes.
+    #[inline]
+    pub fn point_mut(&mut self, i: usize) -> PointMut<'_, N> {
+        debug_assert!(i < self.len);
+        PointMut { states: self, i }
+    }
+
+    /// Gather the indexed points (ghost lists) into a block buffer, in
+    /// index order.
+    pub fn gather(&self, idx: &[u32], out: &mut [[f64; N]]) {
+        assert_eq!(idx.len(), out.len(), "SoA gather length mismatch");
+        for (o, &i) in out.iter_mut().zip(idx.iter()) {
+            *o = self.get(i as usize);
+        }
+    }
+
+    /// Scatter block values into the indexed points, in index order.
+    pub fn scatter(&mut self, idx: &[u32], vals: &[[f64; N]]) {
+        assert_eq!(idx.len(), vals.len(), "SoA scatter length mismatch");
+        for (v, &i) in vals.iter().zip(idx.iter()) {
+            self.set(i as usize, v);
+        }
+    }
+}
+
+/// Mutable view of one point of a [`SoaStates`]: the per-vertex boundary
+/// fixups (BC rows, positivity clamps) load the block, edit components,
+/// and store it back — the same component-ordered reads and writes the
+/// AoS `&mut [f64; N]` access performed.
+pub struct PointMut<'a, const N: usize> {
+    states: &'a mut SoaStates<N>,
+    i: usize,
+}
+
+impl<const N: usize> PointMut<'_, N> {
+    /// Gather the point's block.
+    #[inline]
+    pub fn load(&self) -> [f64; N] {
+        self.states.get(self.i)
+    }
+
+    /// Scatter a block back into the point.
+    #[inline]
+    pub fn store(&mut self, v: &[f64; N]) {
+        self.states.set(self.i, v);
+    }
+
+    /// Component `k`.
+    #[inline]
+    pub fn get(&self, k: usize) -> f64 {
+        self.states.at(k, self.i)
+    }
+
+    /// Overwrite component `k`.
+    #[inline]
+    pub fn set(&mut self, k: usize, v: f64) {
+        *self.states.at_mut(k, self.i) = v;
     }
 }
 
@@ -780,6 +911,106 @@ mod tests {
         for i in 0..n {
             for k in 0..5 {
                 assert_eq!(back[i][k].to_bits(), aos_y[i][k].to_bits());
+            }
+        }
+    }
+
+    /// Deterministic edge lengths: empty and shorter-than-LANES containers
+    /// must round-trip, gather, scatter, and bulk-fill without panicking
+    /// or perturbing a bit.
+    #[test]
+    fn soa_len_zero_and_sub_lane_lengths() {
+        for len in [0usize, 1, 2, LANES - 1] {
+            let aos: Vec<[f64; 6]> = (0..len)
+                .map(|i| {
+                    let mut b = [0.0; 6];
+                    for (k, v) in b.iter_mut().enumerate() {
+                        *v = (i as f64 * 2.9 + k as f64 * 0.7).cos();
+                    }
+                    b
+                })
+                .collect();
+            let mut s = SoaStates::<6>::from_aos(&aos);
+            assert_eq!(s.len(), len);
+            assert_eq!(s.is_empty(), len == 0);
+            assert_eq!(s.to_aos(), aos);
+            let planes = s.planes_mut();
+            for p in planes.iter() {
+                assert_eq!(p.len(), len);
+            }
+            let idx: Vec<u32> = (0..len as u32).rev().collect();
+            let mut gathered = vec![[0.0; 6]; len];
+            s.gather(&idx, &mut gathered);
+            for (g, &i) in gathered.iter().zip(idx.iter()) {
+                assert_eq!(bits(g), bits(&aos[i as usize]));
+            }
+            let mut t = SoaStates::<6>::zeros(len);
+            t.scatter(&idx, &gathered);
+            assert_eq!(t.to_aos(), aos);
+            t.fill_with(&[3.25, -1.5, 0.0, 7.0, -0.125, 2.0]);
+            for i in 0..len {
+                assert_eq!(t.get(i), [3.25, -1.5, 0.0, 7.0, -0.125, 2.0]);
+            }
+            t.fill_zero();
+            assert_eq!(t.to_aos(), vec![[0.0; 6]; len]);
+        }
+    }
+
+    columbia_rt::props! {
+        /// Remainder-lane lengths (0, < LANES, non-multiples of LANES):
+        /// from_aos/to_aos round-trips, gather/scatter of every point, the
+        /// per-point views, and AXPY are all bit-identical to the AoS
+        /// reference at any length.
+        fn prop_soa_remainder_lane_bit_identity(
+            len in 0usize..(3 * LANES + 3),
+            seed in columbia_rt::props::array::<_, 16>(-4.0f64..4.0),
+            a in -2.0f64..2.0,
+        ) {
+            let aos_x: Vec<[f64; 5]> = (0..len)
+                .map(|i| {
+                    let mut b = [0.0; 5];
+                    for (k, v) in b.iter_mut().enumerate() {
+                        *v = seed[(i * 5 + k) % 16] * (1.0 + i as f64 * 0.01);
+                    }
+                    b
+                })
+                .collect();
+            let mut aos_y: Vec<[f64; 5]> =
+                aos_x.iter().map(|b| b.map(|v| v * 0.5 - 0.25)).collect();
+            let sx = SoaStates::<5>::from_aos(&aos_x);
+            let mut sy = SoaStates::<5>::from_aos(&aos_y);
+
+            // Round-trip.
+            assert_eq!(sx.to_aos(), aos_x);
+
+            // Gather/scatter round-trip over a shuffled ghost list.
+            let idx: Vec<u32> =
+                (0..len as u32).map(|i| (i * 7 + 3) % len.max(1) as u32).collect();
+            let mut gathered = vec![[0.0; 5]; len];
+            sx.gather(&idx, &mut gathered);
+            for (g, &i) in gathered.iter().zip(idx.iter()) {
+                assert_eq!(bits(g), bits(&aos_x[i as usize]));
+            }
+            let mut scat = SoaStates::<5>::zeros(len);
+            scat.scatter(&idx, &gathered);
+            for &i in &idx {
+                assert_eq!(bits(&scat.get(i as usize)), bits(&aos_x[i as usize]));
+            }
+
+            // Per-point views agree with AoS indexing.
+            for (i, blk) in aos_x.iter().enumerate() {
+                assert_eq!(bits(&sx.get(i)), bits(blk));
+                for (k, v) in blk.iter().enumerate() {
+                    assert_eq!(sx.at(k, i).to_bits(), v.to_bits());
+                }
+            }
+
+            // AXPY matches the AoS reference bit-for-bit.
+            crate::vecops::axpy(a, &aos_x, &mut aos_y);
+            sy.axpy(a, &sx);
+            let back = sy.to_aos();
+            for (b, r) in back.iter().zip(aos_y.iter()) {
+                assert_eq!(bits(b), bits(r));
             }
         }
     }

@@ -33,6 +33,9 @@ pub struct BlockTridiag<const N: usize> {
     // Scratch for the factorisation.
     diag_lu: Vec<Option<BlockLu<N>>>,
     upper_mod: Vec<BlockMat<N>>,
+    // Forward-substitution scratch, persistent so steady-state line
+    // solves never touch the allocator.
+    y: Vec<[f64; N]>,
 }
 
 impl<const N: usize> BlockTridiag<N> {
@@ -45,6 +48,7 @@ impl<const N: usize> BlockTridiag<N> {
             rhs: Vec::new(),
             diag_lu: Vec::new(),
             upper_mod: Vec::new(),
+            y: Vec::new(),
         }
     }
 
@@ -105,16 +109,17 @@ impl<const N: usize> BlockTridiag<N> {
         self.diag_lu.resize(n, None);
         self.upper_mod.clear();
         self.upper_mod.resize(n, BlockMat::zero());
+        self.y.clear();
+        self.y.resize(n, [0.0; N]);
 
         // Forward elimination:
         //   D'_0 = D_0
         //   U'_i = D'^-1_i U_i
         //   D'_i = D_i - L_i U'_{i-1}
         //   b'_i = b_i - L_i (D'^-1_{i-1} b'_{i-1})
-        let mut y: Vec<[f64; N]> = vec![[0.0; N]; n];
         let lu0 = self.diag[0].lu()?;
         self.upper_mod[0] = lu0.solve_mat(&self.upper[0]);
-        y[0] = lu0.solve(&self.rhs[0]);
+        self.y[0] = lu0.solve(&self.rhs[0]);
         self.diag_lu[0] = Some(lu0);
         for i in 1..n {
             // D'_i = D_i - L_i * U'_{i-1}
@@ -125,8 +130,8 @@ impl<const N: usize> BlockTridiag<N> {
             let lui = dmod.lu()?;
             // b'_i = b_i - L_i y_{i-1}; y_i = D'^-1_i b'_i
             let mut b = self.rhs[i];
-            li.mul_vec_sub(&y[i - 1], &mut b);
-            y[i] = lui.solve(&b);
+            li.mul_vec_sub(&self.y[i - 1], &mut b);
+            self.y[i] = lui.solve(&b);
             if i + 1 < n {
                 self.upper_mod[i] = lui.solve_mat(&self.upper[i]);
             }
@@ -134,9 +139,9 @@ impl<const N: usize> BlockTridiag<N> {
         }
 
         // Back substitution: x_n = y_n; x_i = y_i - U'_i x_{i+1}
-        out[n - 1] = y[n - 1];
+        out[n - 1] = self.y[n - 1];
         for i in (0..n - 1).rev() {
-            let mut x = y[i];
+            let mut x = self.y[i];
             let ui = self.upper_mod[i];
             let xi1 = out[i + 1];
             let corr = ui.mul_vec(&xi1);

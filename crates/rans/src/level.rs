@@ -1,15 +1,36 @@
 //! One multigrid level of the solver: mesh data, state, residual assembly,
 //! and the point-/line-implicit smoothers.
+//!
+//! Solver state is **plane-resident**: `u`, `res`, the FAS fields, and the
+//! Green-Gauss gradient accumulators live in [`SoaStates`] component
+//! planes, and the residual/gradient sweeps stream over cache-sized plane
+//! chunks ([`EDGE_BLOCK`] edges / [`VBLOCK`] vertices per block). Per-edge
+//! physics (Rusanov fluxes, Jacobians) gathers the two endpoint blocks in
+//! component order — bit-identical to the historical AoS access — so every
+//! digest pinned against the AoS goldens still holds, on either kernel
+//! path (`COLUMBIA_KERNELS=scalar` keeps the one-block-at-a-time oracle by
+//! materialising AoS views lazily per edge/vertex).
 
 use crate::flops::{self, FlopCounter};
 use crate::state::{
     self, flux_jacobian, freestream, fv1, pressure, rusanov, sa, spectral_radius, velocity, State,
     GAMMA, NVARS,
 };
-use columbia_linalg::soa::{vec_batch_zero, BlockBatch, TridiagBatch, VecBatch, LANES};
+use columbia_linalg::soa::{vec_batch_zero, BlockBatch, SoaStates, TridiagBatch, VecBatch, LANES};
 use columbia_linalg::{BlockMat, BlockTridiag};
 use columbia_mesh::{extract_lines, BoundaryKind, UnstructuredMesh};
 use columbia_rt::env::{self, KernelKind};
+
+/// Edges per cache block of the plane-major Green-Gauss sweep: the
+/// gathered per-edge average-velocity and normal scratch (48 bytes/edge,
+/// ~24 KiB per block) stays cache-resident while the nine gradient
+/// component planes stream over it one at a time.
+pub const EDGE_BLOCK: usize = 512;
+
+/// Vertices per cache block of the gradient-finalisation sweep: the
+/// inverse control volumes (8 KiB per block) are computed once and reused
+/// by all nine plane passes.
+pub const VBLOCK: usize = 1024;
 
 /// Physical and numerical parameters shared by all levels.
 #[derive(Clone, Copy, Debug)]
@@ -71,7 +92,137 @@ impl SolverParams {
     }
 }
 
-/// One solver level: the mesh dual plus all per-vertex solver state.
+/// Effective edge viscosity (laminar + mean turbulent eddy viscosity)
+/// from the two gathered endpoint states.
+#[inline]
+fn mu_eff(mu: f64, ua: &State, ub: &State) -> f64 {
+    let mt = |uv: &State| {
+        let nt = state::nu_tilde(uv).max(0.0);
+        uv[0] * nt * fv1(nt, mu / uv[0])
+    };
+    mu + 0.5 * (mt(ua) + mt(ub))
+}
+
+/// Off-diagonal Jacobian blocks for line edge `i` (joining `line[i]` to
+/// `line[i+1]`): the `(upper_i, lower_{i+1})` pair. Shared by the scalar
+/// and the batched line solvers so the assembly arithmetic is one piece
+/// of code; a free function so the callers can hold disjoint borrows of
+/// the level's other fields (no `mem::take` dance).
+fn line_edge_blocks(
+    mesh: &UnstructuredMesh,
+    u: &SoaStates<NVARS>,
+    mu: f64,
+    line: &[u32],
+    i: usize,
+    ei: u32,
+    sign: f64,
+) -> (BlockMat<NVARS>, BlockMat<NVARS>) {
+    let e = &mesh.edges[ei as usize];
+    let s = e.normal * sign; // oriented line[i] -> line[i+1]
+    let (vi, vj) = (line[i] as usize, line[i + 1] as usize);
+    let ui = u.get(vi);
+    let uj = u.get(vj);
+    let lam = spectral_radius(&ui, s).max(spectral_radius(&uj, s));
+    let coef = e.normal.norm() / e.length;
+    let me = mu_eff(mu, &ui, &uj);
+    let visc = me * coef / ui[0].min(uj[0]);
+    // dN_i/du_j = 0.5 A(u_j, S_out) - (0.5 lam + visc) I.
+    let mut upper = flux_jacobian(&uj, s) * 0.5;
+    upper.add_diagonal(-(0.5 * lam + visc));
+    // dN_{i+1}/du_i with outward normal -S.
+    let mut lower = flux_jacobian(&ui, -s) * 0.5;
+    lower.add_diagonal(-(0.5 * lam + visc));
+    (upper, lower)
+}
+
+/// Solve the block-tridiagonal system along one line and update. All
+/// operands are disjoint borrows of the level's fields.
+#[allow(clippy::too_many_arguments)]
+fn solve_line_scalar(
+    mesh: &UnstructuredMesh,
+    mu: f64,
+    u: &mut SoaStates<NVARS>,
+    diag: &[BlockMat<NVARS>],
+    res: &SoaStates<NVARS>,
+    tridiag: &mut BlockTridiag<NVARS>,
+    line_x: &mut Vec<State>,
+    fc: &mut FlopCounter,
+    line: &[u32],
+    les: &[(u32, f64)],
+) {
+    let m = line.len();
+    tridiag.reset(m);
+    for (i, &v) in line.iter().enumerate() {
+        *tridiag.diag_mut(i) = diag[v as usize];
+        *tridiag.rhs_mut(i) = res.get(v as usize);
+    }
+    for (i, &(ei, sign)) in les.iter().enumerate() {
+        let (upper, lower) = line_edge_blocks(mesh, u, mu, line, i, ei, sign);
+        *tridiag.upper_mut(i) = upper;
+        *tridiag.lower_mut(i + 1) = lower;
+    }
+    line_x.resize(m, [0.0; NVARS]);
+    if tridiag.solve_into(line_x).is_ok() {
+        for (i, &v) in line.iter().enumerate() {
+            for k in 0..NVARS {
+                *u.at_mut(k, v as usize) += line_x[i][k];
+            }
+        }
+    }
+    fc.add(m as u64 * flops::TRIDIAG_ROW);
+}
+
+/// Batched line solve: up to [`LANES`] equal-length lines through one
+/// interleaved tridiagonal factorisation, using the level's persistent
+/// batch scratch.
+#[allow(clippy::too_many_arguments)]
+fn solve_line_batch(
+    mesh: &UnstructuredMesh,
+    mu: f64,
+    u: &mut SoaStates<NVARS>,
+    diag: &[BlockMat<NVARS>],
+    res: &SoaStates<NVARS>,
+    tb: &mut TridiagBatch<NVARS>,
+    line_x_batch: &mut Vec<VecBatch<NVARS>>,
+    fc: &mut FlopCounter,
+    chunk: &[u32],
+    lines: &[Vec<u32>],
+    line_edges: &[Vec<(u32, f64)>],
+) {
+    let m = lines[chunk[0] as usize].len();
+    let nl = chunk.len();
+    tb.reset(m, nl);
+    for (l, &li) in chunk.iter().enumerate() {
+        let line = &lines[li as usize];
+        let les = &line_edges[li as usize];
+        for (i, &v) in line.iter().enumerate() {
+            tb.set_diag(i, l, &diag[v as usize]);
+            tb.set_rhs(i, l, &res.get(v as usize));
+        }
+        for (i, &(ei, sign)) in les.iter().enumerate() {
+            let (upper, lower) = line_edge_blocks(mesh, u, mu, line, i, ei, sign);
+            tb.set_upper(i, l, &upper);
+            tb.set_lower(i + 1, l, &lower);
+        }
+    }
+    line_x_batch.clear();
+    line_x_batch.resize(m, vec_batch_zero());
+    let ok = tb.solve_into(line_x_batch);
+    for (l, &li) in chunk.iter().enumerate() {
+        let line = &lines[li as usize];
+        if ok[l] {
+            for (i, &v) in line.iter().enumerate() {
+                for k in 0..NVARS {
+                    *u.at_mut(k, v as usize) += line_x_batch[i][k][l];
+                }
+            }
+        }
+        fc.add(line.len() as u64 * flops::TRIDIAG_ROW);
+    }
+}
+
+/// One solver level: the mesh dual plus all per-vertex solver state, held
+/// in resident [`SoaStates`] component planes.
 pub struct RansLevel {
     /// The level's mesh (finest: generated; coarser: agglomerated).
     pub mesh: UnstructuredMesh,
@@ -81,15 +232,17 @@ pub struct RansLevel {
     /// sign of its stored normal relative to the walk direction.
     line_edges: Vec<Vec<(u32, f64)>>,
     in_line: Vec<bool>,
-    /// Conservative state per vertex.
-    pub u: Vec<State>,
+    /// Conservative state, one plane per component.
+    pub u: SoaStates<NVARS>,
     /// FAS forcing (zero on the finest level).
-    pub forcing: Vec<State>,
+    pub forcing: SoaStates<NVARS>,
     /// State stored at restriction time (for the coarse-grid correction).
-    pub restricted_u: Vec<State>,
+    pub restricted_u: SoaStates<NVARS>,
     /// Residual scratch `r = forcing - N(u)`.
-    pub res: Vec<State>,
-    grad: Vec<[f64; 9]>,
+    pub res: SoaStates<NVARS>,
+    /// Green-Gauss velocity-gradient accumulators (nine planes,
+    /// row-major `3 i + j` = `d v_i / d x_j`).
+    grad: SoaStates<9>,
     diag: Vec<BlockMat<NVARS>>,
     lamsum: Vec<f64>,
     tridiag: BlockTridiag<NVARS>,
@@ -103,6 +256,17 @@ pub struct RansLevel {
     line_order: Vec<u32>,
     tridiag_batch: TridiagBatch<NVARS>,
     line_x_batch: Vec<VecBatch<NVARS>>,
+    /// Per-block scratch of the plane-major gradient sweep: gathered edge
+    /// average velocities and normals ([`EDGE_BLOCK`] entries, persistent
+    /// so steady-state sweeps allocate nothing).
+    edge_avg: Vec<[f64; 3]>,
+    edge_nrm: Vec<[f64; 3]>,
+    /// Per-block inverse control volumes of the finalisation sweep.
+    vol_inv: Vec<f64>,
+    /// Persistent pack buffer for the diagonal + lamsum ghost exchange
+    /// (36 Jacobian entries + lamsum per vertex); level-owned so the
+    /// parallel sweep's coalesced exchange is allocation-free.
+    pub(crate) diag_pack: Vec<[f64; 37]>,
     /// Solver parameters.
     pub params: SolverParams,
     /// Free-stream state (BC and initialisation).
@@ -162,6 +326,10 @@ impl RansLevel {
             .kernel
             .or_else(env::kernels)
             .unwrap_or(KernelKind::Simd);
+        let mut u = SoaStates::zeros(n);
+        u.fill_with(&fs);
+        let mut restricted_u = SoaStates::zeros(n);
+        restricted_u.fill_with(&fs);
         RansLevel {
             lines,
             line_edges,
@@ -170,15 +338,19 @@ impl RansLevel {
             line_order,
             tridiag_batch: TridiagBatch::new(),
             line_x_batch: Vec::new(),
-            u: vec![fs; n],
-            forcing: vec![[0.0; NVARS]; n],
-            restricted_u: vec![fs; n],
-            res: vec![[0.0; NVARS]; n],
-            grad: vec![[0.0; 9]; n],
+            u,
+            forcing: SoaStates::zeros(n),
+            restricted_u,
+            res: SoaStates::zeros(n),
+            grad: SoaStates::zeros(n),
             diag: vec![BlockMat::zero(); n],
             lamsum: vec![0.0; n],
             tridiag: BlockTridiag::new(),
             line_x: Vec::new(),
+            edge_avg: vec![[0.0; 3]; EDGE_BLOCK],
+            edge_nrm: vec![[0.0; 3]; EDGE_BLOCK],
+            vol_inv: vec![0.0; VBLOCK],
+            diag_pack: vec![[0.0; 37]; n],
             cfl_now: params.cfl_start.min(params.cfl),
             params,
             fs,
@@ -199,17 +371,6 @@ impl RansLevel {
         self.in_line.iter().filter(|&&b| b).count() as f64 / self.nvertices().max(1) as f64
     }
 
-    /// Effective edge viscosity (laminar + mean turbulent eddy viscosity).
-    #[inline]
-    fn mu_eff(&self, a: usize, b: usize) -> f64 {
-        let mu = self.params.mu_laminar();
-        let mt = |v: usize| {
-            let nt = state::nu_tilde(&self.u[v]).max(0.0);
-            self.u[v][0] * nt * fv1(nt, mu / self.u[v][0])
-        };
-        mu + 0.5 * (mt(a) + mt(b))
-    }
-
     /// Assemble the full residual `r = forcing - N(u)` into `self.res`.
     ///
     /// `N(u)` = convective + viscous edge fluxes minus sources. Rows
@@ -227,159 +388,260 @@ impl RansLevel {
 
     /// Phase 1: clear the residual and gradient accumulators.
     pub fn begin_residual(&mut self) {
-        for r in self.res.iter_mut() {
-            *r = [0.0; NVARS];
-        }
-        for g in self.grad.iter_mut() {
-            *g = [0.0; 9];
-        }
+        self.res.fill_zero();
+        self.grad.fill_zero();
     }
 
     /// Phase 2: accumulate raw Green-Gauss velocity-gradient sums
     /// (not yet divided by the control volume).
+    ///
+    /// The SIMD path is a cache-blocked plane-major sweep: per
+    /// [`EDGE_BLOCK`] of edges it gathers the average edge velocity and
+    /// normal once, then streams each of the nine gradient planes over
+    /// the block. Every accumulator still receives its incident-edge
+    /// contributions in global edge order and each product is computed
+    /// exactly once, so the result is bit-identical to the scalar
+    /// edge-at-a-time oracle.
     pub fn accumulate_gradients(&mut self) {
-        for e in &self.mesh.edges {
-            let (a, b) = (e.a as usize, e.b as usize);
-            let va = velocity(&self.u[a]);
-            let vb = velocity(&self.u[b]);
-            let avg = (va + vb) * 0.5;
-            let s = e.normal;
-            let comp = [avg.x, avg.y, avg.z];
-            let sv = [s.x, s.y, s.z];
-            for i in 0..3 {
-                for j in 0..3 {
-                    self.grad[a][3 * i + j] += comp[i] * sv[j];
-                    self.grad[b][3 * i + j] -= comp[i] * sv[j];
+        let Self {
+            mesh,
+            u,
+            grad,
+            edge_avg,
+            edge_nrm,
+            kernel,
+            flops: fc,
+            ..
+        } = self;
+        match *kernel {
+            KernelKind::Scalar => {
+                for e in &mesh.edges {
+                    let (a, b) = (e.a as usize, e.b as usize);
+                    let va = velocity(&u.get(a));
+                    let vb = velocity(&u.get(b));
+                    let avg = (va + vb) * 0.5;
+                    let s = e.normal;
+                    let comp = [avg.x, avg.y, avg.z];
+                    let sv = [s.x, s.y, s.z];
+                    for i in 0..3 {
+                        for j in 0..3 {
+                            let c = comp[i] * sv[j];
+                            *grad.at_mut(3 * i + j, a) += c;
+                            *grad.at_mut(3 * i + j, b) -= c;
+                        }
+                    }
+                }
+            }
+            KernelKind::Simd => {
+                for chunk in mesh.edges.chunks(EDGE_BLOCK) {
+                    for (t, e) in chunk.iter().enumerate() {
+                        let va = velocity(&u.get(e.a as usize));
+                        let vb = velocity(&u.get(e.b as usize));
+                        let avg = (va + vb) * 0.5;
+                        edge_avg[t] = [avg.x, avg.y, avg.z];
+                        edge_nrm[t] = [e.normal.x, e.normal.y, e.normal.z];
+                    }
+                    for i in 0..3 {
+                        for j in 0..3 {
+                            let p = grad.plane_mut(3 * i + j);
+                            for (t, e) in chunk.iter().enumerate() {
+                                let c = edge_avg[t][i] * edge_nrm[t][j];
+                                p[e.a as usize] += c;
+                                p[e.b as usize] -= c;
+                            }
+                        }
+                    }
                 }
             }
         }
-        self.flops
-            .add(self.mesh.nedges() as u64 * flops::GRADIENT_EDGE);
+        fc.add(mesh.nedges() as u64 * flops::GRADIENT_EDGE);
     }
 
-    /// Phase 3: divide gradient sums by the control volumes.
+    /// Phase 3: divide gradient sums by the control volumes. The SIMD
+    /// path computes [`VBLOCK`] inverse volumes once per block and reuses
+    /// them across all nine plane passes — the same single divide per
+    /// vertex the scalar path performs.
     pub fn finalize_gradients(&mut self) {
-        for v in 0..self.nvertices() {
-            let inv = 1.0 / self.mesh.volumes[v];
-            for g in self.grad[v].iter_mut() {
-                *g *= inv;
+        let Self {
+            mesh,
+            grad,
+            vol_inv,
+            kernel,
+            ..
+        } = self;
+        let n = mesh.nvertices();
+        match *kernel {
+            KernelKind::Scalar => {
+                for v in 0..n {
+                    let inv = 1.0 / mesh.volumes[v];
+                    for k in 0..9 {
+                        *grad.at_mut(k, v) *= inv;
+                    }
+                }
+            }
+            KernelKind::Simd => {
+                let mut start = 0;
+                while start < n {
+                    let end = (start + VBLOCK).min(n);
+                    for v in start..end {
+                        vol_inv[v - start] = 1.0 / mesh.volumes[v];
+                    }
+                    for k in 0..9 {
+                        let p = grad.plane_mut(k);
+                        for v in start..end {
+                            p[v] *= vol_inv[v - start];
+                        }
+                    }
+                    start = end;
+                }
             }
         }
     }
 
-    /// Direct access to a vertex's raw gradient storage (ghost exchange).
-    pub fn grad_mut(&mut self) -> &mut [[f64; 9]] {
+    /// Direct access to the raw gradient planes (ghost exchange).
+    pub fn grad_mut(&mut self) -> &mut SoaStates<9> {
         &mut self.grad
     }
 
     /// Phase 4: accumulate convective and diffusive edge fluxes into
-    /// `res = -N` (flux part).
+    /// `res = -N` (flux part). Endpoint states are gathered per edge;
+    /// residual updates scatter straight into the component planes.
     pub fn accumulate_fluxes(&mut self) {
-        let mu = self.params.mu_laminar();
-        for e in &self.mesh.edges {
+        let Self {
+            mesh,
+            u,
+            res,
+            params,
+            flops: fc,
+            ..
+        } = self;
+        let mu = params.mu_laminar();
+        let mut rp = res.planes_mut();
+        for e in &mesh.edges {
             let (a, b) = (e.a as usize, e.b as usize);
             let s = e.normal;
-            let f = rusanov(&self.u[a], &self.u[b], s);
-            for k in 0..NVARS {
+            let ua = u.get(a);
+            let ub = u.get(b);
+            let f = rusanov(&ua, &ub, s);
+            for (k, rk) in rp.iter_mut().enumerate() {
                 // res = -N: flux out of a decreases res[a].
-                self.res[a][k] -= f[k];
-                self.res[b][k] += f[k];
+                rk[a] -= f[k];
+                rk[b] += f[k];
             }
             // Edge-based diffusion (viscous + turbulence transport).
             let coef = e.normal.norm() / e.length;
-            let me = self.mu_eff(a, b);
-            let va = velocity(&self.u[a]);
-            let vb = velocity(&self.u[b]);
+            let me = mu_eff(mu, &ua, &ub);
+            let va = velocity(&ua);
+            let vb = velocity(&ub);
             let dv = vb - va;
             let dvc = [dv.x, dv.y, dv.z];
             for k in 0..3 {
                 let d = me * coef * dvc[k];
                 // Diffusive flux out of a is -me*coef*(v_b - v_a): N[a] -= d.
-                self.res[a][1 + k] += d;
-                self.res[b][1 + k] -= d;
+                rp[1 + k][a] += d;
+                rp[1 + k][b] -= d;
             }
-            let ha = (self.u[a][4] + pressure(&self.u[a])) / self.u[a][0];
-            let hb = (self.u[b][4] + pressure(&self.u[b])) / self.u[b][0];
+            let ha = (ua[4] + pressure(&ua)) / ua[0];
+            let hb = (ub[4] + pressure(&ub)) / ub[0];
             let de = me * coef * (hb - ha);
-            self.res[a][4] += de;
-            self.res[b][4] -= de;
-            let mt = mu + 0.5 * (self.u[a][5].max(0.0) + self.u[b][5].max(0.0));
-            let dn =
-                mt / sa::SIGMA * coef * (self.u[b][5] / self.u[b][0] - self.u[a][5] / self.u[a][0]);
-            self.res[a][5] += dn;
-            self.res[b][5] -= dn;
+            rp[4][a] += de;
+            rp[4][b] -= de;
+            let mt = mu + 0.5 * (ua[5].max(0.0) + ub[5].max(0.0));
+            let dn = mt / sa::SIGMA * coef * (ub[5] / ub[0] - ua[5] / ua[0]);
+            rp[5][a] += dn;
+            rp[5][b] -= dn;
         }
-        self.flops
-            .add(self.mesh.nedges() as u64 * (flops::FLUX + flops::VISCOUS));
+        fc.add(mesh.nedges() as u64 * (flops::FLUX + flops::VISCOUS));
     }
 
     /// Phase 5: turbulence sources, FAS forcing, boundary-row zeroing.
     /// Inactive (ghost) rows are zeroed — their flux contributions have
     /// already been shipped to the owning rank.
     pub fn finalize_residual(&mut self) {
-        let n = self.nvertices();
+        let Self {
+            mesh,
+            u,
+            res,
+            grad,
+            forcing,
+            active,
+            flops: fc,
+            ..
+        } = self;
+        let n = mesh.nvertices();
+        let mut rp = res.planes_mut();
         for v in 0..n {
-            if !self.active[v] {
-                self.res[v] = [0.0; NVARS];
+            if !active[v] {
+                for rk in rp.iter_mut() {
+                    rk[v] = 0.0;
+                }
                 continue;
             }
-            let vol = self.mesh.volumes[v];
-            match self.mesh.bc[v] {
+            let vol = mesh.volumes[v];
+            match mesh.bc[v] {
                 BoundaryKind::FarField => {
-                    self.res[v] = [0.0; NVARS];
+                    for rk in rp.iter_mut() {
+                        rk[v] = 0.0;
+                    }
                     continue;
                 }
                 BoundaryKind::Wall => {
                     // Strongly enforced momentum and turbulence rows.
                     for k in 1..4 {
-                        self.res[v][k] = 0.0;
+                        rp[k][v] = 0.0;
                     }
-                    self.res[v][5] = 0.0;
+                    rp[5][v] = 0.0;
                 }
                 BoundaryKind::Interior => {
                     // Vorticity from the velocity-gradient tensor
                     // (row-major g[3i + j] = d v_i / d x_j).
-                    let g = &self.grad[v];
-                    let wx = g[7] - g[5];
-                    let wy = g[2] - g[6];
-                    let wz = g[3] - g[1];
+                    let wx = grad.at(7, v) - grad.at(5, v);
+                    let wy = grad.at(2, v) - grad.at(6, v);
+                    let wz = grad.at(3, v) - grad.at(1, v);
                     let omega = (wx * wx + wy * wy + wz * wz).sqrt();
-                    let rho = self.u[v][0];
-                    let rnt = self.u[v][5].max(0.0);
+                    let rho = u.at(0, v);
+                    let rnt = u.at(5, v).max(0.0);
                     let nt = rnt / rho;
-                    let d = self.mesh.wall_distance[v].max(1e-12);
+                    let d = mesh.wall_distance[v].max(1e-12);
                     let prod = sa::CB1 * omega * rnt;
                     let dest = sa::CW1 * rho * (nt / d) * (nt / d);
                     // res = -N and N includes -(P - D)*V.
-                    self.res[v][5] += (prod - dest) * vol;
+                    rp[5][v] += (prod - dest) * vol;
                 }
             }
-            for k in 0..NVARS {
-                self.res[v][k] += self.forcing[v][k];
+            for (k, rk) in rp.iter_mut().enumerate() {
+                rk[v] += forcing.at(k, v);
             }
             // BC rows of the forcing must not leak into constrained rows.
-            match self.mesh.bc[v] {
+            match mesh.bc[v] {
                 BoundaryKind::Wall => {
                     for k in 1..4 {
-                        self.res[v][k] = 0.0;
+                        rp[k][v] = 0.0;
                     }
-                    self.res[v][5] = 0.0;
+                    rp[5][v] = 0.0;
                 }
-                BoundaryKind::FarField => self.res[v] = [0.0; NVARS],
+                BoundaryKind::FarField => {
+                    for rk in rp.iter_mut() {
+                        rk[v] = 0.0;
+                    }
+                }
                 BoundaryKind::Interior => {}
             }
         }
-        self.flops.add(n as u64 * flops::SOURCE);
+        fc.add(n as u64 * flops::SOURCE);
     }
 
     /// Sum of squares and entry count of the residual over active rows
     /// (no recompute; parallel ranks combine these with an allreduce).
+    /// Vertex-outer, component-inner — the historical AoS summation
+    /// order, so the floating-point sum is unchanged.
     pub fn residual_sumsq(&self) -> (f64, usize) {
         let mut ss = 0.0;
         let mut cnt = 0usize;
-        for (v, r) in self.res.iter().enumerate() {
+        for v in 0..self.res.len() {
             if self.active[v] {
-                for x in r {
+                for k in 0..NVARS {
+                    let x = self.res.at(k, v);
                     ss += x * x;
                 }
                 cnt += NVARS;
@@ -399,31 +661,35 @@ impl RansLevel {
         }
     }
 
-    /// Enforce strong boundary conditions on the state.
+    /// Enforce strong boundary conditions on the state (per-vertex
+    /// load/store views over the planes; same component read/write order
+    /// as the AoS path).
     pub fn apply_bcs(&mut self) {
         for v in 0..self.nvertices() {
+            let mut p = self.u.point_mut(v);
             match self.mesh.bc[v] {
                 BoundaryKind::Wall => {
-                    self.u[v][1] = 0.0;
-                    self.u[v][2] = 0.0;
-                    self.u[v][3] = 0.0;
-                    self.u[v][5] = 0.0;
+                    p.set(1, 0.0);
+                    p.set(2, 0.0);
+                    p.set(3, 0.0);
+                    p.set(5, 0.0);
                 }
                 BoundaryKind::FarField => {
-                    self.u[v] = self.fs;
+                    p.store(&self.fs);
                 }
                 BoundaryKind::Interior => {}
             }
             // Positivity guards: keep the implicit updates out of vacuum.
-            let u = &mut self.u[v];
+            let mut u = p.load();
             u[0] = u[0].clamp(0.05, 20.0);
             u[5] = u[5].max(0.0);
             let q2 = (u[1] * u[1] + u[2] * u[2] + u[3] * u[3]) / u[0];
-            let p = (GAMMA - 1.0) * (u[4] - 0.5 * q2);
+            let pr = (GAMMA - 1.0) * (u[4] - 0.5 * q2);
             let pmin = 0.02 / GAMMA;
-            if p < pmin {
+            if pr < pmin {
                 u[4] = pmin / (GAMMA - 1.0) + 0.5 * q2;
             }
+            p.store(&u);
         }
     }
 
@@ -442,18 +708,29 @@ impl RansLevel {
     /// one line at a time (the reference oracle); the SIMD path batches up
     /// to [`LANES`] point blocks and equal-length lines through the
     /// lane-interleaved kernels in `columbia_linalg::soa`. The two paths
-    /// are bit-identical, so every golden holds under either.
+    /// are bit-identical, so every golden holds under either. All scratch
+    /// (tridiagonal systems, batch buffers) is level-owned, so the steady
+    /// state allocates nothing (asserted by `tests/kernel_parity.rs`).
     pub fn solve_implicit(&mut self) {
         match self.kernel {
             KernelKind::Scalar => {
-                // Line-implicit solves.
-                let lines = std::mem::take(&mut self.lines);
-                let line_edges = std::mem::take(&mut self.line_edges);
+                let Self {
+                    mesh,
+                    lines,
+                    line_edges,
+                    tridiag,
+                    line_x,
+                    diag,
+                    res,
+                    u,
+                    params,
+                    flops: fc,
+                    ..
+                } = self;
+                let mu = params.mu_laminar();
                 for (line, les) in lines.iter().zip(line_edges.iter()) {
-                    self.solve_line(line, les);
+                    solve_line_scalar(mesh, mu, u, diag, res, tridiag, line_x, fc, line, les);
                 }
-                self.lines = lines;
-                self.line_edges = line_edges;
                 self.solve_points_scalar();
             }
             KernelKind::Simd => {
@@ -473,9 +750,9 @@ impl RansLevel {
                 continue;
             }
             if let Ok(lu) = self.diag[v].lu() {
-                let du = lu.solve(&self.res[v]);
-                for k in 0..NVARS {
-                    self.u[v][k] += du[k];
+                let du = lu.solve(&self.res.get(v));
+                for (k, d) in du.iter().enumerate() {
+                    *self.u.at_mut(k, v) += d;
                 }
             }
             self.flops.add(flops::LU_SOLVE + flops::UPDATE);
@@ -522,16 +799,17 @@ impl RansLevel {
         let mut rhs = vec_batch_zero::<NVARS>();
         for (l, &v) in vs.iter().enumerate() {
             mats.set_lane(l, &self.diag[v]);
+            let r = self.res.get(v);
             for (k, row) in rhs.iter_mut().enumerate() {
-                row[l] = self.res[v][k];
+                row[l] = r[k];
             }
         }
         let lu = mats.lu(nl);
         let du = lu.solve(&rhs, nl);
         for (l, &v) in vs.iter().enumerate() {
             if lu.ok()[l] {
-                for k in 0..NVARS {
-                    self.u[v][k] += du[k][l];
+                for (k, row) in du.iter().enumerate() {
+                    *self.u.at_mut(k, v) += row[l];
                 }
             }
             self.flops.add(flops::LU_SOLVE + flops::UPDATE);
@@ -544,64 +822,46 @@ impl RansLevel {
     /// tests), so both the reordering and the batching leave every line's
     /// arithmetic untouched.
     fn solve_lines_simd(&mut self) {
-        let order = std::mem::take(&mut self.line_order);
-        let lines = std::mem::take(&mut self.lines);
-        let line_edges = std::mem::take(&mut self.line_edges);
+        let Self {
+            mesh,
+            lines,
+            line_edges,
+            line_order,
+            tridiag_batch,
+            line_x_batch,
+            diag,
+            res,
+            u,
+            params,
+            flops: fc,
+            ..
+        } = self;
+        let mu = params.mu_laminar();
         let mut i = 0;
-        while i < order.len() {
-            let len = lines[order[i] as usize].len();
+        while i < line_order.len() {
+            let len = lines[line_order[i] as usize].len();
             let mut j = i + 1;
-            while j < order.len() && j - i < LANES && lines[order[j] as usize].len() == len {
+            while j < line_order.len()
+                && j - i < LANES
+                && lines[line_order[j] as usize].len() == len
+            {
                 j += 1;
             }
-            self.solve_line_batch(&order[i..j], &lines, &line_edges);
+            solve_line_batch(
+                mesh,
+                mu,
+                u,
+                diag,
+                res,
+                tridiag_batch,
+                line_x_batch,
+                fc,
+                &line_order[i..j],
+                lines,
+                line_edges,
+            );
             i = j;
         }
-        self.line_order = order;
-        self.lines = lines;
-        self.line_edges = line_edges;
-    }
-
-    fn solve_line_batch(
-        &mut self,
-        chunk: &[u32],
-        lines: &[Vec<u32>],
-        line_edges: &[Vec<(u32, f64)>],
-    ) {
-        let m = lines[chunk[0] as usize].len();
-        let nl = chunk.len();
-        let mut tb = std::mem::take(&mut self.tridiag_batch);
-        tb.reset(m, nl);
-        for (l, &li) in chunk.iter().enumerate() {
-            let line = &lines[li as usize];
-            let les = &line_edges[li as usize];
-            for (i, &v) in line.iter().enumerate() {
-                tb.set_diag(i, l, &self.diag[v as usize]);
-                tb.set_rhs(i, l, &self.res[v as usize]);
-            }
-            for (i, &(ei, sign)) in les.iter().enumerate() {
-                let (upper, lower) = self.line_edge_blocks(line, i, ei, sign);
-                tb.set_upper(i, l, &upper);
-                tb.set_lower(i + 1, l, &lower);
-            }
-        }
-        self.line_x_batch.clear();
-        self.line_x_batch.resize(m, vec_batch_zero());
-        let mut x = std::mem::take(&mut self.line_x_batch);
-        let ok = tb.solve_into(&mut x);
-        for (l, &li) in chunk.iter().enumerate() {
-            let line = &lines[li as usize];
-            if ok[l] {
-                for (i, &v) in line.iter().enumerate() {
-                    for k in 0..NVARS {
-                        self.u[v as usize][k] += x[i][k][l];
-                    }
-                }
-            }
-            self.flops.add(line.len() as u64 * flops::TRIDIAG_ROW);
-        }
-        self.line_x_batch = x;
-        self.tridiag_batch = tb;
     }
 
     /// Assemble the implicit diagonal blocks and local time steps
@@ -613,31 +873,42 @@ impl RansLevel {
 
     /// Diagonal phase 1: per-edge Jacobian contributions.
     pub fn accumulate_diagonal(&mut self) {
-        let n = self.nvertices();
+        let Self {
+            mesh,
+            u,
+            diag,
+            lamsum,
+            params,
+            flops: fc,
+            ..
+        } = self;
+        let n = mesh.nvertices();
         for v in 0..n {
-            self.diag[v] = BlockMat::zero();
-            self.lamsum[v] = 0.0;
+            diag[v] = BlockMat::zero();
+            lamsum[v] = 0.0;
         }
-        for e in &self.mesh.edges {
+        let mu = params.mu_laminar();
+        for e in &mesh.edges {
             let (a, b) = (e.a as usize, e.b as usize);
             let s = e.normal;
-            let lam = spectral_radius(&self.u[a], s).max(spectral_radius(&self.u[b], s));
+            let ua = u.get(a);
+            let ub = u.get(b);
+            let lam = spectral_radius(&ua, s).max(spectral_radius(&ub, s));
             let coef = e.normal.norm() / e.length;
-            let me = self.mu_eff(a, b);
-            let visc = me * coef / self.u[a][0].min(self.u[b][0]);
+            let me = mu_eff(mu, &ua, &ub);
+            let visc = me * coef / ua[0].min(ub[0]);
             // Row a: +0.5 A(u_a, S) + (0.5 lam + visc) I.
-            let mut ja = flux_jacobian(&self.u[a], s) * 0.5;
+            let mut ja = flux_jacobian(&ua, s) * 0.5;
             ja.add_diagonal(0.5 * lam + visc);
-            self.diag[a] += ja;
+            diag[a] += ja;
             // Row b: outward normal is -S.
-            let mut jb = flux_jacobian(&self.u[b], -s) * 0.5;
+            let mut jb = flux_jacobian(&ub, -s) * 0.5;
             jb.add_diagonal(0.5 * lam + visc);
-            self.diag[b] += jb;
-            self.lamsum[a] += lam + visc;
-            self.lamsum[b] += lam + visc;
+            diag[b] += jb;
+            lamsum[a] += lam + visc;
+            lamsum[b] += lam + visc;
         }
-        self.flops
-            .add(self.mesh.nedges() as u64 * flops::JACOBIAN_EDGE);
+        fc.add(mesh.nedges() as u64 * flops::JACOBIAN_EDGE);
     }
 
     /// Diagonal phase 2: time-step and source-Jacobian terms.
@@ -648,92 +919,52 @@ impl RansLevel {
             let vdt = self.lamsum[v] / self.cfl_now;
             self.diag[v].add_diagonal(vdt.max(1e-300));
             // Turbulence destruction Jacobian (stabilising, positive).
-            let rho = self.u[v][0];
-            let nt = (self.u[v][5] / rho).max(0.0);
+            let rho = self.u.at(0, v);
+            let nt = (self.u.at(5, v) / rho).max(0.0);
             let d = self.mesh.wall_distance[v].max(1e-12);
             let dj = 2.0 * sa::CW1 * nt / (d * d) * self.mesh.volumes[v];
             *self.diag[v].get_mut(5, 5) += dj;
         }
     }
 
-    /// Pack the implicit diagonal blocks + time-step accumulators into a
-    /// flat per-vertex buffer (36 Jacobian entries + lamsum) for ghost
-    /// exchange.
-    pub fn pack_diag(&self) -> Vec<[f64; 37]> {
-        (0..self.nvertices())
-            .map(|v| {
-                let mut row = [0.0; 37];
-                for r in 0..NVARS {
-                    for c in 0..NVARS {
-                        row[r * NVARS + c] = self.diag[v].get(r, c);
-                    }
-                }
-                row[36] = self.lamsum[v];
-                row
-            })
-            .collect()
-    }
-
-    /// Inverse of [`Self::pack_diag`].
-    pub fn unpack_diag(&mut self, data: &[[f64; 37]]) {
-        assert_eq!(data.len(), self.nvertices());
-        for (v, row) in data.iter().enumerate() {
-            self.diag[v] = BlockMat::from_fn(|r, c| row[r * NVARS + c]);
-            self.lamsum[v] = row[36];
-        }
-    }
-
-    /// Off-diagonal Jacobian blocks for line edge `i` (joining `line[i]`
-    /// to `line[i+1]`): the `(upper_i, lower_{i+1})` pair. Shared by the
-    /// scalar and the batched line solvers so the assembly arithmetic is
-    /// one piece of code.
-    fn line_edge_blocks(
-        &self,
-        line: &[u32],
-        i: usize,
-        ei: u32,
-        sign: f64,
-    ) -> (BlockMat<NVARS>, BlockMat<NVARS>) {
-        let e = &self.mesh.edges[ei as usize];
-        let s = e.normal * sign; // oriented line[i] -> line[i+1]
-        let (vi, vj) = (line[i] as usize, line[i + 1] as usize);
-        let lam = spectral_radius(&self.u[vi], s).max(spectral_radius(&self.u[vj], s));
-        let coef = e.normal.norm() / e.length;
-        let me = self.mu_eff(vi, vj);
-        let visc = me * coef / self.u[vi][0].min(self.u[vj][0]);
-        // dN_i/du_j = 0.5 A(u_j, S_out) - (0.5 lam + visc) I.
-        let mut upper = flux_jacobian(&self.u[vj], s) * 0.5;
-        upper.add_diagonal(-(0.5 * lam + visc));
-        // dN_{i+1}/du_i with outward normal -S.
-        let mut lower = flux_jacobian(&self.u[vi], -s) * 0.5;
-        lower.add_diagonal(-(0.5 * lam + visc));
-        (upper, lower)
-    }
-
-    /// Solve the block-tridiagonal system along one line and update.
-    fn solve_line(&mut self, line: &[u32], les: &[(u32, f64)]) {
-        let m = line.len();
-        self.tridiag.reset(m);
-        for (i, &v) in line.iter().enumerate() {
-            *self.tridiag.diag_mut(i) = self.diag[v as usize];
-            *self.tridiag.rhs_mut(i) = self.res[v as usize];
-        }
-        for (i, &(ei, sign)) in les.iter().enumerate() {
-            let (upper, lower) = self.line_edge_blocks(line, i, ei, sign);
-            *self.tridiag.upper_mut(i) = upper;
-            *self.tridiag.lower_mut(i + 1) = lower;
-        }
-        self.line_x.resize(m, [0.0; NVARS]);
-        let mut x = std::mem::take(&mut self.line_x);
-        if self.tridiag.solve_into(&mut x).is_ok() {
-            for (i, &v) in line.iter().enumerate() {
-                for k in 0..NVARS {
-                    self.u[v as usize][k] += x[i][k];
+    /// Pack the implicit diagonal blocks + time-step accumulators into the
+    /// level-owned flat per-vertex buffer (36 Jacobian entries + lamsum)
+    /// for ghost exchange. Persistent scratch: no allocation per sweep.
+    pub fn pack_diag_scratch(&mut self) {
+        let Self {
+            diag,
+            lamsum,
+            diag_pack,
+            ..
+        } = self;
+        for (v, row) in diag_pack.iter_mut().enumerate() {
+            for r in 0..NVARS {
+                for c in 0..NVARS {
+                    row[r * NVARS + c] = diag[v].get(r, c);
                 }
             }
+            row[36] = lamsum[v];
         }
-        self.line_x = x;
-        self.flops.add(m as u64 * flops::TRIDIAG_ROW);
+    }
+
+    /// Inverse of [`Self::pack_diag_scratch`].
+    pub fn unpack_diag_scratch(&mut self) {
+        let Self {
+            diag,
+            lamsum,
+            diag_pack,
+            ..
+        } = self;
+        for (v, row) in diag_pack.iter().enumerate() {
+            diag[v] = BlockMat::from_fn(|r, c| row[r * NVARS + c]);
+            lamsum[v] = row[36];
+        }
+    }
+
+    /// The diagonal exchange buffer as a mutable slice (coalesced halo
+    /// exchange rides it together with the residual planes).
+    pub fn diag_pack_mut(&mut self) -> &mut [[f64; 37]] {
+        &mut self.diag_pack
     }
 }
 
@@ -801,8 +1032,8 @@ mod tests {
             "smoother failed to reduce residual: {r0} -> {r1}"
         );
         // State must stay physical.
-        for u in &lvl.u {
-            assert!(u[0] > 0.0 && pressure(u) > 0.0);
+        for u in lvl.u.to_aos() {
+            assert!(u[0] > 0.0 && pressure(&u) > 0.0);
             assert!(u.iter().all(|x| x.is_finite()));
         }
     }
@@ -836,13 +1067,62 @@ mod tests {
         }
         for v in 0..lvl.nvertices() {
             if lvl.mesh.bc[v] == BoundaryKind::Wall {
-                assert_eq!(lvl.u[v][1], 0.0);
-                assert_eq!(lvl.u[v][2], 0.0);
-                assert_eq!(lvl.u[v][3], 0.0);
-                assert_eq!(lvl.u[v][5], 0.0);
+                assert_eq!(lvl.u.at(1, v), 0.0);
+                assert_eq!(lvl.u.at(2, v), 0.0);
+                assert_eq!(lvl.u.at(3, v), 0.0);
+                assert_eq!(lvl.u.at(5, v), 0.0);
             }
             if lvl.mesh.bc[v] == BoundaryKind::FarField {
-                assert_eq!(lvl.u[v], lvl.fs);
+                assert_eq!(lvl.u.get(v), lvl.fs);
+            }
+        }
+    }
+
+    /// The scalar lazy-AoS-view sweeps and the cache-blocked plane sweeps
+    /// must agree bit for bit on every phase output after several full
+    /// smoothing sweeps (the global parity suite pins the same property on
+    /// partitioned meshes; this is the fast in-crate check).
+    #[test]
+    fn blocked_plane_sweeps_match_scalar_bits() {
+        let mk = |kernel| {
+            let spec = WingMeshSpec {
+                ni: 16,
+                nj: 4,
+                nk: 10,
+                nk_bl: 5,
+                jitter: 0.0,
+                ..Default::default()
+            };
+            let mut lvl = RansLevel::new(
+                wing_mesh(&spec),
+                SolverParams {
+                    mach: 0.5,
+                    cfl: 10.0,
+                    kernel: Some(kernel),
+                    ..Default::default()
+                },
+            );
+            lvl.apply_bcs();
+            for _ in 0..4 {
+                lvl.smooth_sweep();
+            }
+            lvl.compute_residual();
+            lvl
+        };
+        let a = mk(KernelKind::Scalar);
+        let b = mk(KernelKind::Simd);
+        for v in 0..a.nvertices() {
+            for k in 0..NVARS {
+                assert_eq!(
+                    a.u.at(k, v).to_bits(),
+                    b.u.at(k, v).to_bits(),
+                    "u mismatch at v={v} k={k}"
+                );
+                assert_eq!(
+                    a.res.at(k, v).to_bits(),
+                    b.res.at(k, v).to_bits(),
+                    "res mismatch at v={v} k={k}"
+                );
             }
         }
     }

@@ -145,28 +145,32 @@ pub fn parallel_sweep(local: &mut LocalLevel, decomp: &Decomposition, rank: &mut
     // Residual with exchanges.
     lvl.begin_residual();
     lvl.accumulate_gradients();
-    plan.exchange_add::<9>(rank, 10, lvl.grad_mut());
+    plan.exchange_add_field(rank, 10, lvl.grad_mut());
     lvl.finalize_gradients();
-    plan.exchange_copy::<9>(rank, 11, lvl.grad_mut());
+    plan.exchange_copy_field(rank, 11, lvl.grad_mut());
     lvl.accumulate_fluxes();
 
     // Residual + implicit-diagonal ghost contributions travel in ONE
     // coalesced message per peer (6 + 37 values per exchanged vertex).
-    // `accumulate_diagonal`/`pack_diag` read only the state and edge
-    // coefficients — never the residual — so hoisting them before
+    // `accumulate_diagonal`/`pack_diag_scratch` read only the state and
+    // edge coefficients — never the residual — so hoisting them before
     // `finalize_residual` leaves every accumulated value bit-identical
-    // to the per-field schedule.
+    // to the per-field schedule. The pack buffer is level-owned scratch:
+    // the steady-state sweep allocates nothing.
     lvl.accumulate_diagonal();
-    let mut dbuf = lvl.pack_diag();
-    plan.exchange_add2::<NVARS, 37>(rank, 12, &mut lvl.res, &mut dbuf);
+    lvl.pack_diag_scratch();
+    {
+        let RansLevel { res, diag_pack, .. } = lvl;
+        plan.exchange_add2_field(rank, 12, res, &mut diag_pack[..]);
+    }
     lvl.finalize_residual();
-    plan.exchange_copy::<37>(rank, 14, &mut dbuf);
-    lvl.unpack_diag(&dbuf);
+    plan.exchange_copy_field(rank, 14, lvl.diag_pack_mut());
+    lvl.unpack_diag_scratch();
     lvl.finalize_diagonal();
 
     // Local solves + update, then refresh ghosts.
     lvl.solve_implicit();
-    plan.exchange_copy::<NVARS>(rank, 15, &mut lvl.u);
+    plan.exchange_copy_field(rank, 15, &mut lvl.u);
 }
 
 /// Parallel residual norm (collective).
@@ -180,11 +184,11 @@ pub fn parallel_residual_rms(
     let lvl = &mut local.level;
     lvl.begin_residual();
     lvl.accumulate_gradients();
-    plan.exchange_add::<9>(rank, 20, lvl.grad_mut());
+    plan.exchange_add_field(rank, 20, lvl.grad_mut());
     lvl.finalize_gradients();
-    plan.exchange_copy::<9>(rank, 21, lvl.grad_mut());
+    plan.exchange_copy_field(rank, 21, lvl.grad_mut());
     lvl.accumulate_fluxes();
-    plan.exchange_add::<NVARS>(rank, 22, &mut lvl.res);
+    plan.exchange_add_field(rank, 22, &mut lvl.res);
     lvl.finalize_residual();
     let (ss, cnt) = lvl.residual_sumsq();
     let gss = rank.allreduce_sum(ss);
@@ -230,13 +234,13 @@ pub fn run_parallel_smoothing(
         // Apply BCs and make ghosts consistent before starting (mirrors
         // the serial driver's initialisation).
         local.level.apply_bcs();
-        decomp.plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut local.level.u);
+        decomp.plans[rank.rank()].exchange_copy_field(rank, 1, &mut local.level.u);
         for _ in 0..sweeps {
             parallel_sweep(&mut local, &decomp, rank);
         }
         let rms = parallel_residual_rms(&mut local, &decomp, rank);
         let owned_u: Vec<(u32, State)> = (0..local.n_owned)
-            .map(|i| (local.local_to_global[i], local.level.u[i]))
+            .map(|i| (local.local_to_global[i], local.level.u.get(i)))
             .collect();
         (owned_u, rms)
     });
@@ -299,7 +303,7 @@ mod tests {
             let (u, rms, traces) =
                 run_parallel_smoothing(&m, params(), nparts, 3, &mut ExecContext::default());
             let mut max_diff = 0.0f64;
-            for (v, su) in serial.u.iter().enumerate() {
+            for (v, su) in serial.u.to_aos().iter().enumerate() {
                 for k in 0..NVARS {
                     max_diff = max_diff.max((u[v][k] - su[k]).abs());
                 }

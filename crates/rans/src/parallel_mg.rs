@@ -248,7 +248,7 @@ impl ParallelMg {
                 rank.enter_level(l);
                 lv.level.cfl_now = cfl;
                 lv.level.apply_bcs();
-                decomps[l].plans[rank.rank()].exchange_copy::<NVARS>(rank, 1, &mut lv.level.u);
+                decomps[l].plans[rank.rank()].exchange_copy_field(rank, 1, &mut lv.level.u);
                 rank.exit_level();
             }
             let mut history = ConvergenceHistory::default();
@@ -296,11 +296,11 @@ fn level_residual_rms(
     let lvl = &mut local.level;
     lvl.begin_residual();
     lvl.accumulate_gradients();
-    plan.exchange_add::<9>(rank, tag, lvl.grad_mut());
+    plan.exchange_add_field(rank, tag, lvl.grad_mut());
     lvl.finalize_gradients();
-    plan.exchange_copy::<9>(rank, tag + 1, lvl.grad_mut());
+    plan.exchange_copy_field(rank, tag + 1, lvl.grad_mut());
     lvl.accumulate_fluxes();
-    plan.exchange_add::<NVARS>(rank, tag + 2, &mut lvl.res);
+    plan.exchange_add_field(rank, tag + 2, &mut lvl.res);
     lvl.finalize_residual();
     let (ss, cnt) = lvl.residual_sumsq();
     let gss = rank.allreduce_sum(ss);
@@ -376,11 +376,11 @@ fn parallel_restrict(
         let lvl = &mut fine.level;
         lvl.begin_residual();
         lvl.accumulate_gradients();
-        plan.exchange_add::<9>(rank, tag, lvl.grad_mut());
+        plan.exchange_add_field(rank, tag, lvl.grad_mut());
         lvl.finalize_gradients();
-        plan.exchange_copy::<9>(rank, tag + 1, lvl.grad_mut());
+        plan.exchange_copy_field(rank, tag + 1, lvl.grad_mut());
         lvl.accumulate_fluxes();
-        plan.exchange_add::<NVARS>(rank, tag + 2, &mut lvl.res);
+        plan.exchange_add_field(rank, tag + 2, &mut lvl.res);
         lvl.finalize_residual();
     }
 
@@ -404,10 +404,10 @@ fn parallel_restrict(
             let v = pr.fine_local as usize;
             let vol = fine.level.mesh.volumes[v];
             for k in 0..NVARS {
-                buf.push(vol * fine.level.u[v][k]);
+                buf.push(vol * fine.level.u.at(k, v));
             }
             for k in 0..NVARS {
-                buf.push(fine.level.res[v][k]);
+                buf.push(fine.level.res.at(k, v));
             }
             buf.push(vol);
         }
@@ -419,8 +419,8 @@ fn parallel_restrict(
         let c = pr.coarse_local as usize;
         let vol = fine.level.mesh.volumes[v];
         for k in 0..NVARS {
-            acc_u[c][k] += vol * fine.level.u[v][k];
-            acc_r[c][k] += fine.level.res[v][k];
+            acc_u[c][k] += vol * fine.level.u.at(k, v);
+            acc_r[c][k] += fine.level.res.at(k, v);
         }
     }
     // Receive remote contributions.
@@ -451,33 +451,34 @@ fn parallel_restrict(
         }
         let iv = 1.0 / coarse.level.mesh.volumes[c];
         for k in 0..NVARS {
-            coarse.level.u[c][k] = acc_u[c][k] * iv;
+            *coarse.level.u.at_mut(k, c) = acc_u[c][k] * iv;
         }
     }
     coarse.level.apply_bcs();
     let plan_c = &decomps[l + 1].plans[p];
-    plan_c.exchange_copy::<NVARS>(rank, tag + 4, &mut coarse.level.u);
-    coarse.level.restricted_u.copy_from_slice(&coarse.level.u);
+    plan_c.exchange_copy_field(rank, tag + 4, &mut coarse.level.u);
+    let RansLevel {
+        restricted_u, u, ..
+    } = &mut coarse.level;
+    restricted_u.copy_from(u);
 
     // FAS forcing: f_c = N_c(u_hat) + R(r_f) — compute N_c with zero
     // forcing via the parallel residual phases.
-    for f in coarse.level.forcing.iter_mut() {
-        *f = [0.0; NVARS];
-    }
+    coarse.level.forcing.fill_zero();
     {
         let lvl = &mut coarse.level;
         lvl.begin_residual();
         lvl.accumulate_gradients();
-        plan_c.exchange_add::<9>(rank, tag + 5, lvl.grad_mut());
+        plan_c.exchange_add_field(rank, tag + 5, lvl.grad_mut());
         lvl.finalize_gradients();
-        plan_c.exchange_copy::<9>(rank, tag + 6, lvl.grad_mut());
+        plan_c.exchange_copy_field(rank, tag + 6, lvl.grad_mut());
         lvl.accumulate_fluxes();
-        plan_c.exchange_add::<NVARS>(rank, tag + 7, &mut lvl.res);
+        plan_c.exchange_add_field(rank, tag + 7, &mut lvl.res);
         lvl.finalize_residual();
     }
     for c in 0..nc {
         for k in 0..NVARS {
-            coarse.level.forcing[c][k] = -coarse.level.res[c][k] + acc_r[c][k];
+            *coarse.level.forcing.at_mut(k, c) = -coarse.level.res.at(k, c) + acc_r[c][k];
         }
     }
 }
@@ -502,7 +503,7 @@ fn parallel_prolong(
     let corr_of = |c: usize| -> [f64; NVARS] {
         let mut out = [0.0; NVARS];
         for k in 0..NVARS {
-            out[k] = coarse.level.u[c][k] - coarse.level.restricted_u[c][k];
+            out[k] = coarse.level.u.at(k, c) - coarse.level.restricted_u.at(k, c);
         }
         out
     };
@@ -528,14 +529,15 @@ fn parallel_prolong(
         for k in 0..NVARS {
             scaled[k] = relax * corr[k];
         }
+        let uv = lvl.u.get(v);
         let mut alpha = 1.0;
         for _ in 0..6 {
-            let mut trial = lvl.u[v];
+            let mut trial = uv;
             for k in 0..NVARS {
                 trial[k] += alpha * scaled[k];
             }
-            let rho_ok = trial[0] > 0.5 * lvl.u[v][0] && trial[0] < 2.0 * lvl.u[v][0];
-            let p_old = pressure(&lvl.u[v]);
+            let rho_ok = trial[0] > 0.5 * uv[0] && trial[0] < 2.0 * uv[0];
+            let p_old = pressure(&uv);
             let p_new = pressure(&trial);
             if rho_ok && p_new > 0.5 * p_old && p_new < 2.0 * p_old {
                 break;
@@ -543,7 +545,7 @@ fn parallel_prolong(
             alpha *= 0.5;
         }
         for k in 0..NVARS {
-            lvl.u[v][k] += alpha * scaled[k];
+            *lvl.u.at_mut(k, v) += alpha * scaled[k];
         }
     };
     for pr in &sched.local[p] {
@@ -565,7 +567,7 @@ fn parallel_prolong(
         rank.recycle(*peer, buf);
     }
     fine.level.apply_bcs();
-    decomps[l].plans[p].exchange_copy::<NVARS>(rank, tag + 1, &mut fine.level.u);
+    decomps[l].plans[p].exchange_copy_field(rank, tag + 1, &mut fine.level.u);
 }
 
 #[cfg(test)]

@@ -31,29 +31,27 @@ impl MultigridLevel for RansLevel {
             let vol = self.mesh.volumes[v];
             let c = c as usize;
             for k in 0..NVARS {
-                acc[c][k] += vol * self.u[v][k];
-                racc[c][k] += self.res[v][k];
+                acc[c][k] += vol * self.u.at(k, v);
+                racc[c][k] += self.res.at(k, v);
             }
         }
         for c in 0..nc {
             let iv = 1.0 / coarse.mesh.volumes[c];
             for k in 0..NVARS {
-                coarse.u[c][k] = acc[c][k] * iv;
+                *coarse.u.at_mut(k, c) = acc[c][k] * iv;
             }
         }
         // The coarse state must satisfy the same strong BCs, and the stored
         // restricted state must match it so the correction is consistent.
         coarse.apply_bcs();
-        coarse.restricted_u.copy_from_slice(&coarse.u);
+        coarse.restricted_u.copy_from(&coarse.u);
         // FAS forcing: f_c = N_c(u_hat) + R(r_fine); compute N_c with zero
         // forcing first.
-        for f in coarse.forcing.iter_mut() {
-            *f = [0.0; NVARS];
-        }
+        coarse.forcing.fill_zero();
         coarse.compute_residual(); // res = -N_c(u_hat) (BC rows zeroed)
         for c in 0..nc {
             for k in 0..NVARS {
-                coarse.forcing[c][k] = -coarse.res[c][k] + racc[c][k];
+                *coarse.forcing.at_mut(k, c) = -coarse.res.at(k, c) + racc[c][k];
             }
         }
     }
@@ -71,18 +69,19 @@ impl MultigridLevel for RansLevel {
             let c = c as usize;
             let mut corr = [0.0f64; NVARS];
             for k in 0..NVARS {
-                corr[k] = relax * (coarse.u[c][k] - coarse.restricted_u[c][k]);
+                corr[k] = relax * (coarse.u.at(k, c) - coarse.restricted_u.at(k, c));
             }
             // Positivity backtracking: halve the correction until density
             // and pressure stay within a factor of 2 of the current state.
+            let uv = self.u.get(v);
             let mut alpha = 1.0;
             for _ in 0..6 {
-                let mut trial = self.u[v];
+                let mut trial = uv;
                 for k in 0..NVARS {
                     trial[k] += alpha * corr[k];
                 }
-                let rho_ok = trial[0] > 0.5 * self.u[v][0] && trial[0] < 2.0 * self.u[v][0];
-                let p_old = crate::state::pressure(&self.u[v]);
+                let rho_ok = trial[0] > 0.5 * uv[0] && trial[0] < 2.0 * uv[0];
+                let p_old = crate::state::pressure(&uv);
                 let p_new = crate::state::pressure(&trial);
                 let p_ok = p_new > 0.5 * p_old && p_new < 2.0 * p_old;
                 if rho_ok && p_ok {
@@ -91,7 +90,7 @@ impl MultigridLevel for RansLevel {
                 alpha *= 0.5;
             }
             for k in 0..NVARS {
-                self.u[v][k] += alpha * corr[k];
+                *self.u.at_mut(k, v) += alpha * corr[k];
             }
         }
         self.apply_bcs();
@@ -128,12 +127,8 @@ impl RansSolver {
     pub fn initialize(&mut self) {
         for lvl in &mut self.levels {
             let fs = lvl.fs;
-            for u in lvl.u.iter_mut() {
-                *u = fs;
-            }
-            for f in lvl.forcing.iter_mut() {
-                *f = [0.0; NVARS];
-            }
+            lvl.u.fill_with(&fs);
+            lvl.forcing.fill_zero();
             lvl.apply_bcs();
         }
     }

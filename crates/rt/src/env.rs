@@ -13,7 +13,7 @@
 //! | `COLUMBIA_PT_REPLAY`      | decimal or `0x`-hex u64  | unset        | [`crate::props`] single-case replay        |
 //! | `COLUMBIA_EXECUTOR`       | `threads` \| `events`    | unset        | `run_world` backend (CI executor matrix)   |
 //! | `COLUMBIA_FABRIC`         | `analytic` \| `contention` | unset      | interconnect delivery model (CI fabric matrix) |
-//! | `COLUMBIA_KERNELS`        | `scalar` \| `simd`       | unset        | dense-kernel path (SoA batches vs scalar oracle) |
+//! | `COLUMBIA_KERNELS`        | `scalar` \| `simd`       | unset        | dense-kernel path over the plane-resident state (batched sweeps vs scalar oracle; storage layout unchanged) |
 //! | `COLUMBIA_DB_CACHE`       | decimal or `0x`-hex usize | unset       | database-server hot-region cache capacity (cells) |
 //! | `COLUMBIA_DB_FALLBACK`    | `strict` \| `nearest`    | unset        | database-server degraded-answer policy for quarantine holes |
 //! | `COLUMBIA_DB_REFINE`      | decimal or `0x`-hex usize | unset       | database-server refinement re-runs per pump     |

@@ -156,7 +156,7 @@ fn rans_parallel_matches_serial_under_zero_fault_plan() {
         let (u, rms, traces) =
             run_parallel_smoothing(&m, params, nparts, 3, &mut ExecContext::faulty(plan));
         let mut max_diff = 0.0f64;
-        for (v, su) in serial.u.iter().enumerate() {
+        for (v, su) in serial.u.to_aos().iter().enumerate() {
             for k in 0..NVARS {
                 max_diff = max_diff.max((u[v][k] - su[k]).abs());
             }
@@ -218,7 +218,7 @@ fn euler_parallel_matches_serial_under_zero_fault_plan() {
         let (u, rms, traces) =
             run_parallel_smoothing(&mesh, fs, 1.5, nparts, 3, &mut ExecContext::faulty(plan));
         let mut max_diff = 0.0f64;
-        for (c, su) in serial.u.iter().enumerate() {
+        for (c, su) in serial.u.to_aos().iter().enumerate() {
             for k in 0..NVARS5 {
                 max_diff = max_diff.max((u[c][k] - su[k]).abs());
             }

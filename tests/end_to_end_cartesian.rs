@@ -77,7 +77,7 @@ fn euler_parallel_matches_serial_on_sslv() {
         &mut columbia_comm::ExecContext::default(),
     );
     let mut max_diff = 0.0f64;
-    for (c, su) in serial.u.iter().enumerate() {
+    for (c, su) in serial.u.to_aos().iter().enumerate() {
         for k in 0..5 {
             max_diff = max_diff.max((u[c][k] - su[k]).abs());
         }

@@ -111,7 +111,7 @@ fn partitioned_execution_matches_serial_and_respects_lines() {
     let (u, _, traces) =
         run_parallel_smoothing(&mesh, p, 6, 2, &mut columbia_comm::ExecContext::default());
     let mut max_diff = 0.0f64;
-    for (v, su) in serial.u.iter().enumerate() {
+    for (v, su) in serial.u.to_aos().iter().enumerate() {
         for k in 0..6 {
             max_diff = max_diff.max((u[v][k] - su[k]).abs());
         }

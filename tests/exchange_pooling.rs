@@ -232,7 +232,7 @@ fn rans_sweep_reaches_zero_alloc_steady_state() {
             .take()
             .expect("local level already taken");
         local.level.apply_bcs();
-        decomp.plans[rank.rank()].exchange_copy::<6>(rank, 1, &mut local.level.u);
+        decomp.plans[rank.rank()].exchange_copy_field(rank, 1, &mut local.level.u);
         let mut stats_per_cycle = Vec::new();
         for _ in 0..4 {
             parallel_sweep(&mut local, &decomp, rank);

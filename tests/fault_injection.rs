@@ -309,7 +309,7 @@ fn default_context_driver_matches_serial_reference() {
     let (u, _, traces) =
         run_parallel_smoothing(&mesh, rans_params(), 4, 2, &mut ExecContext::default());
     let mut max_diff = 0.0f64;
-    for (v, su) in serial.u.iter().enumerate() {
+    for (v, su) in serial.u.to_aos().iter().enumerate() {
         for k in 0..NVARS {
             max_diff = max_diff.max((u[v][k] - su[k]).abs());
         }
